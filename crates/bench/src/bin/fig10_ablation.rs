@@ -1,0 +1,36 @@
+//! Figure 10 — Ablation study: Baseline, Matrix-only, Hybrid-noSort,
+//! Hybrid-GlobalSort and the full MatrixPIC across PPC densities.
+//!
+//! Paper observations at PPC 128: Matrix-only has the best intermediate
+//! wall time; Hybrid-noSort degrades (VPU-MPU interaction overheads with
+//! unsorted data); Hybrid-GlobalSort is bottlenecked by the full
+//! per-step sort; FullOpt "consistently delivers the best overall wall
+//! time and highest throughput".
+
+use mpic_bench::{measure_uniform, MEASURE_STEPS, PPC_SWEEP, UNIFORM_CELLS};
+use mpic_deposit::{KernelConfig, ShapeOrder};
+
+fn main() {
+    println!("== Figure 10: ablation study across PPC ==");
+    println!(
+        "{:>5} {:>24} {:>12} {:>12} {:>13}",
+        "PPC", "config", "wall ms/st", "dep ms/st", "particles/s"
+    );
+    for &ppc in &PPC_SWEEP {
+        let mut best = f64::INFINITY;
+        let mut best_label = "";
+        for kernel in KernelConfig::ABLATION {
+            eprintln!("running PPC {ppc} {} ...", kernel.label());
+            let m = measure_uniform(UNIFORM_CELLS, ppc, ShapeOrder::Cic, kernel, MEASURE_STEPS);
+            println!(
+                "{:>5} {:>24} {:>12.3} {:>12.3} {:>13.3e}",
+                ppc, m.label, m.wall_ms, m.dep_ms, m.pps
+            );
+            if m.wall_ms < best {
+                best = m.wall_ms;
+                best_label = kernel.label();
+            }
+        }
+        println!("      -> best wall time: {best_label}\n");
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 1 — Runtime breakdown of the uniform plasma PIC simulation
+//! with the unmodified baseline.
+//!
+//! The paper's measurement (WarpX v24.07, 30M cells, 4.3B particles, 32
+//! processes) shows particle deposition + gather at over 80% of total
+//! execution time, with deposition alone above 40%. This harness prints
+//! the same normalized breakdown for the emulated baseline run.
+
+use mpic_bench::{measure_uniform, MEASURE_STEPS, UNIFORM_CELLS};
+use mpic_deposit::{KernelConfig, ShapeOrder};
+
+fn main() {
+    let ppc: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let m = measure_uniform(
+        UNIFORM_CELLS,
+        ppc,
+        ShapeOrder::Cic,
+        KernelConfig::Baseline,
+        MEASURE_STEPS,
+    );
+    let labels = [
+        "deposition (preproc+compute)",
+        "",
+        "sort",
+        "reduce",
+        "gather",
+        "push",
+        "field solve",
+        "other",
+    ];
+    println!("== Figure 1: runtime breakdown, uniform plasma baseline (PPC {ppc}) ==");
+    let total: f64 = m.phases_ms.iter().sum();
+    let deposition = m.phases_ms[0] + m.phases_ms[1] + m.phases_ms[2] + m.phases_ms[3];
+    let gather = m.phases_ms[4];
+    for (i, l) in labels.iter().enumerate() {
+        if l.is_empty() {
+            continue;
+        }
+        let v = if i == 0 {
+            m.phases_ms[0] + m.phases_ms[1]
+        } else {
+            m.phases_ms[i]
+        };
+        println!(
+            "{:>30}: {:>8.3} ms/step ({:>5.1}%)",
+            l,
+            v,
+            100.0 * v / total
+        );
+    }
+    println!(
+        "\ndeposition fraction: {:.1}% (paper: >40%) | deposition+gather: {:.1}% (paper: >80%)",
+        100.0 * deposition / total,
+        100.0 * (deposition + gather) / total
+    );
+}

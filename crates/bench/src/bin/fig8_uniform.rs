@@ -1,0 +1,50 @@
+//! Figure 8 — Overall performance on the uniform plasma workload across
+//! PPC densities: stacked wall time, deposition kernel time, throughput
+//! and the normalized breakdown, for the baseline and MatrixPIC.
+//!
+//! Paper headlines at the dense end: 16.2% total wall-time speedup and
+//! +22% particles/s at PPC 128; up to 36.4% kernel speedup at PPC 32;
+//! *negative* at PPC 1 (overheads not amortised — "up to 17.2% lower").
+
+use mpic_bench::{measure_uniform, Measurement, MEASURE_STEPS, PPC_SWEEP, UNIFORM_CELLS};
+use mpic_deposit::{KernelConfig, ShapeOrder};
+
+fn main() {
+    println!("== Figure 8: uniform plasma across PPC (baseline vs MatrixPIC) ==");
+    println!(
+        "{:>5} {:>24} {:>12} {:>12} {:>13} {:>10} {:>10}",
+        "PPC", "config", "wall ms/st", "dep ms/st", "particles/s", "dep frac", "speedup"
+    );
+    for &ppc in &PPC_SWEEP {
+        let mut pair: Vec<Measurement> = Vec::new();
+        for kernel in [KernelConfig::Baseline, KernelConfig::FullOpt] {
+            eprintln!("running PPC {ppc} {} ...", kernel.label());
+            pair.push(measure_uniform(
+                UNIFORM_CELLS,
+                ppc,
+                ShapeOrder::Cic,
+                kernel,
+                MEASURE_STEPS,
+            ));
+        }
+        for m in &pair {
+            let total: f64 = m.phases_ms.iter().sum();
+            let dep: f64 = m.phases_ms[..4].iter().sum();
+            println!(
+                "{:>5} {:>24} {:>12.3} {:>12.3} {:>13.3e} {:>9.1}% {:>9.2}x",
+                m.ppc,
+                m.label,
+                m.wall_ms,
+                m.dep_ms,
+                m.pps,
+                100.0 * dep / total,
+                pair[0].wall_ms / m.wall_ms,
+            );
+        }
+        println!(
+            "      -> kernel speedup {:.2}x, throughput gain {:+.1}%",
+            pair[0].dep_ms / pair[1].dep_ms,
+            100.0 * (pair[1].pps / pair[0].pps - 1.0)
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 9 — LWFA total wall time across PPC, baseline vs MatrixPIC.
+//!
+//! Paper headline: up to 2.62x total-simulation speedup; below ~8 PPC
+//! MatrixPIC can fall under the baseline (sparse regions cannot amortise
+//! the framework overheads).
+
+use mpic_bench::{measure_lwfa, LWFA_CELLS, MEASURE_STEPS, PPC_SWEEP};
+use mpic_deposit::KernelConfig;
+
+fn main() {
+    println!("== Figure 9: LWFA total wall time across PPC ==");
+    println!(
+        "{:>5} {:>16} {:>16} {:>10}",
+        "PPC", "baseline ms/st", "matrixpic ms/st", "speedup"
+    );
+    for &ppc in &PPC_SWEEP {
+        eprintln!("running LWFA PPC {ppc} ...");
+        let base = measure_lwfa(LWFA_CELLS, ppc, KernelConfig::Baseline, MEASURE_STEPS);
+        let full = measure_lwfa(LWFA_CELLS, ppc, KernelConfig::FullOpt, MEASURE_STEPS);
+        println!(
+            "{:>5} {:>16.3} {:>16.3} {:>9.2}x",
+            ppc,
+            base.wall_ms,
+            full.wall_ms,
+            base.wall_ms / full.wall_ms
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Simulation configuration.
+
+use mpic_deposit::{KernelConfig, ShapeOrder};
+use mpic_machine::MachineConfig;
+use mpic_solver::{AbsorbingLayer, BoundaryKind, LaserAntenna, SolverKind};
+
+/// Full configuration of one simulation run (the analogue of a WarpX
+/// input file restricted to the parameters in Appendix A Table 4).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Physical cells per dimension (`amr.n_cell`).
+    pub n_cells: [usize; 3],
+    /// Cell size (m).
+    pub dx: [f64; 3],
+    /// Particle tile size (`particles.tile_size`).
+    pub tile_size: [usize; 3],
+    /// Guard cells (2 suffices for QSP).
+    pub guard: usize,
+    /// CFL fraction of the solver's stable limit (`warpx.cfl`).
+    pub cfl: f64,
+    /// Maxwell solver (`algo.maxwell_solver`).
+    pub solver: SolverKind,
+    /// Deposition/gather shape order (`algo.particle_shape`).
+    pub shape: ShapeOrder,
+    /// Deposition kernel + sorting configuration.
+    pub kernel: KernelConfig,
+    /// Field/particle boundaries along z.
+    pub boundary: BoundaryKind,
+    /// Moving window along z (`warpx.do_moving_window`).
+    pub moving_window: bool,
+    /// Optional laser antenna (LWFA).
+    pub laser: Option<LaserAntenna>,
+    /// Damping layer used with [`BoundaryKind::AbsorbingZ`].
+    pub absorber: AbsorbingLayer,
+    /// Emulated machine model.
+    pub machine: MachineConfig,
+    /// RNG seed for particle loading.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A small fully-periodic default (tests and the quickstart example).
+    pub fn small_periodic() -> Self {
+        Self {
+            n_cells: [16, 16, 16],
+            dx: [1.0e-6; 3],
+            tile_size: [8, 8, 8],
+            guard: 2,
+            cfl: 0.98,
+            solver: SolverKind::Ckc,
+            shape: ShapeOrder::Cic,
+            kernel: KernelConfig::FullOpt,
+            boundary: BoundaryKind::Periodic,
+            moving_window: false,
+            laser: None,
+            absorber: AbsorbingLayer::default(),
+            machine: MachineConfig::lx2(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = SimConfig::small_periodic();
+        assert_eq!(c.n_cells, [16, 16, 16]);
+        assert!(c.cfl <= 1.0);
+        assert!(c.laser.is_none());
+    }
+}

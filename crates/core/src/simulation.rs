@@ -1,0 +1,437 @@
+//! The PIC simulation orchestrator: Algorithm 1 embedded in the standard
+//! gather -> push -> sort -> deposit -> field-solve loop.
+
+use mpic_deposit::{canonical_flops_per_particle, Depositor, SortStrategy};
+use mpic_grid::constants::C;
+use mpic_grid::{FieldArrays, GridGeometry, TileLayout};
+use mpic_machine::{Machine, Phase, VAddr};
+use mpic_particles::{ParticleContainer, RankSortStats, INVALID_PARTICLE_ID};
+use mpic_push::boris::{boris_push, charge_push, BorisCoeffs};
+use mpic_push::gather::{charge_gather, gather_fields, GatherCost};
+use mpic_solver::{BoundaryKind, MaxwellSolver};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::timings::{RunReport, StepTimings};
+
+/// Plasma parameters used when the moving window injects fresh particles
+/// at the leading edge.
+#[derive(Debug, Clone, Copy)]
+pub struct PlasmaSpec {
+    /// Electron number density (per m^3).
+    pub density: f64,
+    /// Particles per cell.
+    pub ppc: usize,
+    /// Thermal momentum spread (normalised u).
+    pub u_th: f64,
+}
+
+/// A complete single-rank PIC simulation.
+pub struct Simulation {
+    /// Configuration the simulation was built from.
+    pub cfg: SimConfig,
+    /// Grid geometry.
+    pub geom: GridGeometry,
+    /// Tile decomposition.
+    pub layout: TileLayout,
+    /// Electromagnetic field state.
+    pub fields: FieldArrays,
+    /// The electron species.
+    pub electrons: ParticleContainer,
+    /// The emulated machine accumulating all costs.
+    pub machine: Machine,
+    solver: MaxwellSolver,
+    depositor: Depositor,
+    sort_stats: RankSortStats,
+    pending_global_sort: bool,
+    window_plasma: Option<PlasmaSpec>,
+    window_accum: f64,
+    boris: BorisCoeffs,
+    dt: f64,
+    time: f64,
+    step_index: u64,
+    field_addrs: [VAddr; 6],
+    rng: StdRng,
+    report: RunReport,
+}
+
+impl Simulation {
+    /// Builds a simulation with an already-populated container.
+    pub fn from_parts(
+        cfg: SimConfig,
+        geom: GridGeometry,
+        layout: TileLayout,
+        mut electrons: ParticleContainer,
+        window_plasma: Option<PlasmaSpec>,
+    ) -> Self {
+        let mut machine = Machine::new(cfg.machine.clone());
+        let fields = FieldArrays::new(&geom);
+        let solver = MaxwellSolver::new(cfg.solver, &geom);
+        let dt = cfg.cfl * solver.max_dt(&geom);
+        let mut depositor = cfg.kernel.build(cfg.shape);
+        depositor.prepare(&mut machine, &geom, &layout, &mut electrons);
+        let dims = geom.dims_with_guard();
+        let len = dims[0] * dims[1] * dims[2];
+        let field_addrs = std::array::from_fn(|_| machine.mem().alloc_f64(len));
+        let boris = BorisCoeffs::new(electrons.charge, electrons.mass, dt);
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xabcd_ef01);
+        Self {
+            cfg,
+            geom,
+            layout,
+            fields,
+            electrons,
+            machine,
+            solver,
+            depositor,
+            sort_stats: RankSortStats::default(),
+            pending_global_sort: false,
+            window_plasma,
+            window_accum: 0.0,
+            boris,
+            dt,
+            time: 0.0,
+            step_index: 0,
+            field_addrs,
+            rng,
+            report: RunReport::default(),
+        }
+    }
+
+    /// Timestep (s).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Simulated physical time (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Steps taken.
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
+
+    /// The timing report accumulated so far.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Deposition driver name (kernel configuration).
+    pub fn kernel_name(&self) -> &'static str {
+        self.depositor.name()
+    }
+
+    /// Live particle count.
+    pub fn num_particles(&self) -> usize {
+        self.electrons.total_particles()
+    }
+
+    /// Total kinetic energy (J).
+    pub fn kinetic_energy(&self) -> f64 {
+        let mc2 = self.electrons.mass * C * C;
+        let mut e = 0.0;
+        for t in &self.electrons.tiles {
+            for p in t.soa.live_indices() {
+                let (ux, uy, uz) = (t.soa.ux[p], t.soa.uy[p], t.soa.uz[p]);
+                let gamma = (1.0 + ux * ux + uy * uy + uz * uz).sqrt();
+                e += t.soa.w[p] * mc2 * (gamma - 1.0);
+            }
+        }
+        e
+    }
+
+    /// Total field energy (J).
+    pub fn field_energy(&self) -> f64 {
+        self.fields.field_energy(&self.geom)
+    }
+
+    /// Total charge (C).
+    pub fn total_charge(&self) -> f64 {
+        self.electrons.total_charge()
+    }
+
+    /// Advances the simulation one step, returning the step's timings.
+    pub fn step(&mut self) -> StepTimings {
+        let before = self.machine.counters().clone();
+
+        // --- Gather + push + particle boundaries -----------------------
+        self.push_particles();
+
+        // --- Sorting (incremental GPMA or per-strategy) ----------------
+        let force = std::mem::take(&mut self.pending_global_sort);
+        let sort_report = self.depositor.sort_step(
+            &mut self.machine,
+            &self.geom,
+            &self.layout,
+            &mut self.electrons,
+            force,
+        );
+        if sort_report.policy_triggered {
+            self.sort_stats.reset();
+        }
+
+        // --- Current deposition ----------------------------------------
+        self.depositor.deposit_step(
+            &mut self.machine,
+            &self.geom,
+            &self.layout,
+            &self.electrons,
+            &mut self.fields,
+        );
+        // Credit canonical useful work (section 5.2.2).
+        let n = self.num_particles();
+        self.machine.counters_mut().useful_flops +=
+            canonical_flops_per_particle(self.cfg.shape) * n as f64;
+
+        // --- Field solve + sources + boundaries ------------------------
+        self.solver
+            .step(&mut self.machine, &self.geom, &mut self.fields, self.dt);
+        if let Some(laser) = &self.cfg.laser {
+            laser.inject(&self.geom, &mut self.fields, self.time);
+        }
+        if self.cfg.boundary == BoundaryKind::AbsorbingZ {
+            self.machine.in_phase(Phase::Other, |_| {});
+            self.cfg.absorber.apply(&self.geom, &mut self.fields);
+        }
+
+        // --- Moving window ----------------------------------------------
+        if self.cfg.moving_window {
+            self.advance_window();
+        }
+
+        self.time += self.dt;
+        self.step_index += 1;
+
+        // --- Sort-policy bookkeeping (evaluated at end of step) ---------
+        let timings = StepTimings::from_delta(&before, self.machine.counters(), n);
+        self.update_sort_policy(&timings);
+        self.report.push(timings);
+        timings
+    }
+
+    /// Runs `n` steps and returns the accumulated report.
+    pub fn run(&mut self, n: usize) -> &RunReport {
+        for _ in 0..n {
+            self.step();
+        }
+        &self.report
+    }
+
+    /// Gather + Boris push + position boundaries for every particle.
+    fn push_particles(&mut self) {
+        let order = self.cfg.shape;
+        let nodes = order.nodes_3d();
+        let absorbing = self.cfg.boundary == BoundaryKind::AbsorbingZ;
+        let zlo = self.geom.lo[2];
+        let zhi = self.geom.hi()[2];
+        let mut total = 0usize;
+        for (t, tile) in self.electrons.tiles.iter_mut().enumerate() {
+            let live: Vec<usize> = tile.soa.live_indices().collect();
+            if live.is_empty() {
+                continue;
+            }
+            total += live.len();
+            let mut sample_idx = Vec::with_capacity(live.len());
+            let mut removals: Vec<(usize, usize)> = Vec::new();
+            for &p in &live {
+                let (e, b) = gather_fields(
+                    &self.geom,
+                    order,
+                    &self.fields,
+                    tile.soa.x[p],
+                    tile.soa.y[p],
+                    tile.soa.z[p],
+                );
+                let (cell, _) = self
+                    .geom
+                    .locate(tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
+                let cw = self.geom.wrap_cell(cell);
+                sample_idx.push(self.fields.ex.idx(
+                    cw[0] + self.geom.guard,
+                    cw[1] + self.geom.guard,
+                    cw[2] + self.geom.guard,
+                ));
+                let (mut x, mut y, mut z) = (tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
+                let (mut ux, mut uy, mut uz) = (tile.soa.ux[p], tile.soa.uy[p], tile.soa.uz[p]);
+                boris_push(
+                    &self.boris,
+                    e,
+                    b,
+                    &mut ux,
+                    &mut uy,
+                    &mut uz,
+                    &mut x,
+                    &mut y,
+                    &mut z,
+                );
+                // Periodic wrap in x/y (and z when fully periodic).
+                let wrapped = self.geom.wrap_position([x, y, z]);
+                x = wrapped[0];
+                y = wrapped[1];
+                if absorbing {
+                    if z < zlo || z >= zhi {
+                        removals.push((p, tile.cells[p]));
+                    }
+                } else {
+                    z = wrapped[2];
+                }
+                tile.soa.x[p] = x;
+                tile.soa.y[p] = y;
+                tile.soa.z[p] = z;
+                tile.soa.ux[p] = ux;
+                tile.soa.uy[p] = uy;
+                tile.soa.uz[p] = uz;
+            }
+            for &(p, bin) in &removals {
+                tile.gpma.queue_remove(p, bin);
+                tile.cells[p] = INVALID_PARTICLE_ID;
+                tile.soa.remove(p);
+            }
+            if !removals.is_empty() {
+                tile.gpma.apply_pending_moves(&tile.cells);
+            }
+            charge_gather(
+                &mut self.machine,
+                GatherCost::default(),
+                live.len(),
+                nodes,
+                &self.field_addrs,
+                &sample_idx,
+            );
+            let _ = t;
+        }
+        charge_push(&mut self.machine, total);
+    }
+
+    /// Shifts the moving window when it has advanced one cell.
+    fn advance_window(&mut self) {
+        self.window_accum += C * self.dt;
+        let dz = self.geom.dx[2];
+        while self.window_accum >= dz {
+            self.window_accum -= dz;
+            self.machine.in_phase(Phase::Other, |m| {
+                m.s_ops(self.geom.total_cells() / 8);
+            });
+            self.fields.shift_window_z();
+            // Shift particles into window coordinates, dropping those
+            // that fall off the trailing edge.
+            let zlo = self.geom.lo[2];
+            for tile in &mut self.electrons.tiles {
+                let live: Vec<usize> = tile.soa.live_indices().collect();
+                let mut removals: Vec<(usize, usize)> = Vec::new();
+                for p in live {
+                    tile.soa.z[p] -= dz;
+                    if tile.soa.z[p] < zlo {
+                        removals.push((p, tile.cells[p]));
+                    }
+                }
+                for &(p, bin) in &removals {
+                    tile.gpma.queue_remove(p, bin);
+                    tile.cells[p] = INVALID_PARTICLE_ID;
+                    tile.soa.remove(p);
+                }
+                if !removals.is_empty() {
+                    tile.gpma.apply_pending_moves(&tile.cells);
+                }
+            }
+            // Inject fresh plasma in the leading z plane.
+            if let Some(spec) = self.window_plasma {
+                self.inject_front_plane(spec);
+            }
+        }
+    }
+
+    /// Fills the last z-plane of cells with fresh plasma.
+    fn inject_front_plane(&mut self, spec: PlasmaSpec) {
+        let n = self.geom.n_cells;
+        let k = n[2] - 1;
+        let w = spec.density * self.geom.cell_volume() / spec.ppc as f64;
+        for j in 0..n[1] {
+            for i in 0..n[0] {
+                for _ in 0..spec.ppc {
+                    let x = self.geom.lo[0] + (i as f64 + self.rng.gen::<f64>()) * self.geom.dx[0];
+                    let y = self.geom.lo[1] + (j as f64 + self.rng.gen::<f64>()) * self.geom.dx[1];
+                    let z = self.geom.lo[2] + (k as f64 + self.rng.gen::<f64>()) * self.geom.dx[2];
+                    let d = mpic_particles::Departure {
+                        x,
+                        y,
+                        z,
+                        ux: spec.u_th * self.rng.gen_range(-1.0..1.0),
+                        uy: spec.u_th * self.rng.gen_range(-1.0..1.0),
+                        uz: spec.u_th * self.rng.gen_range(-1.0..1.0),
+                        w,
+                    };
+                    self.electrons.inject(&self.layout, &self.geom, d);
+                }
+            }
+        }
+    }
+
+    /// Updates [`RankSortStats`] and evaluates the five-trigger policy
+    /// (`ShouldPerformGlobalSort`, end of Algorithm 1).
+    fn update_sort_policy(&mut self, t: &StepTimings) {
+        let SortStrategy::Incremental(policy) = self.depositor.strategy().clone() else {
+            return;
+        };
+        self.sort_stats.steps_since_sort += 1;
+        self.sort_stats.rebuilds_accum = self.electrons.rebuilds_accum();
+        self.sort_stats.empty_ratio = self.electrons.empty_ratio();
+        let dep_s = self.cfg.machine.cycles_to_seconds(t.deposition());
+        self.sort_stats.perf_metric = if dep_s > 0.0 {
+            t.particles as f64 / dep_s
+        } else {
+            0.0
+        };
+        if self.sort_stats.baseline_perf == 0.0 {
+            self.sort_stats.baseline_perf = self.sort_stats.perf_metric;
+        }
+        if policy.should_sort(&self.sort_stats).is_some() {
+            self.pending_global_sort = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn small_sim_steps_and_reports() {
+        let mut sim = workloads::uniform_plasma_sim(
+            [8, 8, 8],
+            8,
+            mpic_deposit::ShapeOrder::Cic,
+            mpic_deposit::KernelConfig::FullOpt,
+            1,
+        );
+        let n0 = sim.num_particles();
+        let t = sim.step();
+        assert_eq!(sim.step_index(), 1);
+        assert_eq!(sim.num_particles(), n0, "periodic run conserves N");
+        assert!(t.total() > 0.0);
+        assert!(t.deposition() > 0.0);
+        assert!(t.phase(Phase::Gather) > 0.0);
+        assert!(t.phase(Phase::Push) > 0.0);
+        assert!(t.phase(Phase::FieldSolve) > 0.0);
+    }
+
+    #[test]
+    fn charge_is_conserved_over_steps() {
+        let mut sim = workloads::uniform_plasma_sim(
+            [8, 8, 8],
+            4,
+            mpic_deposit::ShapeOrder::Cic,
+            mpic_deposit::KernelConfig::FullOpt,
+            2,
+        );
+        let q0 = sim.total_charge();
+        sim.run(3);
+        let q1 = sim.total_charge();
+        assert!(((q1 - q0) / q0).abs() < 1e-12);
+        sim.electrons.check_invariants();
+    }
+}

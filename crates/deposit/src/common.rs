@@ -1,0 +1,385 @@
+//! Shared helpers for all deposition kernels: relativistic velocity
+//! recovery, per-particle staging records and the virtual-address map
+//! that lets kernels present realistic address streams to the cache
+//! model.
+
+use mpic_grid::constants::C;
+use mpic_grid::GridGeometry;
+use mpic_machine::{Machine, VAddr};
+
+use crate::shape::{ShapeOrder, MAX_SUPPORT};
+
+/// Recovers velocity (m/s) from normalised momentum u = gamma v / c.
+#[inline]
+pub fn velocity_from_u(ux: f64, uy: f64, uz: f64) -> (f64, f64, f64) {
+    let gamma = (1.0 + ux * ux + uy * uy + uz * uz).sqrt();
+    let f = C / gamma;
+    (ux * f, uy * f, uz * f)
+}
+
+/// Staged per-particle deposition data — the output of the paper's VPU
+/// preprocessing stage (Algorithm 2 Stage 1), stored in temporary arrays
+/// before the compute stage consumes it.
+#[derive(Debug, Clone, Copy)]
+pub struct Staged {
+    /// Wrapped physical cell index.
+    pub cell: [usize; 3],
+    /// Effective current terms `q * v * W / V_cell` per component.
+    pub wq: [f64; 3],
+    /// 1-D shape weights per dimension.
+    pub sx: [f64; MAX_SUPPORT],
+    /// 1-D shape weights per dimension.
+    pub sy: [f64; MAX_SUPPORT],
+    /// 1-D shape weights per dimension.
+    pub sz: [f64; MAX_SUPPORT],
+}
+
+/// Computes the staged record for one particle (no cost charging; the
+/// emulated kernels charge their own instruction streams and use this
+/// only for the functional values).
+#[inline]
+pub fn stage_particle(
+    geom: &GridGeometry,
+    order: ShapeOrder,
+    charge: f64,
+    x: f64,
+    y: f64,
+    z: f64,
+    ux: f64,
+    uy: f64,
+    uz: f64,
+    w: f64,
+) -> Staged {
+    let (cell, frac) = geom.locate(x, y, z);
+    let cell = geom.wrap_cell(cell);
+    let (vx, vy, vz) = velocity_from_u(ux, uy, uz);
+    let qw = charge * w / geom.cell_volume();
+    let mut sx = [0.0; MAX_SUPPORT];
+    let mut sy = [0.0; MAX_SUPPORT];
+    let mut sz = [0.0; MAX_SUPPORT];
+    order.weights(frac[0], &mut sx);
+    order.weights(frac[1], &mut sy);
+    order.weights(frac[2], &mut sz);
+    Staged {
+        cell,
+        wq: [qw * vx, qw * vy, qw * vz],
+        sx,
+        sy,
+        sz,
+    }
+}
+
+/// Node index (wrapped periodically) for support offsets `(a, b, c)` of a
+/// staged particle, in guarded array coordinates.
+#[inline]
+pub fn node_index(
+    geom: &GridGeometry,
+    staged: &Staged,
+    order: ShapeOrder,
+    a: usize,
+    b: usize,
+    c: usize,
+) -> [usize; 3] {
+    let s0 = order.start_offset();
+    let wrap = |v: i64, n: usize| (v.rem_euclid(n as i64)) as usize;
+    [
+        wrap(staged.cell[0] as i64 + s0 + a as i64, geom.n_cells[0]) + geom.guard,
+        wrap(staged.cell[1] as i64 + s0 + b as i64, geom.n_cells[1]) + geom.guard,
+        wrap(staged.cell[2] as i64 + s0 + c as i64, geom.n_cells[2]) + geom.guard,
+    ]
+}
+
+/// Virtual base addresses of the structures a deposition step touches,
+/// registered once so the cache simulation sees stable, realistic
+/// addresses across timesteps.
+#[derive(Debug, Clone)]
+pub struct AddrMap {
+    /// Global current arrays.
+    pub jx: VAddr,
+    /// Global current arrays.
+    pub jy: VAddr,
+    /// Global current arrays.
+    pub jz: VAddr,
+    /// Per-tile SoA attribute bases `[x, y, z, ux, uy, uz, w]`.
+    pub soa: Vec<[VAddr; 7]>,
+    /// Per-tile GPMA `local_index` base.
+    pub local_index: Vec<VAddr>,
+    /// Per-tile rhocell base (all three components, contiguous).
+    pub rhocell: Vec<VAddr>,
+    /// Staging scratch (shape factors, weights) shared across tiles.
+    pub staging: VAddr,
+}
+
+impl AddrMap {
+    /// Allocates the address map.
+    ///
+    /// `grid_len` is the guarded length of each J array; `tile_particle
+    /// capacity` entries reserve SoA/GPMA space per tile (over-allocated
+    /// 2x so address streams stay disjoint as tiles grow);
+    /// `rhocell_len` is the per-tile rhocell footprint in f64 elements.
+    pub fn new(
+        m: &mut Machine,
+        grid_len: usize,
+        tile_capacities: &[usize],
+        rhocell_len: usize,
+    ) -> Self {
+        let jx = m.mem().alloc_f64(grid_len);
+        let jy = m.mem().alloc_f64(grid_len);
+        let jz = m.mem().alloc_f64(grid_len);
+        let mut soa = Vec::with_capacity(tile_capacities.len());
+        let mut local_index = Vec::with_capacity(tile_capacities.len());
+        let mut rhocell = Vec::with_capacity(tile_capacities.len());
+        for &cap in tile_capacities {
+            let reserve = (cap * 2).max(64);
+            let mut attrs = [VAddr(0); 7];
+            for a in &mut attrs {
+                *a = m.mem().alloc_f64(reserve);
+            }
+            soa.push(attrs);
+            local_index.push(m.mem().alloc_f64(reserve * 2));
+            rhocell.push(m.mem().alloc_f64(rhocell_len));
+        }
+        // Staging holds up to ~20 term-major arrays of the largest tile
+        // (QSP: 3 wq + 12 shape terms + indices), with the 2x reserve.
+        let max_cap = tile_capacities.iter().copied().max().unwrap_or(64);
+        let staging = m.mem().alloc_f64(20 * (max_cap * 2).max(64));
+        Self {
+            jx,
+            jy,
+            jz,
+            soa,
+            local_index,
+            rhocell,
+            staging,
+        }
+    }
+}
+
+/// How the preprocessing stage is executed by a kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepStyle {
+    /// Scalar loop (the `Matrix-only` ablation, isolating raw MPU power).
+    Scalar,
+    /// Compiler auto-vectorised loop (baseline and plain rhocell configs).
+    Autovec,
+    /// Hand-tuned VPU intrinsics (the hybrid pipeline of Algorithm 2).
+    VpuIntrinsics,
+}
+
+/// Staged per-tile deposition data in term-major SoA layout — the
+/// "temporary 1-D arrays" Algorithm 2 Stage 1 produces.
+#[derive(Debug, Clone, Default)]
+pub struct Staging {
+    /// Number of staged particles.
+    pub n: usize,
+    /// Tile-local cell id per staged particle (GPMA bin); drives the
+    /// cell-grouped MPU sweep and the rhocell target.
+    pub cell_local: Vec<usize>,
+    /// Wrapped physical cell per staged particle.
+    pub cell: Vec<[usize; 3]>,
+    /// Effective current terms per component, `wq[c][p]`.
+    pub wq: [Vec<f64>; 3],
+    /// Shape terms per dimension, term-major: `shape[d][a * n + p]`.
+    pub shape: [Vec<f64>; 3],
+}
+
+impl Staging {
+    /// Shape term `a` of dimension `d` for staged particle `p`.
+    #[inline]
+    pub fn s(&self, d: usize, a: usize, p: usize) -> f64 {
+        self.shape[d][a * self.n + p]
+    }
+}
+
+/// Runs the preprocessing stage for one tile: loads particle data in the
+/// given iteration order, computes cell indices, shape factors and
+/// effective currents, and stores them to staging arrays.
+///
+/// `iteration` lists SoA indices in processing order (GPMA-sorted or
+/// raw); contiguous chunks are charged as unit-stride vector loads while
+/// scattered chunks are charged as gathers, so the locality benefit of
+/// sorting is priced from the actual index stream.
+///
+/// Charged to [`Phase::Preprocess`].
+#[allow(clippy::too_many_arguments)]
+pub fn stage_tile(
+    m: &mut Machine,
+    geom: &GridGeometry,
+    tile: &mpic_grid::Tile,
+    order: ShapeOrder,
+    charge: f64,
+    soa: &mpic_particles::ParticleSoA,
+    iteration: &[usize],
+    soa_addr: &[VAddr; 7],
+    staging_addr: VAddr,
+    prep: PrepStyle,
+) -> Staging {
+    let _ = staging_addr; // Retained for future cache-priced staging.
+    use mpic_machine::Phase;
+    let n = iteration.len();
+    let support = order.support();
+    let mut st = Staging {
+        n,
+        cell_local: vec![0; n],
+        cell: vec![[0; 3]; n],
+        wq: [vec![0.0; n], vec![0.0; n], vec![0.0; n]],
+        shape: [
+            vec![0.0; support * n],
+            vec![0.0; support * n],
+            vec![0.0; support * n],
+        ],
+    };
+
+    // Functional fill.
+    for (p, &i) in iteration.iter().enumerate() {
+        let s = stage_particle(
+            geom, order, charge, soa.x[i], soa.y[i], soa.z[i], soa.ux[i], soa.uy[i], soa.uz[i],
+            soa.w[i],
+        );
+        st.cell[p] = s.cell;
+        st.cell_local[p] = tile.local_cell_id(s.cell);
+        for c in 0..3 {
+            st.wq[c][p] = s.wq[c];
+        }
+        for a in 0..support {
+            st.shape[0][a * n + p] = s.sx[a];
+            st.shape[1][a * n + p] = s.sy[a];
+            st.shape[2][a * n + p] = s.sz[a];
+        }
+    }
+
+    // Cost model: charge the instruction stream of the staging loop.
+    m.in_phase(Phase::Preprocess, |m| {
+        match prep {
+            PrepStyle::Scalar => {
+                // Scalar loop: ~10 loads/stores + arithmetic per particle.
+                let arith = 13 + 6 + 3 * order.weights_flops() + 8;
+                for &i in iteration {
+                    for a in soa_addr {
+                        m.s_load(a.offset_f64(i), 8);
+                    }
+                    m.s_ops(arith);
+                    // Cache-blocked staging stores: issue cost only.
+                    m.s_ops(12);
+                }
+            }
+            PrepStyle::Autovec | PrepStyle::VpuIntrinsics => {
+                if prep == PrepStyle::Autovec {
+                    m.use_autovec_model();
+                }
+                let mut p = 0;
+                while p < n {
+                    let lanes = (n - p).min(mpic_machine::VLANES);
+                    let chunk = &iteration[p..p + lanes];
+                    let contiguous = chunk.windows(2).all(|w| w[1] == w[0] + 1);
+                    // 7 attribute loads: unit-stride when the iteration
+                    // order is compacted, gathers when GPMA-indexed.
+                    for a in soa_addr {
+                        if contiguous {
+                            m.v_touch_load(a.offset_f64(chunk[0]), lanes);
+                        } else {
+                            m.v_touch_gather(*a, chunk);
+                        }
+                    }
+                    // Arithmetic: gamma+velocity (6), locate (6), weights
+                    // (per dim), effective currents (4), index math (3).
+                    let weight_ops = (3 * order.weights_flops()).div_ceil(2);
+                    // gamma+velocity (6), locate (6), weights, effective
+                    // currents (4), index/mask packing (10).
+                    m.v_ops(6 + 6 + weight_ops + 4 + 10);
+                    // Stores: 3 wq + 3*support shape terms + cell ids.
+                    // Staging is processed in cache-blocked chunks, so
+                    // only the store issue cost is charged (the blocks
+                    // stay L1/L2 resident by construction).
+                    m.v_issue(3 + 3 * support + 1);
+                    p += lanes;
+                }
+                m.use_intrinsics_model();
+            }
+        }
+    });
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpic_machine::MachineConfig;
+
+    fn geom() -> GridGeometry {
+        GridGeometry::new([8, 8, 8], [0.0; 3], [1.0e-6; 3], 2)
+    }
+
+    #[test]
+    fn velocity_nonrelativistic_limit() {
+        let (vx, _, _) = velocity_from_u(1e-4, 0.0, 0.0);
+        assert!((vx / (1e-4 * C) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn velocity_bounded_by_c() {
+        let (vx, vy, vz) = velocity_from_u(100.0, 50.0, 25.0);
+        let v = (vx * vx + vy * vy + vz * vz).sqrt();
+        assert!(v < C);
+        assert!(v > 0.99 * C);
+    }
+
+    #[test]
+    fn stage_particle_basics() {
+        let g = geom();
+        let s = stage_particle(
+            &g,
+            ShapeOrder::Cic,
+            -1.0,
+            0.5e-6,
+            0.5e-6,
+            0.5e-6,
+            0.0,
+            0.0,
+            0.0,
+            1.0,
+        );
+        assert_eq!(s.cell, [0, 0, 0]);
+        assert_eq!(s.wq, [0.0, 0.0, 0.0], "at rest no current");
+        assert!((s.sx[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_index_wraps_periodically() {
+        let g = geom();
+        let mut s = stage_particle(
+            &g,
+            ShapeOrder::Qsp,
+            -1.0,
+            0.1e-6,
+            0.1e-6,
+            0.1e-6,
+            0.0,
+            0.0,
+            0.0,
+            1.0,
+        );
+        s.cell = [0, 0, 0];
+        // QSP starts one node below the cell: offset a=0 -> node -1 -> 7.
+        let n = node_index(&g, &s, ShapeOrder::Qsp, 0, 0, 0);
+        assert_eq!(n, [7 + 2, 7 + 2, 7 + 2]);
+        let n2 = node_index(&g, &s, ShapeOrder::Qsp, 1, 1, 1);
+        assert_eq!(n2, [2, 2, 2]);
+    }
+
+    #[test]
+    fn addr_map_is_disjoint() {
+        let mut m = Machine::new(MachineConfig::lx2());
+        let map = AddrMap::new(&mut m, 1000, &[10, 20], 8 * 3 * 64);
+        let mut addrs = vec![map.jx.0, map.jy.0, map.jz.0, map.staging.0];
+        for t in 0..2 {
+            addrs.extend(map.soa[t].iter().map(|a| a.0));
+            addrs.push(map.local_index[t].0);
+            addrs.push(map.rhocell[t].0);
+        }
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), addrs.len(), "no duplicate bases");
+    }
+}

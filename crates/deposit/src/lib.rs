@@ -1,0 +1,39 @@
+//! Current-deposition kernels for Matrix-PIC: the paper's primary
+//! contribution.
+//!
+//! The crate provides:
+//!
+//! * B-spline shape functions of orders 1-3 ([`shape`]);
+//! * the rhocell conflict-free accumulator and its grid reduction
+//!   ([`rhocell`]);
+//! * a family of deposition kernels behind the [`kernel::DepositionKernel`]
+//!   trait — the WarpX-style direct-scatter baseline ([`scalar`]), the
+//!   compiler-vectorised and hand-tuned VPU rhocell kernels
+//!   ([`rhocell_vec`]), and the hybrid VPU-MPU MatrixPIC kernel
+//!   ([`matrix`]);
+//! * the per-step driver ([`kernel::Depositor`]) that wires sorting
+//!   strategies (none / incremental GPMA / global-every-step) around any
+//!   kernel; and
+//! * the named configuration registry ([`configs::KernelConfig`]) mapping
+//!   the paper's table rows to runnable drivers.
+//!
+//! Every kernel is validated against the pure scalar reference
+//! ([`scalar::reference_deposit`]); see `tests/equivalence.rs`.
+
+pub mod common;
+pub mod configs;
+pub mod kernel;
+pub mod matrix;
+pub mod rhocell;
+pub mod rhocell_vec;
+pub mod scalar;
+pub mod shape;
+
+pub use common::{stage_particle, velocity_from_u, AddrMap, PrepStyle, Staged, Staging};
+pub use configs::KernelConfig;
+pub use kernel::{DepositionKernel, Depositor, SortStrategy, StepSortReport};
+pub use matrix::MatrixKernel;
+pub use rhocell::Rhocell;
+pub use rhocell_vec::RhocellKernel;
+pub use scalar::{reference_deposit, BaselineKernel};
+pub use shape::{canonical_flops_per_particle, ShapeOrder};

@@ -1,0 +1,315 @@
+//! The electromagnetic field state: E, B and J arrays with guard cells.
+//!
+//! All nine arrays share the guarded node dimensions; Yee staggering
+//! (Ex at (i+1/2, j, k), Bx at (i, j+1/2, k+1/2), J co-located with E)
+//! is carried in the interpretation of the indices, as is conventional in
+//! guard-cell PIC codes. Guard exchange provides the two operations a
+//! single-rank periodic run needs: folding deposited guard current back
+//! into the interior, and mirroring interior field values into guards for
+//! gather and stencil sweeps.
+
+use crate::array3::Array3;
+use crate::geometry::GridGeometry;
+
+/// Identifies one of the nine field arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldComponent {
+    /// Electric field x.
+    Ex,
+    /// Electric field y.
+    Ey,
+    /// Electric field z.
+    Ez,
+    /// Magnetic field x.
+    Bx,
+    /// Magnetic field y.
+    By,
+    /// Magnetic field z.
+    Bz,
+    /// Current density x.
+    Jx,
+    /// Current density y.
+    Jy,
+    /// Current density z.
+    Jz,
+}
+
+/// The full field state on one patch.
+#[derive(Debug, Clone)]
+pub struct FieldArrays {
+    /// Electric field components.
+    pub ex: Array3,
+    /// Electric field components.
+    pub ey: Array3,
+    /// Electric field components.
+    pub ez: Array3,
+    /// Magnetic field components.
+    pub bx: Array3,
+    /// Magnetic field components.
+    pub by: Array3,
+    /// Magnetic field components.
+    pub bz: Array3,
+    /// Current density components.
+    pub jx: Array3,
+    /// Current density components.
+    pub jy: Array3,
+    /// Current density components.
+    pub jz: Array3,
+    guard: usize,
+    n_cells: [usize; 3],
+}
+
+impl FieldArrays {
+    /// Allocates zeroed fields for a geometry.
+    pub fn new(geom: &GridGeometry) -> Self {
+        let [nx, ny, nz] = geom.dims_with_guard();
+        let mk = || Array3::zeros(nx, ny, nz);
+        Self {
+            ex: mk(),
+            ey: mk(),
+            ez: mk(),
+            bx: mk(),
+            by: mk(),
+            bz: mk(),
+            jx: mk(),
+            jy: mk(),
+            jz: mk(),
+            guard: geom.guard,
+            n_cells: geom.n_cells,
+        }
+    }
+
+    /// Guard width.
+    pub fn guard(&self) -> usize {
+        self.guard
+    }
+
+    /// Immutable access by component id.
+    pub fn get(&self, c: FieldComponent) -> &Array3 {
+        match c {
+            FieldComponent::Ex => &self.ex,
+            FieldComponent::Ey => &self.ey,
+            FieldComponent::Ez => &self.ez,
+            FieldComponent::Bx => &self.bx,
+            FieldComponent::By => &self.by,
+            FieldComponent::Bz => &self.bz,
+            FieldComponent::Jx => &self.jx,
+            FieldComponent::Jy => &self.jy,
+            FieldComponent::Jz => &self.jz,
+        }
+    }
+
+    /// Mutable access by component id.
+    pub fn get_mut(&mut self, c: FieldComponent) -> &mut Array3 {
+        match c {
+            FieldComponent::Ex => &mut self.ex,
+            FieldComponent::Ey => &mut self.ey,
+            FieldComponent::Ez => &mut self.ez,
+            FieldComponent::Bx => &mut self.bx,
+            FieldComponent::By => &mut self.by,
+            FieldComponent::Bz => &mut self.bz,
+            FieldComponent::Jx => &mut self.jx,
+            FieldComponent::Jy => &mut self.jy,
+            FieldComponent::Jz => &mut self.jz,
+        }
+    }
+
+    /// Zeroes the current arrays (start of every deposition).
+    pub fn clear_currents(&mut self) {
+        self.jx.fill(0.0);
+        self.jy.fill(0.0);
+        self.jz.fill(0.0);
+    }
+
+    /// Folds guard-cell current deposits back into the periodic interior
+    /// and zeroes the guards. Call once after deposition.
+    pub fn fold_guards_periodic(&mut self) {
+        for c in [FieldComponent::Jx, FieldComponent::Jy, FieldComponent::Jz] {
+            let g = self.guard;
+            let n = self.n_cells;
+            let arr = self.get_mut(c);
+            let [dx, dy, dz] = arr.shape();
+            for k in 0..dz {
+                for j in 0..dy {
+                    for i in 0..dx {
+                        let inside = |v: usize, g: usize, n: usize| v >= g && v < g + n;
+                        if inside(i, g, n[0]) && inside(j, g, n[1]) && inside(k, g, n[2]) {
+                            continue;
+                        }
+                        let v = arr.get(i, j, k);
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let wrap = |v: usize, g: usize, n: usize| {
+                            ((v as i64 - g as i64).rem_euclid(n as i64)) as usize + g
+                        };
+                        let (wi, wj, wk) = (wrap(i, g, n[0]), wrap(j, g, n[1]), wrap(k, g, n[2]));
+                        arr.add(wi, wj, wk, v);
+                        arr.set(i, j, k, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copies interior values into guard cells periodically for the six
+    /// E/B components. Call after every field solve.
+    pub fn fill_guards_periodic(&mut self) {
+        for c in [
+            FieldComponent::Ex,
+            FieldComponent::Ey,
+            FieldComponent::Ez,
+            FieldComponent::Bx,
+            FieldComponent::By,
+            FieldComponent::Bz,
+        ] {
+            let g = self.guard;
+            let n = self.n_cells;
+            let arr = self.get_mut(c);
+            let [dx, dy, dz] = arr.shape();
+            for k in 0..dz {
+                for j in 0..dy {
+                    for i in 0..dx {
+                        let inside = |v: usize, g: usize, n: usize| v >= g && v < g + n;
+                        if inside(i, g, n[0]) && inside(j, g, n[1]) && inside(k, g, n[2]) {
+                            continue;
+                        }
+                        let wrap = |v: usize, g: usize, n: usize| {
+                            ((v as i64 - g as i64).rem_euclid(n as i64)) as usize + g
+                        };
+                        let (wi, wj, wk) = (wrap(i, g, n[0]), wrap(j, g, n[1]), wrap(k, g, n[2]));
+                        let v = arr.get(wi, wj, wk);
+                        arr.set(i, j, k, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total electromagnetic field energy, using `eps0/2 E^2 + 1/(2 mu0)
+    /// B^2` summed over interior nodes times the cell volume.
+    pub fn field_energy(&self, geom: &GridGeometry) -> f64 {
+        let g = self.guard;
+        let n = self.n_cells;
+        let mut e2 = 0.0;
+        let mut b2 = 0.0;
+        for k in g..g + n[2] {
+            for j in g..g + n[1] {
+                for i in g..g + n[0] {
+                    e2 += self.ex.get(i, j, k).powi(2)
+                        + self.ey.get(i, j, k).powi(2)
+                        + self.ez.get(i, j, k).powi(2);
+                    b2 += self.bx.get(i, j, k).powi(2)
+                        + self.by.get(i, j, k).powi(2)
+                        + self.bz.get(i, j, k).powi(2);
+                }
+            }
+        }
+        let vol = geom.cell_volume();
+        0.5 * crate::constants::EPS0 * e2 * vol + 0.5 / crate::constants::MU0 * b2 * vol
+    }
+
+    /// Shifts all field arrays one plane towards -z (moving window).
+    pub fn shift_window_z(&mut self) {
+        for c in [
+            FieldComponent::Ex,
+            FieldComponent::Ey,
+            FieldComponent::Ez,
+            FieldComponent::Bx,
+            FieldComponent::By,
+            FieldComponent::Bz,
+            FieldComponent::Jx,
+            FieldComponent::Jy,
+            FieldComponent::Jz,
+        ] {
+            self.get_mut(c).shift_down_z();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> GridGeometry {
+        GridGeometry::new([4, 4, 4], [0.0; 3], [1.0; 3], 2)
+    }
+
+    #[test]
+    fn arrays_have_guarded_dims() {
+        let f = FieldArrays::new(&geom());
+        assert_eq!(f.ex.shape(), [8, 8, 8]);
+    }
+
+    #[test]
+    fn fold_guards_wraps_current() {
+        let g = geom();
+        let mut f = FieldArrays::new(&g);
+        // Deposit into the guard cell just below the interior in x:
+        // index 1 should fold onto interior index 1 + 4 = 5.
+        f.jx.set(1, 2, 2, 3.0);
+        f.fold_guards_periodic();
+        assert_eq!(f.jx.get(1, 2, 2), 0.0);
+        assert_eq!(f.jx.get(5, 2, 2), 3.0);
+    }
+
+    #[test]
+    fn fold_guards_preserves_total() {
+        let g = geom();
+        let mut f = FieldArrays::new(&g);
+        f.jy.set(0, 0, 0, 1.0);
+        f.jy.set(7, 7, 7, 2.0);
+        f.jy.set(3, 3, 3, 4.0); // Interior; must stay.
+        let before = f.jy.sum();
+        f.fold_guards_periodic();
+        assert!((f.jy.sum() - before).abs() < 1e-15);
+        // Guard (7,7,7) wraps onto interior (3,3,3): 4 + 2.
+        assert_eq!(f.jy.get(3, 3, 3), 6.0);
+        // Guard (0,0,0) wraps onto interior (4,4,4).
+        assert_eq!(f.jy.get(4, 4, 4), 1.0);
+    }
+
+    #[test]
+    fn fill_guards_mirrors_interior() {
+        let g = geom();
+        let mut f = FieldArrays::new(&g);
+        f.ex.set(2, 2, 2, 7.0); // Interior cell (0,0,0).
+        f.fill_guards_periodic();
+        // Guard cell at (6, 2, 2) wraps to interior (2,2,2)? 6-2=4 -> wraps
+        // to 0 -> interior index 2. Yes.
+        assert_eq!(f.ex.get(6, 2, 2), 7.0);
+    }
+
+    #[test]
+    fn clear_currents_only_touches_j() {
+        let g = geom();
+        let mut f = FieldArrays::new(&g);
+        f.ex.set(1, 1, 1, 5.0);
+        f.jx.set(1, 1, 1, 5.0);
+        f.clear_currents();
+        assert_eq!(f.ex.get(1, 1, 1), 5.0);
+        assert_eq!(f.jx.get(1, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn field_energy_positive_and_scales() {
+        let g = geom();
+        let mut f = FieldArrays::new(&g);
+        f.ez.set(3, 3, 3, 2.0);
+        let e1 = f.field_energy(&g);
+        assert!(e1 > 0.0);
+        f.ez.set(3, 3, 3, 4.0);
+        let e2 = f.field_energy(&g);
+        assert!((e2 / e1 - 4.0).abs() < 1e-12, "energy ~ E^2");
+    }
+
+    #[test]
+    fn window_shift_moves_all_components() {
+        let g = geom();
+        let mut f = FieldArrays::new(&g);
+        f.bz.set(0, 0, 1, 9.0);
+        f.shift_window_z();
+        assert_eq!(f.bz.get(0, 0, 0), 9.0);
+        assert_eq!(f.bz.get(0, 0, 1), 0.0);
+    }
+}

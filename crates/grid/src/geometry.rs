@@ -1,0 +1,202 @@
+//! Grid geometry: physical extents, cell sizes, guard cells and the
+//! position-to-cell mapping used by deposition, gather and the sorter.
+
+/// Geometry of a rectilinear grid patch.
+#[derive(Debug, Clone)]
+pub struct GridGeometry {
+    /// Number of *physical* cells per dimension (excludes guards).
+    pub n_cells: [usize; 3],
+    /// Physical coordinate of the lower corner of cell (0,0,0).
+    pub lo: [f64; 3],
+    /// Cell size per dimension (m).
+    pub dx: [f64; 3],
+    /// Guard (ghost) cells on each side.
+    pub guard: usize,
+}
+
+impl GridGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell count is zero or any cell size is non-positive.
+    pub fn new(n_cells: [usize; 3], lo: [f64; 3], dx: [f64; 3], guard: usize) -> Self {
+        assert!(n_cells.iter().all(|&n| n > 0), "cell counts must be > 0");
+        assert!(dx.iter().all(|&d| d > 0.0), "cell sizes must be > 0");
+        Self {
+            n_cells,
+            lo,
+            dx,
+            guard,
+        }
+    }
+
+    /// Array dimensions including guards.
+    pub fn dims_with_guard(&self) -> [usize; 3] {
+        [
+            self.n_cells[0] + 2 * self.guard,
+            self.n_cells[1] + 2 * self.guard,
+            self.n_cells[2] + 2 * self.guard,
+        ]
+    }
+
+    /// Physical domain extent per dimension (m).
+    pub fn extent(&self) -> [f64; 3] {
+        [
+            self.n_cells[0] as f64 * self.dx[0],
+            self.n_cells[1] as f64 * self.dx[1],
+            self.n_cells[2] as f64 * self.dx[2],
+        ]
+    }
+
+    /// Upper corner of the physical domain.
+    pub fn hi(&self) -> [f64; 3] {
+        let e = self.extent();
+        [self.lo[0] + e[0], self.lo[1] + e[1], self.lo[2] + e[2]]
+    }
+
+    /// Total number of physical cells.
+    pub fn total_cells(&self) -> usize {
+        self.n_cells[0] * self.n_cells[1] * self.n_cells[2]
+    }
+
+    /// Cell volume (m^3).
+    pub fn cell_volume(&self) -> f64 {
+        self.dx[0] * self.dx[1] * self.dx[2]
+    }
+
+    /// Maps a position to `(cell, frac)` where `cell` is the physical cell
+    /// index (may be outside `[0, n)` for particles in guard regions) and
+    /// `frac` is the normalised intra-cell coordinate in `[0, 1)`.
+    #[inline]
+    pub fn locate(&self, x: f64, y: f64, z: f64) -> ([i64; 3], [f64; 3]) {
+        let mut cell = [0i64; 3];
+        let mut frac = [0f64; 3];
+        for (d, &p) in [x, y, z].iter().enumerate() {
+            let u = (p - self.lo[d]) / self.dx[d];
+            let c = u.floor();
+            cell[d] = c as i64;
+            frac[d] = u - c;
+        }
+        (cell, frac)
+    }
+
+    /// Wraps a (possibly negative) cell index into `[0, n)` per dimension
+    /// for periodic boundaries.
+    #[inline]
+    pub fn wrap_cell(&self, cell: [i64; 3]) -> [usize; 3] {
+        let mut out = [0usize; 3];
+        for d in 0..3 {
+            let n = self.n_cells[d] as i64;
+            out[d] = (cell[d].rem_euclid(n)) as usize;
+        }
+        out
+    }
+
+    /// Wraps a position into the periodic domain.
+    #[inline]
+    pub fn wrap_position(&self, pos: [f64; 3]) -> [f64; 3] {
+        let mut out = pos;
+        let e = self.extent();
+        for d in 0..3 {
+            out[d] = self.lo[d] + (out[d] - self.lo[d]).rem_euclid(e[d]);
+        }
+        out
+    }
+
+    /// Linear physical-cell id with x fastest (the GPMA sort key).
+    #[inline]
+    pub fn cell_id(&self, cell: [usize; 3]) -> usize {
+        (cell[2] * self.n_cells[1] + cell[1]) * self.n_cells[0] + cell[0]
+    }
+
+    /// Inverse of [`GridGeometry::cell_id`].
+    #[inline]
+    pub fn cell_coords(&self, id: usize) -> [usize; 3] {
+        let i = id % self.n_cells[0];
+        let j = (id / self.n_cells[0]) % self.n_cells[1];
+        let k = id / (self.n_cells[0] * self.n_cells[1]);
+        [i, j, k]
+    }
+
+    /// CFL-stable timestep for the Yee scheme, scaled by `cfl`
+    /// (the paper uses `warpx.cfl = 1.0`).
+    pub fn cfl_dt(&self, cfl: f64) -> f64 {
+        let inv2: f64 = self.dx.iter().map(|d| 1.0 / (d * d)).sum();
+        cfl / (crate::constants::C * inv2.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> GridGeometry {
+        GridGeometry::new([8, 8, 8], [0.0; 3], [1.0e-6; 3], 2)
+    }
+
+    #[test]
+    fn locate_interior() {
+        let g = geom();
+        let (c, f) = g.locate(2.5e-6, 0.0, 7.999e-6);
+        assert_eq!(c, [2, 0, 7]);
+        assert!((f[0] - 0.5).abs() < 1e-9);
+        assert!(f[2] > 0.99);
+    }
+
+    #[test]
+    fn locate_negative_positions() {
+        let g = geom();
+        let (c, f) = g.locate(-0.5e-6, 0.0, 0.0);
+        assert_eq!(c[0], -1);
+        assert!((f[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_cell_periodic() {
+        let g = geom();
+        assert_eq!(g.wrap_cell([-1, 8, 3]), [7, 0, 3]);
+        assert_eq!(g.wrap_cell([-9, 17, 0]), [7, 1, 0]);
+    }
+
+    #[test]
+    fn wrap_position_periodic() {
+        let g = geom();
+        let p = g.wrap_position([-0.5e-6, 8.5e-6, 4.0e-6]);
+        assert!((p[0] - 7.5e-6).abs() < 1e-12);
+        assert!((p[1] - 0.5e-6).abs() < 1e-12);
+        assert!((p[2] - 4.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_id_roundtrip() {
+        let g = geom();
+        for id in 0..g.total_cells() {
+            assert_eq!(g.cell_id(g.cell_coords(id)), id);
+        }
+    }
+
+    #[test]
+    fn cell_id_x_fastest() {
+        let g = geom();
+        assert_eq!(g.cell_id([1, 0, 0]), 1);
+        assert_eq!(g.cell_id([0, 1, 0]), 8);
+        assert_eq!(g.cell_id([0, 0, 1]), 64);
+    }
+
+    #[test]
+    fn cfl_dt_cubic_grid() {
+        let g = geom();
+        let dt = g.cfl_dt(1.0);
+        // dt = dx / (c * sqrt(3)) for a cubic grid.
+        let expect = 1.0e-6 / (crate::constants::C * 3f64.sqrt());
+        assert!((dt / expect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dims_with_guard() {
+        let g = geom();
+        assert_eq!(g.dims_with_guard(), [12, 12, 12]);
+        assert_eq!(g.total_cells(), 512);
+    }
+}

@@ -1,0 +1,380 @@
+//! Two-level set-associative cache simulation.
+//!
+//! The deposition kernel is memory-bound (the paper reports 40-70% of PIC
+//! runtime spent there, driven by "poor data locality stemming from the
+//! unordered nature of particles"). To reproduce that behaviour the
+//! emulator routes every memory operation through this cache model:
+//! unsorted particle streams touch grid/rhocell lines in a scattered
+//! pattern and miss, while the GPMA-sorted order reuses the same lines and
+//! hits. This is what makes the incremental sorter's benefit *measured*
+//! rather than assumed.
+//!
+//! The model is a classic inclusive two-level write-allocate hierarchy with
+//! true-LRU replacement per set. Only tags are tracked; data lives in the
+//! host arrays.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss statistics for one level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Number of accesses that hit this level.
+    pub hits: u64,
+    /// Number of accesses that missed this level.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero if no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One set-associative level, tag-only with true LRU.
+#[derive(Debug, Clone)]
+struct CacheLevel {
+    cfg: CacheLevelConfig,
+    line_shift: u32,
+    set_mask: u64,
+    /// `tags[set * ways + way]`; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// LRU timestamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheLevel {
+    fn new(cfg: CacheLevelConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be 2^k");
+        let sets = cfg.num_sets();
+        assert!(sets.is_power_of_two(), "set count must be 2^k");
+        assert!(sets > 0 && cfg.ways > 0);
+        Self {
+            cfg,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+            tags: vec![u64::MAX; sets * cfg.ways],
+            stamps: vec![0; sets * cfg.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up (and on miss, fills) the line containing `addr`.
+    /// Returns `true` on hit.
+    fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.cfg.ways;
+        let ways = &mut self.tags[base..base + self.cfg.ways];
+
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Fill: choose an empty way, else the LRU way.
+        let victim = match ways.iter().position(|&t| t == u64::MAX) {
+            Some(w) => w,
+            None => {
+                let mut lru = 0usize;
+                let mut lru_stamp = u64::MAX;
+                for w in 0..self.cfg.ways {
+                    if self.stamps[base + w] < lru_stamp {
+                        lru_stamp = self.stamps[base + w];
+                        lru = w;
+                    }
+                }
+                lru
+            }
+        };
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+    }
+}
+
+/// Number of hardware stream-prefetcher slots modelled.
+const STREAM_SLOTS: usize = 32;
+
+/// The two-level hierarchy with configurable latencies and a simple
+/// next-line stream prefetcher: a DRAM miss whose line is adjacent to a
+/// recently missed line is treated as prefetched and charged the
+/// (bandwidth-limited) streaming cost instead of full latency. Without
+/// this, sequential SoA sweeps would pay random-access latency and the
+/// sorted-vs-unsorted contrast central to the paper would be understated.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    l1_hit_cy: f64,
+    l2_hit_cy: f64,
+    dram_cy: f64,
+    stream_cy: f64,
+    /// Tracked miss streams as `(last_line, confidence)`; confidence
+    /// counts stream hits so one-off random misses cannot evict an
+    /// established stream.
+    streams: [(u64, u32); STREAM_SLOTS],
+    /// Counts random-miss insertions; drives periodic confidence decay.
+    decay_tick: u32,
+    /// DRAM misses served at streaming (prefetched) cost.
+    pub streamed_misses: u64,
+    /// DRAM misses served at full random latency.
+    pub random_misses: u64,
+}
+
+impl CacheSim {
+    /// Builds the hierarchy from geometries and latency parameters.
+    pub fn new(
+        l1: CacheLevelConfig,
+        l2: CacheLevelConfig,
+        l1_hit_cy: f64,
+        l2_hit_cy: f64,
+        dram_cy: f64,
+    ) -> Self {
+        Self {
+            l1: CacheLevel::new(l1),
+            l2: CacheLevel::new(l2),
+            l1_hit_cy,
+            l2_hit_cy,
+            dram_cy,
+            // Streaming (prefetched) miss cost: bandwidth-limited rather
+            // than latency-limited; a fixed fraction of the random cost.
+            stream_cy: dram_cy * 0.15,
+            streams: [(u64::MAX, 0); STREAM_SLOTS],
+            decay_tick: 0,
+            streamed_misses: 0,
+            random_misses: 0,
+        }
+    }
+
+    /// Touches every cache line covered by `[addr, addr + bytes)` and
+    /// returns the total charged latency in cycles.
+    pub fn access(&mut self, addr: u64, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let line = self.l1.cfg.line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes - 1) / line;
+        let mut cycles = 0.0;
+        for l in first..=last {
+            cycles += self.access_line(l * line);
+        }
+        cycles
+    }
+
+    /// Touches a single line and returns its latency.
+    pub fn access_line(&mut self, line_addr: u64) -> f64 {
+        if self.l1.access(line_addr) {
+            self.l1_hit_cy
+        } else if self.l2.access(line_addr) {
+            self.l2_hit_cy
+        } else {
+            let line = line_addr >> self.l1.line_shift;
+            // Stream detection: adjacent (within 2 lines ahead) of a
+            // tracked miss stream => prefetched.
+            for (last, conf) in &mut self.streams {
+                if *last != u64::MAX && line > *last && line - *last <= 2 {
+                    *last = line;
+                    *conf = (*conf + 1).min(64);
+                    self.streamed_misses += 1;
+                    return self.stream_cy;
+                }
+            }
+            // New potential stream: evict the least-confident slot so an
+            // established stream survives scattered one-off misses.
+            let victim = self
+                .streams
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, conf))| *conf)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.streams[victim] = (line, 1);
+            // Periodic decay so stale streams eventually lose their slot
+            // (per-insertion decay would let concurrently-establishing
+            // streams evict each other before their second access).
+            self.decay_tick += 1;
+            if self.decay_tick >= 256 {
+                self.decay_tick = 0;
+                for (_, conf) in &mut self.streams {
+                    *conf = conf.saturating_sub(1);
+                }
+            }
+            self.random_misses += 1;
+            self.dram_cy
+        }
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats
+    }
+
+    /// Invalidates all cached lines (statistics are preserved).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.streams = [(u64::MAX, 0); STREAM_SLOTS];
+    }
+
+    /// Line size in bytes (identical across levels).
+    pub fn line_bytes(&self) -> u64 {
+        self.l1.cfg.line_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim() -> CacheSim {
+        // 4 sets x 2 ways x 64B = 512B L1; 8 sets x 4 ways = 2KiB L2.
+        CacheSim::new(
+            CacheLevelConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheLevelConfig {
+                size_bytes: 2048,
+                ways: 4,
+                line_bytes: 64,
+            },
+            1.0,
+            10.0,
+            100.0,
+        )
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small_sim();
+        assert_eq!(c.access(0, 8), 100.0);
+        assert_eq!(c.access(0, 8), 1.0);
+        assert_eq!(c.access(32, 8), 1.0, "same line as addr 0");
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut c = small_sim();
+        let cy = c.access(60, 8); // Crosses the 64-byte boundary.
+                                  // First line: random miss (100); second: stream-prefetched (15).
+        assert_eq!(cy, 115.0);
+    }
+
+    #[test]
+    fn sequential_sweep_is_prefetched() {
+        let mut c = small_sim();
+        let first = c.access(0, 8);
+        assert_eq!(first, 100.0);
+        // Subsequent sequential lines ride the detected stream.
+        let mut total = 0.0;
+        for l in 1..10u64 {
+            total += c.access(l * 64, 8);
+        }
+        assert_eq!(total, 9.0 * 15.0, "streamed misses at bandwidth cost");
+    }
+
+    #[test]
+    fn random_misses_pay_full_latency() {
+        let mut c = small_sim();
+        let mut total = 0.0;
+        for l in [0u64, 100, 37, 999, 555, 777, 222, 444, 888, 333] {
+            total += c.access(l * 64, 8);
+        }
+        assert_eq!(total, 10.0 * 100.0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small_sim();
+        // Set 0 holds lines whose (line % 4 == 0): addrs 0, 256, 512 map there.
+        c.access(0, 1);
+        c.access(256, 1);
+        c.access(0, 1); // Refresh line 0 so line at 256 is LRU.
+        c.access(512, 1); // Evicts 256 from L1.
+        assert_eq!(c.access(0, 1), 1.0, "line 0 still in L1");
+        let cy = c.access(256, 1);
+        assert_eq!(cy, 10.0, "evicted to L2, hits L2");
+    }
+
+    #[test]
+    fn l2_backstops_l1() {
+        let mut c = small_sim();
+        // Touch 16 distinct lines: all fit in L2 (32 lines) but not L1 (8).
+        for i in 0..16u64 {
+            c.access(i * 64, 1);
+        }
+        let mut l2_hits = 0;
+        for i in 0..16u64 {
+            let cy = c.access(i * 64, 1);
+            assert!(cy <= 10.0, "must be served by L1 or L2");
+            if cy == 10.0 {
+                l2_hits += 1;
+            }
+        }
+        assert!(l2_hits > 0, "some lines must have been evicted to L2");
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = small_sim();
+        c.access(0, 1);
+        c.access(0, 1);
+        let s = c.l1_stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_forces_misses_again() {
+        let mut c = small_sim();
+        c.access(0, 1);
+        c.flush();
+        assert_eq!(c.access(0, 1), 100.0);
+    }
+
+    #[test]
+    fn zero_byte_access_is_free() {
+        let mut c = small_sim();
+        assert_eq!(c.access(0, 0), 0.0);
+    }
+}

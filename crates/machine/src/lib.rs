@@ -1,0 +1,54 @@
+//! Emulated execution platform for Matrix-PIC.
+//!
+//! The paper evaluates on the "LX2" CPU of the LS pilot system: a
+//! many-core processor whose cores pair a 512-bit FP64 Vector Processing
+//! Unit (VPU) with a Matrix Processing Unit (MPU) executing 8x8 FP64
+//! Matrix-Outer-Product-Accumulate (MOPA) instructions at roughly 4x the
+//! VPU's multiply-accumulate FLOP rate (paper section 5.1). That hardware is
+//! restricted-access, so this crate provides a *cycle-modeled emulator*:
+//!
+//! * every emulated instruction executes the **real f64 arithmetic**, so
+//!   kernels written against this crate are numerically verifiable against
+//!   a scalar reference;
+//! * every instruction simultaneously charges cycles from a parameterised
+//!   cost model ([`MachineConfig`]) into per-phase performance counters
+//!   ([`PerfCounters`]), and memory operations consult a two-level
+//!   set-associative cache simulation ([`CacheSim`]) so that data-locality
+//!   effects (the whole point of the paper's incremental sorter) are
+//!   reflected in the reported cycle counts.
+//!
+//! The crate also contains a SIMT cost model ([`gpu::GpuModel`]) of the
+//! NVIDIA A800 baseline used in the paper's Table 3 cross-platform
+//! efficiency comparison: it replays the same deposition workload at warp
+//! granularity and measures atomic-conflict serialisation from the actual
+//! particle stream.
+//!
+//! # Example
+//!
+//! ```
+//! use mpic_machine::{Machine, MachineConfig, Phase};
+//!
+//! let mut m = Machine::new(MachineConfig::lx2());
+//! m.set_phase(Phase::Compute);
+//! let a = m.v_splat(2.0);
+//! let b = m.v_splat(3.0);
+//! let c = m.v_mul(a, b);
+//! assert_eq!(c.lane(0), 6.0);
+//! assert!(m.counters().cycles(Phase::Compute) > 0.0);
+//! ```
+
+pub mod cache;
+pub mod cost;
+pub mod counters;
+pub mod gpu;
+pub mod machine;
+pub mod mem;
+pub mod vreg;
+
+pub use cache::{CacheLevelConfig, CacheSim, CacheStats};
+pub use cost::MachineConfig;
+pub use counters::{PerfCounters, Phase};
+pub use gpu::{GpuConfig, GpuDepositionReport, GpuModel};
+pub use machine::{Machine, TileId};
+pub use mem::{MemSystem, VAddr};
+pub use vreg::{VMask, VReg, VLANES};

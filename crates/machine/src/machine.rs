@@ -1,0 +1,615 @@
+//! The emulated LX2 core: scalar pipe, VPU, MPU and memory system behind a
+//! single mutable facade.
+//!
+//! Kernels call instruction-shaped methods (`v_fma`, `v_gather`, `t_mopa`,
+//! ...). Each method performs the real arithmetic on host data *and*
+//! charges the cost model, so a kernel is simultaneously its own functional
+//! implementation and its own performance model. The currently active
+//! [`Phase`] determines which counter bucket receives the cycles, matching
+//! the per-phase breakdowns of the paper's Tables 1 and 2.
+
+use crate::cost::MachineConfig;
+use crate::counters::{PerfCounters, Phase};
+use crate::mem::{MemSystem, VAddr};
+use crate::vreg::{VMask, VReg, VLANES};
+
+/// Identifier of an MPU tile register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileId(pub usize);
+
+/// Number of architecturally visible MPU tile registers.
+pub const NUM_TILES: usize = 4;
+
+/// The emulated core.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    ctr: PerfCounters,
+    mem: MemSystem,
+    phase: Phase,
+    /// Multiplier applied to arithmetic-op charges; >1 models code the
+    /// compiler auto-vectorises poorly (see
+    /// [`MachineConfig::autovec_efficiency`]).
+    throughput_penalty: f64,
+    tiles: [[[f64; VLANES]; VLANES]; NUM_TILES],
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert_eq!(
+            cfg.mpu_dim, VLANES,
+            "the emulator models an 8x8 MPU tile matching the VPU width"
+        );
+        let mem = MemSystem::new(cfg.l1, cfg.l2, cfg.l1_hit_cy, cfg.l2_hit_cy, cfg.dram_cy);
+        Self {
+            cfg,
+            ctr: PerfCounters::new(),
+            mem,
+            phase: Phase::Other,
+            throughput_penalty: 1.0,
+            tiles: [[[0.0; VLANES]; VLANES]; NUM_TILES],
+        }
+    }
+
+    /// The machine configuration.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Read access to the counters.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.ctr
+    }
+
+    /// Mutable access to the counters (the harness uses this to credit
+    /// canonical useful FLOPs, and tests to reset).
+    pub fn counters_mut(&mut self) -> &mut PerfCounters {
+        &mut self.ctr
+    }
+
+    /// The memory system (for allocation and cache statistics).
+    pub fn mem(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// Sets the phase that subsequent charges are attributed to.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Currently active phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Runs `f` with the given phase active, restoring the previous phase.
+    pub fn in_phase<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Machine) -> R) -> R {
+        let prev = self.phase;
+        self.phase = phase;
+        let r = f(self);
+        self.phase = prev;
+        r
+    }
+
+    /// Sets the arithmetic throughput penalty (1.0 = hand-tuned
+    /// intrinsics; `1.0 / autovec_efficiency` = compiler auto-vectorised).
+    pub fn set_throughput_penalty(&mut self, penalty: f64) {
+        assert!(penalty >= 1.0, "penalty is a slowdown multiplier");
+        self.throughput_penalty = penalty;
+    }
+
+    /// Convenience: applies the configured auto-vectorisation penalty.
+    pub fn use_autovec_model(&mut self) {
+        self.throughput_penalty = 1.0 / self.cfg.autovec_efficiency;
+    }
+
+    /// Restores hand-tuned throughput.
+    pub fn use_intrinsics_model(&mut self) {
+        self.throughput_penalty = 1.0;
+    }
+
+    /// Charges raw cycles to the active phase (used by coarse-grained
+    /// instrumentation in the solver and pusher).
+    pub fn charge(&mut self, cycles: f64) {
+        self.ctr.add_cycles(self.phase, cycles);
+    }
+
+    /// Records FLOPs executed without charging cycles (paired with
+    /// [`Machine::charge`] by coarse-grained instrumentation).
+    pub fn record_flops(&mut self, flops: f64) {
+        self.ctr.flops_issued += flops;
+    }
+
+    fn charge_arith(&mut self, base_cy: f64, flops: f64) {
+        self.ctr
+            .add_cycles(self.phase, base_cy * self.throughput_penalty);
+        self.ctr.flops_issued += flops;
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar pipe
+    // ------------------------------------------------------------------
+
+    /// Scalar fused multiply-add `a*b + c`.
+    pub fn s_fma(&mut self, a: f64, b: f64, c: f64) -> f64 {
+        self.ctr.scalar_ops += 1;
+        self.charge_arith(self.cfg.scalar_arith_cy, 2.0);
+        a.mul_add(b, c)
+    }
+
+    /// Scalar multiply.
+    pub fn s_mul(&mut self, a: f64, b: f64) -> f64 {
+        self.ctr.scalar_ops += 1;
+        self.charge_arith(self.cfg.scalar_arith_cy, 1.0);
+        a * b
+    }
+
+    /// Scalar add.
+    pub fn s_add(&mut self, a: f64, b: f64) -> f64 {
+        self.ctr.scalar_ops += 1;
+        self.charge_arith(self.cfg.scalar_arith_cy, 1.0);
+        a + b
+    }
+
+    /// Charges `n` generic scalar ALU operations (address math, compares).
+    pub fn s_ops(&mut self, n: usize) {
+        self.ctr.scalar_ops += n as u64;
+        self.ctr.add_cycles(
+            self.phase,
+            self.cfg.scalar_arith_cy * n as f64 * self.throughput_penalty,
+        );
+    }
+
+    /// Scalar load of `bytes` at `addr` (data itself lives in host arrays).
+    pub fn s_load(&mut self, addr: VAddr, bytes: u64) {
+        let cy = self.mem.access(addr, bytes);
+        self.ctr.add_cycles(self.phase, cy);
+    }
+
+    /// Scalar store of `bytes` at `addr`.
+    pub fn s_store(&mut self, addr: VAddr, bytes: u64) {
+        let cy = self.mem.access(addr, bytes);
+        self.ctr.add_cycles(self.phase, cy);
+    }
+
+    // ------------------------------------------------------------------
+    // VPU
+    // ------------------------------------------------------------------
+
+    /// Broadcasts a scalar to all lanes.
+    pub fn v_splat(&mut self, x: f64) -> VReg {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, 0.0);
+        VReg::splat(x)
+    }
+
+    /// Lane-wise addition.
+    pub fn v_add(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, VLANES as f64);
+        let mut r = VReg::zero();
+        for i in 0..VLANES {
+            r.0[i] = a.0[i] + b.0[i];
+        }
+        r
+    }
+
+    /// Lane-wise subtraction.
+    pub fn v_sub(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, VLANES as f64);
+        let mut r = VReg::zero();
+        for i in 0..VLANES {
+            r.0[i] = a.0[i] - b.0[i];
+        }
+        r
+    }
+
+    /// Lane-wise multiplication.
+    pub fn v_mul(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, VLANES as f64);
+        let mut r = VReg::zero();
+        for i in 0..VLANES {
+            r.0[i] = a.0[i] * b.0[i];
+        }
+        r
+    }
+
+    /// Lane-wise fused multiply-add `a*b + c`.
+    pub fn v_fma(&mut self, a: VReg, b: VReg, c: VReg) -> VReg {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, 2.0 * VLANES as f64);
+        let mut r = VReg::zero();
+        for i in 0..VLANES {
+            r.0[i] = a.0[i].mul_add(b.0[i], c.0[i]);
+        }
+        r
+    }
+
+    /// Lane-wise floor (used for cell-index computation).
+    pub fn v_floor(&mut self, a: VReg) -> VReg {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, VLANES as f64);
+        let mut r = VReg::zero();
+        for i in 0..VLANES {
+            r.0[i] = a.0[i].floor();
+        }
+        r
+    }
+
+    /// Lane-wise compare `a < b`.
+    pub fn v_cmp_lt(&mut self, a: VReg, b: VReg) -> VMask {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, 0.0);
+        let mut m = VMask::none();
+        for i in 0..VLANES {
+            m.0[i] = a.0[i] < b.0[i];
+        }
+        m
+    }
+
+    /// Lane-wise compare `a != b`.
+    pub fn v_cmp_ne(&mut self, a: VReg, b: VReg) -> VMask {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, 0.0);
+        let mut m = VMask::none();
+        for i in 0..VLANES {
+            m.0[i] = a.0[i] != b.0[i];
+        }
+        m
+    }
+
+    /// Lane-wise select: `mask ? a : b`.
+    pub fn v_select(&mut self, mask: VMask, a: VReg, b: VReg) -> VReg {
+        self.ctr.vector_ops += 1;
+        self.charge_arith(self.cfg.vpu_arith_cy, 0.0);
+        let mut r = VReg::zero();
+        for i in 0..VLANES {
+            r.0[i] = if mask.0[i] { a.0[i] } else { b.0[i] };
+        }
+        r
+    }
+
+    /// Horizontal sum of a register (log2(VLANES) shuffle+add steps).
+    pub fn v_reduce_add(&mut self, a: VReg) -> f64 {
+        let steps = (VLANES as f64).log2() as u64;
+        self.ctr.vector_ops += steps;
+        self.charge_arith(self.cfg.vpu_arith_cy * steps as f64, (VLANES - 1) as f64);
+        a.sum()
+    }
+
+    /// Contiguous vector load of up to [`VLANES`] values from `src`,
+    /// zero-padding the tail.
+    pub fn v_load(&mut self, addr: VAddr, src: &[f64]) -> VReg {
+        let n = src.len().min(VLANES);
+        let cy = self.mem.access(addr, (n * 8) as u64);
+        self.ctr.add_cycles(self.phase, cy);
+        self.ctr.vector_ops += 1;
+        VReg::from_slice(&src[..n])
+    }
+
+    /// Contiguous vector store of the first `n` lanes into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > VLANES` or `dst.len() < n`.
+    pub fn v_store(&mut self, addr: VAddr, reg: VReg, dst: &mut [f64], n: usize) {
+        assert!(n <= VLANES);
+        let cy = self.mem.access(addr, (n * 8) as u64);
+        self.ctr.add_cycles(self.phase, cy);
+        self.ctr.vector_ops += 1;
+        dst[..n].copy_from_slice(&reg.0[..n]);
+    }
+
+    /// Memory-level-parallelism factor of the gather unit: the per-line
+    /// miss latencies of one gather overlap, so only this fraction of
+    /// each line's cost is charged (scatters, being read-modify-write,
+    /// get no such discount).
+    const GATHER_MLP: f64 = 0.15;
+
+    /// Memory cost of a hardware gather: one cache access per *distinct
+    /// line* touched (the gather unit coalesces same-line lanes), with
+    /// miss latencies overlapped by [`Self::GATHER_MLP`], plus the
+    /// per-lane issue penalty.
+    fn gather_mem_cost(&mut self, base: VAddr, idx: &[usize]) -> f64 {
+        let line = self.mem.line_bytes();
+        let mut lines: Vec<u64> = idx.iter().map(|&i| base.offset_f64(i).0 / line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
+        for l in lines {
+            cy += Self::GATHER_MLP * self.mem.access(VAddr(l * line), 1);
+        }
+        cy
+    }
+
+    /// Indexed gather: lane `l` reads `src[idx[l]]`. Charges one cache
+    /// access per distinct line plus the per-lane gather penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() > VLANES` or any index is out of bounds.
+    pub fn v_gather(&mut self, base: VAddr, idx: &[usize], src: &[f64]) -> VReg {
+        assert!(idx.len() <= VLANES);
+        self.ctr.vector_ops += 1;
+        let mut r = VReg::zero();
+        for (l, &i) in idx.iter().enumerate() {
+            r.0[l] = src[i];
+        }
+        let cy = self.gather_mem_cost(base, idx);
+        self.ctr.add_cycles(self.phase, cy);
+        r
+    }
+
+    /// Indexed scatter-add: lane `l` performs `dst[idx[l]] += reg[l]`.
+    ///
+    /// Duplicate indices within the vector are handled correctly (all
+    /// contributions land) but charge the conflict-serialisation penalty
+    /// of equation 2 in the paper: each lane beyond the first targeting
+    /// the same element costs `conflict_lane_cy` extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() > VLANES` or any index is out of bounds.
+    pub fn v_scatter_add(&mut self, base: VAddr, idx: &[usize], reg: VReg, dst: &mut [f64]) {
+        assert!(idx.len() <= VLANES);
+        self.ctr.vector_ops += 1;
+        let mut cy = 0.0;
+        for (l, &i) in idx.iter().enumerate() {
+            dst[i] += reg.0[l];
+            cy += self.mem.access(base.offset_f64(i), 8) + self.cfg.gather_lane_cy;
+            // Conflict detection: lanes before `l` hitting the same index.
+            let conflicts = idx[..l].iter().filter(|&&j| j == i).count();
+            if conflicts > 0 {
+                cy += self.cfg.conflict_lane_cy;
+            }
+        }
+        self.ctr.flops_issued += idx.len() as f64;
+        self.ctr.add_cycles(self.phase, cy);
+    }
+
+    /// Charges a contiguous vector load's issue and memory cost without
+    /// returning data. Used when a kernel's functional values are already
+    /// staged but the address stream must still be priced (e.g. replaying
+    /// the load pattern of a preprocessing loop).
+    pub fn v_touch_load(&mut self, addr: VAddr, lanes: usize) {
+        let cy = self.mem.access(addr, (lanes.min(VLANES) * 8) as u64);
+        self.ctr.add_cycles(self.phase, cy);
+        self.ctr.vector_ops += 1;
+    }
+
+    /// Charges a contiguous vector store (cost-only mirror of
+    /// [`Machine::v_store`]).
+    pub fn v_touch_store(&mut self, addr: VAddr, lanes: usize) {
+        let cy = self.mem.access(addr, (lanes.min(VLANES) * 8) as u64);
+        self.ctr.add_cycles(self.phase, cy);
+        self.ctr.vector_ops += 1;
+    }
+
+    /// Charges an indexed gather's memory and issue cost (cost-only
+    /// mirror of [`Machine::v_gather`]).
+    pub fn v_touch_gather(&mut self, base: VAddr, idx: &[usize]) {
+        self.ctr.vector_ops += 1;
+        let take = idx.len().min(VLANES);
+        let cy = self.gather_mem_cost(base, &idx[..take]);
+        self.ctr.add_cycles(self.phase, cy);
+    }
+
+    /// Charges `n` generic vector ALU operations without data (companion
+    /// of [`Machine::s_ops`] for modelled vector instruction streams).
+    pub fn v_ops(&mut self, n: usize) {
+        self.ctr.vector_ops += n as u64;
+        self.charge_arith(self.cfg.vpu_arith_cy * n as f64, (n * VLANES) as f64);
+    }
+
+    /// Charges the issue cost of `n` vector memory instructions whose
+    /// data is cache-blocked scratch (staging buffers processed in
+    /// L1-resident blocks): no cache simulation, no FLOPs — just pipeline
+    /// occupancy.
+    pub fn v_issue(&mut self, n: usize) {
+        self.ctr.vector_ops += n as u64;
+        self.ctr.add_cycles(
+            self.phase,
+            self.cfg.vpu_arith_cy * n as f64 * self.throughput_penalty,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // MPU
+    // ------------------------------------------------------------------
+
+    /// Zeroes an MPU tile register.
+    pub fn t_zero(&mut self, tile: TileId) {
+        self.ctr
+            .add_cycles(self.phase, self.cfg.tile_zero_cy * self.throughput_penalty);
+        self.tiles[tile.0] = [[0.0; VLANES]; VLANES];
+    }
+
+    /// MOPA: `C += a (x) b`, the full 8x8 rank-1 update of equation 3.
+    ///
+    /// The instruction always charges the full tile (128 FLOPs issued);
+    /// utilisation of the tile by *useful* work is exactly what the paper's
+    /// CIC (25%) vs QSP (50%) analysis is about.
+    pub fn t_mopa(&mut self, tile: TileId, a: VReg, b: VReg) {
+        self.ctr.mopa_ops += 1;
+        self.charge_arith(self.cfg.mopa_cy, (VLANES * VLANES * 2) as f64);
+        let t = &mut self.tiles[tile.0];
+        for i in 0..VLANES {
+            if a.0[i] == 0.0 {
+                continue; // Arithmetic shortcut only; cost already charged.
+            }
+            for j in 0..VLANES {
+                t[i][j] = a.0[i].mul_add(b.0[j], t[i][j]);
+            }
+        }
+    }
+
+    /// Reads one tile row into a VPU register (charged as MPU->VPU
+    /// transfer; this is the data-movement cost the paper identifies as
+    /// the gap between anticipated and observed speedup).
+    pub fn t_read_row(&mut self, tile: TileId, row: usize) -> VReg {
+        assert!(row < VLANES);
+        self.ctr.tile_transfers += 1;
+        self.ctr.add_cycles(
+            self.phase,
+            self.cfg.tile_row_xfer_cy * self.throughput_penalty,
+        );
+        VReg(self.tiles[tile.0][row])
+    }
+
+    /// Direct tile inspection for tests (cost-free).
+    pub fn tile_value(&self, tile: TileId, row: usize, col: usize) -> f64 {
+        self.tiles[tile.0][row][col]
+    }
+
+    /// Seconds corresponding to the cycles charged so far.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.cfg.cycles_to_seconds(self.ctr.total_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::lx2())
+    }
+
+    #[test]
+    fn vector_arithmetic_is_exact() {
+        let mut m = machine();
+        let a = VReg::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = m.v_splat(2.0);
+        let c = m.v_fma(a, b, a);
+        for i in 0..VLANES {
+            assert_eq!(c.lane(i), (i + 1) as f64 * 3.0);
+        }
+    }
+
+    #[test]
+    fn phases_receive_charges() {
+        let mut m = machine();
+        m.set_phase(Phase::Sort);
+        m.s_ops(10);
+        assert!(m.counters().cycles(Phase::Sort) > 0.0);
+        assert_eq!(m.counters().cycles(Phase::Compute), 0.0);
+    }
+
+    #[test]
+    fn in_phase_restores_previous() {
+        let mut m = machine();
+        m.set_phase(Phase::Push);
+        m.in_phase(Phase::Reduce, |m| m.s_ops(1));
+        assert_eq!(m.phase(), Phase::Push);
+        assert!(m.counters().cycles(Phase::Reduce) > 0.0);
+    }
+
+    #[test]
+    fn mopa_accumulates_outer_product() {
+        let mut m = machine();
+        let a = VReg::from_slice(&[1.0, 2.0]);
+        let b = VReg::from_slice(&[3.0, 4.0, 5.0]);
+        m.t_zero(TileId(0));
+        m.t_mopa(TileId(0), a, b);
+        m.t_mopa(TileId(0), a, b);
+        assert_eq!(m.tile_value(TileId(0), 0, 0), 6.0);
+        assert_eq!(m.tile_value(TileId(0), 1, 2), 20.0);
+        assert_eq!(m.tile_value(TileId(0), 3, 3), 0.0);
+        assert_eq!(m.counters().mopa_ops, 2);
+    }
+
+    #[test]
+    fn mopa_charges_full_tile_flops() {
+        let mut m = machine();
+        let a = VReg::from_slice(&[1.0]);
+        let b = VReg::from_slice(&[1.0]);
+        m.t_mopa(TileId(0), a, b);
+        // 8x8 FMAs = 128 FLOPs issued regardless of operand sparsity.
+        assert_eq!(m.counters().flops_issued, 128.0);
+    }
+
+    #[test]
+    fn scatter_add_handles_duplicates() {
+        let mut m = machine();
+        let base = m.mem().alloc_f64(4);
+        let mut dst = vec![0.0; 4];
+        let r = VReg::from_slice(&[1.0, 2.0, 4.0]);
+        m.v_scatter_add(base, &[1, 1, 3], r, &mut dst);
+        assert_eq!(dst, vec![0.0, 3.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn scatter_conflicts_cost_more() {
+        let cfg = MachineConfig::lx2();
+        let mut no_conflict = Machine::new(cfg.clone());
+        let mut conflict = Machine::new(cfg);
+        let b1 = no_conflict.mem().alloc_f64(8);
+        let b2 = conflict.mem().alloc_f64(8);
+        let r = VReg::splat(1.0);
+        let mut d1 = vec![0.0; 8];
+        let mut d2 = vec![0.0; 8];
+        no_conflict.v_scatter_add(b1, &[0, 1, 2, 3, 4, 5, 6, 7], r, &mut d1);
+        conflict.v_scatter_add(b2, &[0, 0, 0, 0, 0, 0, 0, 0], r, &mut d2);
+        assert!(
+            conflict.counters().total_cycles() > no_conflict.counters().total_cycles(),
+            "full-conflict scatter must be slower"
+        );
+        assert_eq!(d2[0], 8.0);
+    }
+
+    #[test]
+    fn gather_reads_indexed_elements() {
+        let mut m = machine();
+        let base = m.mem().alloc_f64(10);
+        let src: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let r = m.v_gather(base, &[9, 0, 5], &src);
+        assert_eq!(r.lane(0), 9.0);
+        assert_eq!(r.lane(1), 0.0);
+        assert_eq!(r.lane(2), 5.0);
+        assert_eq!(r.lane(3), 0.0);
+    }
+
+    #[test]
+    fn autovec_penalty_slows_arith() {
+        let cfg = MachineConfig::lx2();
+        let mut tuned = Machine::new(cfg.clone());
+        let mut autovec = Machine::new(cfg);
+        autovec.use_autovec_model();
+        let a = VReg::splat(1.0);
+        for _ in 0..100 {
+            tuned.v_fma(a, a, a);
+            autovec.v_fma(a, a, a);
+        }
+        assert!(autovec.counters().total_cycles() > tuned.counters().total_cycles());
+    }
+
+    #[test]
+    fn reduce_add_sums_lanes() {
+        let mut m = machine();
+        let r = VReg::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.v_reduce_add(r), 10.0);
+    }
+
+    #[test]
+    fn cache_locality_visible_through_loads() {
+        let mut m = machine();
+        let base = m.mem().alloc_f64(8);
+        let src = vec![1.0; 8];
+        m.set_phase(Phase::Compute);
+        m.v_load(base, &src);
+        let cold = m.counters().cycles(Phase::Compute);
+        m.v_load(base, &src);
+        let warm = m.counters().cycles(Phase::Compute) - cold;
+        assert!(warm < cold, "second load must hit cache");
+    }
+
+    #[test]
+    fn elapsed_seconds_scales_with_clock() {
+        let mut m = machine();
+        m.charge(1.3e9);
+        assert!((m.elapsed_seconds() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Virtual address space and memory cost accounting.
+//!
+//! Emulated kernels keep their data in ordinary Rust arrays but register
+//! each array with the machine to obtain a *virtual base address*. Memory
+//! instructions then quote `VAddr`s so the cache simulation sees the same
+//! address stream the real kernel would generate (SoA particle arrays
+//! streaming, grid lines being revisited, rhocell lines staying resident).
+
+use crate::cache::{CacheLevelConfig, CacheSim, CacheStats};
+
+/// A virtual byte address in the emulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    /// Address `count` elements of `size` bytes past `self`.
+    pub fn offset(self, count: usize, size: usize) -> VAddr {
+        VAddr(self.0 + (count * size) as u64)
+    }
+
+    /// Address `count` f64 elements past `self`.
+    pub fn offset_f64(self, count: usize) -> VAddr {
+        self.offset(count, 8)
+    }
+}
+
+/// The emulated memory system: a bump allocator handing out virtual
+/// addresses plus the cache hierarchy charging latencies.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    cache: CacheSim,
+    next: u64,
+}
+
+impl MemSystem {
+    /// Builds a memory system over the given cache hierarchy.
+    pub fn new(
+        l1: CacheLevelConfig,
+        l2: CacheLevelConfig,
+        l1_hit_cy: f64,
+        l2_hit_cy: f64,
+        dram_cy: f64,
+    ) -> Self {
+        Self {
+            cache: CacheSim::new(l1, l2, l1_hit_cy, l2_hit_cy, dram_cy),
+            // Start past zero so VAddr(0) is never a valid allocation.
+            next: 4096,
+        }
+    }
+
+    /// Reserves `bytes` of virtual address space aligned to `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> VAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + bytes;
+        VAddr(base)
+    }
+
+    /// Reserves space for `len` f64 values, cache-line aligned.
+    pub fn alloc_f64(&mut self, len: usize) -> VAddr {
+        self.alloc((len * 8) as u64, self.cache.line_bytes())
+    }
+
+    /// Charges a memory access covering `[addr, addr+bytes)`, returning
+    /// the latency in cycles.
+    pub fn access(&mut self, addr: VAddr, bytes: u64) -> f64 {
+        self.cache.access(addr.0, bytes)
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.cache.l1_stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.cache.l2_stats()
+    }
+
+    /// Invalidates the cache contents (e.g. between benchmark repetitions).
+    pub fn flush_cache(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.cache.line_bytes()
+    }
+
+    /// DRAM misses split into (streamed, random).
+    pub fn miss_split(&self) -> (u64, u64) {
+        (self.cache.streamed_misses, self.cache.random_misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemSystem {
+        MemSystem::new(
+            CacheLevelConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheLevelConfig {
+                size_bytes: 2048,
+                ways: 4,
+                line_bytes: 64,
+            },
+            1.0,
+            10.0,
+            100.0,
+        )
+    }
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = mem();
+        let a = m.alloc(10, 64);
+        assert_eq!(a.0 % 64, 0);
+        let b = m.alloc(8, 64);
+        assert_eq!(b.0 % 64, 0);
+        assert!(b.0 >= a.0 + 10);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut m = mem();
+        let a = m.alloc_f64(100);
+        let b = m.alloc_f64(100);
+        assert!(b.0 >= a.0 + 800);
+    }
+
+    #[test]
+    fn offset_math() {
+        let a = VAddr(4096);
+        assert_eq!(a.offset_f64(3).0, 4096 + 24);
+        assert_eq!(a.offset(2, 4).0, 4096 + 8);
+    }
+
+    #[test]
+    fn access_charges_cache_latency() {
+        let mut m = mem();
+        let a = m.alloc_f64(8);
+        assert_eq!(m.access(a, 64), 100.0, "cold miss");
+        assert_eq!(m.access(a, 64), 1.0, "warm hit");
+    }
+}

@@ -1,0 +1,147 @@
+//! VPU vector register values.
+//!
+//! A 512-bit FP64 vector holds [`VLANES`] = 8 lanes. `VReg` is a plain
+//! value type: arithmetic on it is performed by the [`crate::Machine`]
+//! methods so that every operation is charged to the cost model; the
+//! helpers here are cost-free constructors and lane accessors.
+
+/// Number of f64 lanes in a 512-bit VPU register.
+pub const VLANES: usize = 8;
+
+/// A VPU vector register value (8 x f64).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VReg(pub [f64; VLANES]);
+
+impl VReg {
+    /// All-zero register.
+    pub fn zero() -> Self {
+        VReg([0.0; VLANES])
+    }
+
+    /// Broadcasts `x` to all lanes (cost-free constructor; use
+    /// [`crate::Machine::v_splat`] inside emulated kernels).
+    pub fn splat(x: f64) -> Self {
+        VReg([x; VLANES])
+    }
+
+    /// Builds a register from a slice, zero-padding missing lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() > VLANES`.
+    pub fn from_slice(s: &[f64]) -> Self {
+        assert!(s.len() <= VLANES, "slice wider than a vector register");
+        let mut r = [0.0; VLANES];
+        r[..s.len()].copy_from_slice(s);
+        VReg(r)
+    }
+
+    /// Lane accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= VLANES`.
+    pub fn lane(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Mutable lane accessor.
+    pub fn lane_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+
+    /// Copies the register into a slice (must be at least VLANES long).
+    pub fn write_to(&self, out: &mut [f64]) {
+        out[..VLANES].copy_from_slice(&self.0);
+    }
+
+    /// Horizontal sum of all lanes (cost-free; use
+    /// [`crate::Machine::v_reduce_add`] inside emulated kernels).
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+}
+
+impl Default for VReg {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// A per-lane boolean mask produced by vector compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VMask(pub [bool; VLANES]);
+
+impl VMask {
+    /// All-false mask.
+    pub fn none() -> Self {
+        VMask([false; VLANES])
+    }
+
+    /// All-true mask.
+    pub fn all() -> Self {
+        VMask([true; VLANES])
+    }
+
+    /// Mask with the first `n` lanes set (used for loop tails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > VLANES`.
+    pub fn first(n: usize) -> Self {
+        assert!(n <= VLANES);
+        let mut m = [false; VLANES];
+        m[..n].fill(true);
+        VMask(m)
+    }
+
+    /// Number of set lanes.
+    pub fn count(&self) -> usize {
+        self.0.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether any lane is set.
+    pub fn any(&self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+
+    /// Lane accessor.
+    pub fn lane(&self, i: usize) -> bool {
+        self.0[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_zero_pads() {
+        let r = VReg::from_slice(&[1.0, 2.0]);
+        assert_eq!(r.lane(0), 1.0);
+        assert_eq!(r.lane(1), 2.0);
+        assert_eq!(r.lane(7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than a vector register")]
+    fn from_slice_rejects_oversize() {
+        let _ = VReg::from_slice(&[0.0; 9]);
+    }
+
+    #[test]
+    fn sum_is_horizontal_add() {
+        let r = VReg::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.sum(), 6.0);
+    }
+
+    #[test]
+    fn mask_first_counts() {
+        let m = VMask::first(3);
+        assert_eq!(m.count(), 3);
+        assert!(m.lane(2));
+        assert!(!m.lane(3));
+        assert!(m.any());
+        assert!(!VMask::none().any());
+    }
+}

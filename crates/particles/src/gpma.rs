@@ -1,0 +1,699 @@
+//! The Gapped Packed Memory Array (GPMA) of paper section 4.3.
+//!
+//! A GPMA keeps a tile's particles logically sorted by cell by maintaining
+//! an index array (`local_index`) partitioned into per-cell *bin regions*
+//! with interspersed gaps (`INVALID_PARTICLE_ID` slots). Because particles
+//! rarely cross a cell boundary in one CFL-limited step, the per-timestep
+//! maintenance touches only moved particles:
+//!
+//! * **deletion** marks the slot invalid and pushes it on the bin's
+//!   empty-slot stack — O(1);
+//! * **insertion** pops an empty slot in the target bin — O(1); if the bin
+//!   is full it *borrows* a slot from a neighbouring bin by relocating one
+//!   boundary particle per intervening bin (particles within a bin share
+//!   the sort key, so relocation does not disturb the sorted order);
+//! * when borrowing fails or gaps run dry, a **local rebuild** reallocates
+//!   the tile's index with fresh, uniformly distributed gaps — O(N_tile),
+//!   amortised away by the gap headroom.
+//!
+//! The structure never moves particle *data*; it permutes indices only.
+//! Actual data movement is deferred to the global re-sort
+//! ([`crate::sort::counting_sort_keys`] driven by [`crate::policy`]).
+//!
+//! All operations tally [`MoveStats`] so kernel drivers can charge the
+//! emulated machine for the work performed.
+
+/// Marker stored in empty `local_index` slots.
+pub const INVALID_PARTICLE_ID: usize = usize::MAX;
+
+/// Operation counts returned by [`Gpma::apply_pending_moves`].
+///
+/// The driver multiplies these by per-operation cycle costs; keeping them
+/// here keeps the data structure independent of the machine model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoveStats {
+    /// Total pending moves processed.
+    pub moves_applied: usize,
+    /// Slots invalidated (move-outs and departures).
+    pub deletions: usize,
+    /// Particles placed into bins.
+    pub insertions: usize,
+    /// Insertions satisfied by an O(1) stack pop in the target bin.
+    pub o1_inserts: usize,
+    /// Boundary relocations performed while borrowing from neighbours.
+    pub borrow_shifts: usize,
+    /// Bins scanned while searching for a free slot.
+    pub bins_scanned: usize,
+    /// Local rebuilds triggered.
+    pub rebuilds: usize,
+    /// Particles re-laid-out by rebuilds.
+    pub rebuild_particles: usize,
+}
+
+impl MoveStats {
+    /// Accumulates another stats record.
+    pub fn merge(&mut self, o: &MoveStats) {
+        self.moves_applied += o.moves_applied;
+        self.deletions += o.deletions;
+        self.insertions += o.insertions;
+        self.o1_inserts += o.o1_inserts;
+        self.borrow_shifts += o.borrow_shifts;
+        self.bins_scanned += o.bins_scanned;
+        self.rebuilds += o.rebuilds;
+        self.rebuild_particles += o.rebuild_particles;
+    }
+}
+
+/// A queued particle relocation (the paper's `m_pending_moves` entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingMove {
+    /// Particle index into the tile's SoA.
+    pub particle: usize,
+    /// Bin the particle currently occupies; `None` for newly added
+    /// particles.
+    pub old_bin: Option<usize>,
+    /// Destination bin; `None` when the particle leaves the tile.
+    pub new_bin: Option<usize>,
+}
+
+/// The gapped packed-memory index of one particle tile.
+#[derive(Debug, Clone)]
+pub struct Gpma {
+    /// The index array: particle indices or `INVALID_PARTICLE_ID` gaps.
+    local_index: Vec<usize>,
+    /// Region start per bin; `bin_offsets[n_bins]` == capacity.
+    bin_offsets: Vec<usize>,
+    /// Valid particles per bin (the paper's `m_bin_lengths`).
+    bin_lengths: Vec<usize>,
+    /// Per-bin stacks of empty slot indices (the paper's
+    /// `m_empty_slots_stack`, kept per bin so an O(1) pop lands in the
+    /// correct region).
+    bin_free: Vec<Vec<usize>>,
+    /// Reverse map: particle index -> slot (enables O(1) deletion; the
+    /// in-kernel equivalent knows the slot from the iteration cursor).
+    slot_of: Vec<usize>,
+    num_particles: usize,
+    num_empty_slots: usize,
+    gap_ratio: f64,
+    pending: Vec<PendingMove>,
+    /// Set when the last `apply_pending_moves` rebuilt the tile
+    /// (the paper's `m_was_rebuilt_this_step`).
+    pub was_rebuilt_this_step: bool,
+    /// Cumulative local rebuilds since the last counter reset (feeds the
+    /// global sort policy trigger 3).
+    rebuild_count: u64,
+    /// Rebuild also fires when the free-slot ratio drops below this.
+    min_empty_ratio: f64,
+}
+
+impl Gpma {
+    /// Builds a GPMA from per-particle bin assignments.
+    ///
+    /// `cells[p]` is the bin of particle `p`; `n_bins` the number of cells
+    /// in the tile; `gap_ratio` the fractional gap headroom per bin (the
+    /// paper's uniformly distributed gaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bin id is out of range or `gap_ratio < 0`.
+    pub fn build(cells: &[usize], n_bins: usize, gap_ratio: f64) -> Self {
+        assert!(gap_ratio >= 0.0);
+        let mut g = Self {
+            local_index: Vec::new(),
+            bin_offsets: vec![0; n_bins + 1],
+            bin_lengths: vec![0; n_bins],
+            bin_free: vec![Vec::new(); n_bins],
+            slot_of: Vec::new(),
+            num_particles: 0,
+            num_empty_slots: 0,
+            gap_ratio,
+            pending: Vec::new(),
+            was_rebuilt_this_step: false,
+            rebuild_count: 0,
+            min_empty_ratio: 0.02,
+        };
+        g.layout(cells, &mut MoveStats::default());
+        g.rebuild_count = 0; // The initial layout is not a "rebuild".
+        g.was_rebuilt_this_step = false;
+        g
+    }
+
+    /// Lays the index out from scratch for the given assignments.
+    fn layout(&mut self, cells: &[usize], stats: &mut MoveStats) {
+        let n_bins = self.bin_lengths.len();
+        let mut counts = vec![0usize; n_bins];
+        let mut live = 0usize;
+        for &c in cells {
+            if c == INVALID_PARTICLE_ID {
+                continue; // Dead SoA slot.
+            }
+            assert!(c < n_bins, "bin {c} out of range ({n_bins} bins)");
+            counts[c] += 1;
+            live += 1;
+        }
+        // Region per bin: count + gaps (at least one gap per bin so an
+        // arriving particle has an O(1) home).
+        let mut offsets = vec![0usize; n_bins + 1];
+        for c in 0..n_bins {
+            let gap = ((counts[c] as f64 * self.gap_ratio).ceil() as usize).max(1);
+            offsets[c + 1] = offsets[c] + counts[c] + gap;
+        }
+        let capacity = offsets[n_bins];
+        let mut index = vec![INVALID_PARTICLE_ID; capacity];
+        let mut cursor = offsets[..n_bins].to_vec();
+        let mut slot_of = vec![INVALID_PARTICLE_ID; cells.len()];
+        for (p, &c) in cells.iter().enumerate() {
+            if c == INVALID_PARTICLE_ID {
+                continue;
+            }
+            index[cursor[c]] = p;
+            slot_of[p] = cursor[c];
+            cursor[c] += 1;
+        }
+        let mut free = vec![Vec::new(); n_bins];
+        for (c, f) in free.iter_mut().enumerate() {
+            // Push high slots first so pops fill the region front-to-back.
+            for s in (cursor[c]..offsets[c + 1]).rev() {
+                f.push(s);
+            }
+        }
+        self.num_empty_slots = capacity - live;
+        self.local_index = index;
+        self.bin_offsets = offsets;
+        self.bin_lengths = counts;
+        self.bin_free = free;
+        self.slot_of = slot_of;
+        self.num_particles = live;
+        stats.rebuild_particles += live;
+    }
+
+    /// Number of live particles indexed.
+    pub fn num_particles(&self) -> usize {
+        self.num_particles
+    }
+
+    /// Total slots (the paper's `m_capacity`).
+    pub fn capacity(&self) -> usize {
+        self.local_index.len()
+    }
+
+    /// Current free-slot count (the paper's `m_num_empty_slots`).
+    pub fn num_empty_slots(&self) -> usize {
+        self.num_empty_slots
+    }
+
+    /// Free-slot fraction of capacity, the policy's empty-ratio metric.
+    pub fn empty_ratio(&self) -> f64 {
+        if self.capacity() == 0 {
+            0.0
+        } else {
+            self.num_empty_slots as f64 / self.capacity() as f64
+        }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bin_lengths.len()
+    }
+
+    /// Valid particles in bin `c`.
+    pub fn bin_len(&self, c: usize) -> usize {
+        self.bin_lengths[c]
+    }
+
+    /// Raw slot view of bin `c` including `INVALID_PARTICLE_ID` gaps —
+    /// exactly what the VPU sweep of Algorithm 1 iterates.
+    pub fn bin_slots(&self, c: usize) -> &[usize] {
+        &self.local_index[self.bin_offsets[c]..self.bin_offsets[c + 1]]
+    }
+
+    /// Iterator over valid particle indices in bin `c`.
+    pub fn iter_bin(&self, c: usize) -> impl Iterator<Item = usize> + '_ {
+        self.bin_slots(c)
+            .iter()
+            .copied()
+            .filter(|&p| p != INVALID_PARTICLE_ID)
+    }
+
+    /// Iterator over all valid particle indices in bin order (the sorted
+    /// traversal the deposition kernel relies on).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_bins()).flat_map(move |c| self.iter_bin(c).map(move |p| (c, p)))
+    }
+
+    /// Cumulative local rebuilds since the last reset.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuild_count
+    }
+
+    /// Resets the rebuild counter (after a global sort).
+    pub fn reset_counters(&mut self) {
+        self.rebuild_count = 0;
+        self.was_rebuilt_this_step = false;
+    }
+
+    /// Queues a move of `particle` from `old_bin` to `new_bin`
+    /// (Algorithm 1's `pending_moves.push`).
+    ///
+    /// A particle may appear in **at most one** pending move per apply
+    /// cycle (the per-step sweep visits each particle once); queueing a
+    /// second move for the same particle before
+    /// [`Gpma::apply_pending_moves`] is a logic error.
+    pub fn queue_move(&mut self, particle: usize, old_bin: usize, new_bin: usize) {
+        debug_assert!(
+            !self.pending.iter().any(|mv| mv.particle == particle),
+            "particle {particle} already has a pending move this cycle"
+        );
+        self.pending.push(PendingMove {
+            particle,
+            old_bin: Some(old_bin),
+            new_bin: Some(new_bin),
+        });
+    }
+
+    /// Queues insertion of a newly added particle.
+    pub fn queue_insert(&mut self, particle: usize, new_bin: usize) {
+        self.pending.push(PendingMove {
+            particle,
+            old_bin: None,
+            new_bin: Some(new_bin),
+        });
+    }
+
+    /// Queues removal of a particle leaving the tile.
+    pub fn queue_remove(&mut self, particle: usize, old_bin: usize) {
+        self.pending.push(PendingMove {
+            particle,
+            old_bin: Some(old_bin),
+            new_bin: None,
+        });
+    }
+
+    /// Number of queued pending moves.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Applies all queued moves (the paper's `ApplyPendingMoves`),
+    /// rebuilding the tile index if insertion pressure demands it.
+    ///
+    /// `cells[p]` must give the *current* (post-move) bin of every live
+    /// particle `p`; it is consulted only when a rebuild re-lays-out the
+    /// whole tile. Entries for dead SoA slots must be
+    /// `INVALID_PARTICLE_ID`.
+    pub fn apply_pending_moves(&mut self, cells: &[usize]) -> MoveStats {
+        let mut stats = MoveStats::default();
+        self.was_rebuilt_this_step = false;
+        let pending = std::mem::take(&mut self.pending);
+        stats.moves_applied = pending.len();
+
+        // Phase 1: deletions free slots before insertions consume them.
+        for mv in &pending {
+            if let Some(old) = mv.old_bin {
+                self.delete(mv.particle, old, &mut stats);
+            }
+        }
+
+        // Phase 2: insertions; collect overflow on failure.
+        let mut overflow: Vec<(usize, usize)> = Vec::new();
+        for mv in &pending {
+            if let Some(new) = mv.new_bin {
+                if !self.insert(mv.particle, new, &mut stats) {
+                    overflow.push((mv.particle, new));
+                }
+            }
+        }
+
+        // Rebuild triggers (section 4.3.2): mandatory when overflow
+        // particles exist; optional when free slots are critically low.
+        if !overflow.is_empty() || self.empty_ratio() < self.min_empty_ratio {
+            self.rebuild(cells, &mut stats);
+        }
+        stats
+    }
+
+    fn grow_slot_map(&mut self, particle: usize) {
+        if particle >= self.slot_of.len() {
+            self.slot_of.resize(particle + 1, INVALID_PARTICLE_ID);
+        }
+    }
+
+    fn delete(&mut self, particle: usize, old_bin: usize, stats: &mut MoveStats) {
+        let slot = self.slot_of[particle];
+        assert_ne!(slot, INVALID_PARTICLE_ID, "particle {particle} not indexed");
+        debug_assert_eq!(self.local_index[slot], particle);
+        debug_assert!(
+            slot >= self.bin_offsets[old_bin] && slot < self.bin_offsets[old_bin + 1],
+            "slot {slot} outside bin {old_bin}"
+        );
+        self.local_index[slot] = INVALID_PARTICLE_ID;
+        self.slot_of[particle] = INVALID_PARTICLE_ID;
+        self.bin_free[old_bin].push(slot);
+        self.bin_lengths[old_bin] -= 1;
+        self.num_particles -= 1;
+        self.num_empty_slots += 1;
+        stats.deletions += 1;
+    }
+
+    /// Places `particle` into `new_bin`; returns false if no slot could be
+    /// found anywhere (tile full) so the caller rebuilds.
+    fn insert(&mut self, particle: usize, new_bin: usize, stats: &mut MoveStats) -> bool {
+        self.grow_slot_map(particle);
+        stats.insertions += 1;
+        // Fast path: a gap inside the target bin.
+        if let Some(slot) = self.bin_free[new_bin].pop() {
+            self.place(particle, new_bin, slot);
+            stats.o1_inserts += 1;
+            return true;
+        }
+        // Borrow: find the nearest bin (right, then left) with a free slot
+        // and migrate the boundary slot bin-by-bin towards `new_bin`.
+        let n = self.num_bins();
+        let mut donor: Option<usize> = None;
+        for b in new_bin + 1..n {
+            stats.bins_scanned += 1;
+            if !self.bin_free[b].is_empty() {
+                donor = Some(b);
+                break;
+            }
+        }
+        let donor_right = donor.is_some();
+        if donor.is_none() {
+            for b in (0..new_bin).rev() {
+                stats.bins_scanned += 1;
+                if !self.bin_free[b].is_empty() {
+                    donor = Some(b);
+                    break;
+                }
+            }
+        }
+        let Some(donor) = donor else {
+            return false;
+        };
+        // Walk the free slot from the donor to the target bin. Moving the
+        // boundary by one slot per intervening bin relocates at most one
+        // particle per bin (in-bin order is irrelevant: all particles in a
+        // bin share the sort key).
+        if donor_right {
+            let mut b = donor;
+            while b > new_bin {
+                self.shift_boundary_left(b, stats);
+                b -= 1;
+            }
+        } else {
+            let mut b = donor;
+            while b < new_bin {
+                self.shift_boundary_right(b, stats);
+                b += 1;
+            }
+        }
+        let slot = self.bin_free[new_bin]
+            .pop()
+            .expect("borrow must leave a free slot in the target bin");
+        self.place(particle, new_bin, slot);
+        true
+    }
+
+    fn place(&mut self, particle: usize, bin: usize, slot: usize) {
+        debug_assert_eq!(self.local_index[slot], INVALID_PARTICLE_ID);
+        self.local_index[slot] = particle;
+        self.slot_of[particle] = slot;
+        self.bin_lengths[bin] += 1;
+        self.num_particles += 1;
+        self.num_empty_slots -= 1;
+    }
+
+    /// Donates bin `b`'s first slot to bin `b-1`: ensures the slot at
+    /// `bin_offsets[b]` is free (relocating its occupant into one of `b`'s
+    /// free slots if needed), then moves the boundary so the freed slot
+    /// becomes the last slot of bin `b-1`.
+    fn shift_boundary_left(&mut self, b: usize, stats: &mut MoveStats) {
+        let boundary = self.bin_offsets[b];
+        let occupant = self.local_index[boundary];
+        if occupant == INVALID_PARTICLE_ID {
+            // The boundary slot is already free: remove it from b's stack.
+            let pos = self.bin_free[b]
+                .iter()
+                .position(|&s| s == boundary)
+                .expect("free boundary slot must be on the stack");
+            self.bin_free[b].swap_remove(pos);
+            stats.bins_scanned += 1;
+        } else {
+            // Relocate the occupant into a free slot of bin b.
+            let dst = self.bin_free[b]
+                .pop()
+                .expect("donor chain guarantees a free slot");
+            debug_assert_ne!(dst, boundary);
+            self.local_index[dst] = occupant;
+            self.slot_of[occupant] = dst;
+            self.local_index[boundary] = INVALID_PARTICLE_ID;
+            stats.borrow_shifts += 1;
+        }
+        // Hand the boundary slot to bin b-1.
+        self.bin_offsets[b] += 1;
+        self.bin_free[b - 1].push(boundary);
+    }
+
+    /// Mirror image of [`Gpma::shift_boundary_left`]: donates bin `b`'s
+    /// last slot to bin `b+1`.
+    fn shift_boundary_right(&mut self, b: usize, stats: &mut MoveStats) {
+        let boundary = self.bin_offsets[b + 1] - 1;
+        let occupant = self.local_index[boundary];
+        if occupant == INVALID_PARTICLE_ID {
+            let pos = self.bin_free[b]
+                .iter()
+                .position(|&s| s == boundary)
+                .expect("free boundary slot must be on the stack");
+            self.bin_free[b].swap_remove(pos);
+            stats.bins_scanned += 1;
+        } else {
+            let dst = self.bin_free[b]
+                .pop()
+                .expect("donor chain guarantees a free slot");
+            debug_assert_ne!(dst, boundary);
+            self.local_index[dst] = occupant;
+            self.slot_of[occupant] = dst;
+            self.local_index[boundary] = INVALID_PARTICLE_ID;
+            stats.borrow_shifts += 1;
+        }
+        self.bin_offsets[b + 1] -= 1;
+        self.bin_free[b + 1].push(boundary);
+    }
+
+    /// Local rebuild: re-lays-out the whole tile with fresh gaps
+    /// (the paper's `GPMA Local Rebuild`, complexity O(N_tile)).
+    fn rebuild(&mut self, cells: &[usize], stats: &mut MoveStats) {
+        self.layout(cells, stats);
+        stats.rebuilds += 1;
+        self.rebuild_count += 1;
+        self.was_rebuilt_this_step = true;
+    }
+
+    /// Exhaustively validates internal invariants against the
+    /// authoritative per-particle bins. Test/debug helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency.
+    pub fn check_invariants(&self, cells: &[usize]) {
+        let mut seen = std::collections::HashSet::new();
+        let mut live_expected = 0;
+        for &c in cells {
+            if c != INVALID_PARTICLE_ID {
+                live_expected += 1;
+            }
+        }
+        assert_eq!(self.num_particles, live_expected, "particle count");
+        let mut total_free = 0;
+        for c in 0..self.num_bins() {
+            let mut valid = 0;
+            for (off, &p) in self.bin_slots(c).iter().enumerate() {
+                let slot = self.bin_offsets[c] + off;
+                if p == INVALID_PARTICLE_ID {
+                    assert!(
+                        self.bin_free[c].contains(&slot),
+                        "gap slot {slot} missing from bin {c} stack"
+                    );
+                    total_free += 1;
+                } else {
+                    assert!(seen.insert(p), "particle {p} appears twice");
+                    assert_eq!(cells[p], c, "particle {p} in wrong bin");
+                    assert_eq!(self.slot_of[p], slot, "slot map stale for {p}");
+                    valid += 1;
+                }
+            }
+            assert_eq!(valid, self.bin_lengths[c], "bin {c} length");
+            assert_eq!(
+                self.bin_free[c].len(),
+                self.bin_slots(c).len() - valid,
+                "bin {c} free stack size"
+            );
+        }
+        assert_eq!(seen.len(), live_expected, "all particles indexed");
+        assert_eq!(total_free, self.num_empty_slots, "empty slot count");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_bins_particles() {
+        let cells = vec![2, 0, 1, 0, 2];
+        let g = Gpma::build(&cells, 3, 0.5);
+        g.check_invariants(&cells);
+        assert_eq!(g.bin_len(0), 2);
+        assert_eq!(g.bin_len(1), 1);
+        assert_eq!(g.bin_len(2), 2);
+        let b0: Vec<usize> = g.iter_bin(0).collect();
+        assert_eq!(b0, vec![1, 3]);
+    }
+
+    #[test]
+    fn o1_move_uses_gap() {
+        let mut cells = vec![0, 0, 1, 1];
+        let mut g = Gpma::build(&cells, 2, 1.0);
+        g.queue_move(0, 0, 1);
+        cells[0] = 1;
+        let stats = g.apply_pending_moves(&cells);
+        g.check_invariants(&cells);
+        assert_eq!(stats.o1_inserts, 1);
+        assert_eq!(stats.rebuilds, 0);
+        assert_eq!(g.bin_len(0), 1);
+        assert_eq!(g.bin_len(1), 3);
+    }
+
+    #[test]
+    fn removal_shrinks_bin() {
+        let cells = vec![0, 0, 1];
+        let mut g = Gpma::build(&cells, 2, 0.5);
+        g.queue_remove(1, 0);
+        // Particle 1 is gone: its cells entry becomes INVALID.
+        let after = vec![0, INVALID_PARTICLE_ID, 1];
+        g.apply_pending_moves(&after);
+        g.check_invariants(&after);
+        assert_eq!(g.bin_len(0), 1);
+        assert_eq!(g.num_particles(), 2);
+    }
+
+    #[test]
+    fn insertion_of_new_particle() {
+        let cells = vec![0, 1];
+        let mut g = Gpma::build(&cells, 2, 0.5);
+        let extended = vec![0, 1, 1];
+        let mut g2 = g.clone();
+        g2.queue_insert(2, 1);
+        g2.apply_pending_moves(&extended);
+        g2.check_invariants(&extended);
+        assert_eq!(g2.bin_len(1), 2);
+        // Original untouched.
+        g.check_invariants(&cells);
+    }
+
+    #[test]
+    fn borrow_from_right_neighbour() {
+        // Bin 0 packed solid (gap_ratio small => 1 gap), fill it, then
+        // force another insert so it must borrow from bin 1.
+        let cells = vec![0, 0, 0, 1];
+        let mut g = Gpma::build(&cells, 3, 0.0); // 1 gap per bin.
+                                                 // Two inserts into bin 0: first takes its gap, second borrows.
+        let extended = vec![0, 0, 0, 1, 0, 0];
+        g.queue_insert(4, 0);
+        g.queue_insert(5, 0);
+        let stats = g.apply_pending_moves(&extended);
+        g.check_invariants(&extended);
+        assert_eq!(g.bin_len(0), 5);
+        assert!(
+            stats.o1_inserts >= 1,
+            "first insert must be O(1): {stats:?}"
+        );
+        assert_eq!(stats.rebuilds, 0, "borrowing should avoid rebuild");
+    }
+
+    #[test]
+    fn borrow_from_left_neighbour() {
+        // Rightmost bin full; donor must be found to the left.
+        let cells = vec![0, 2];
+        let mut g = Gpma::build(&cells, 3, 0.0);
+        let extended = vec![0, 2, 2, 2];
+        g.queue_insert(2, 2);
+        g.queue_insert(3, 2);
+        let stats = g.apply_pending_moves(&extended);
+        g.check_invariants(&extended);
+        assert_eq!(g.bin_len(2), 3);
+        assert_eq!(stats.rebuilds, 0);
+    }
+
+    #[test]
+    fn rebuild_when_tile_exhausted() {
+        let cells = vec![0];
+        let mut g = Gpma::build(&cells, 1, 0.0); // Capacity 2 (1 + 1 gap).
+        let extended = vec![0, 0, 0, 0];
+        g.queue_insert(1, 0);
+        g.queue_insert(2, 0);
+        g.queue_insert(3, 0);
+        let stats = g.apply_pending_moves(&extended);
+        g.check_invariants(&extended);
+        assert!(stats.rebuilds >= 1);
+        assert!(g.was_rebuilt_this_step);
+        assert_eq!(g.rebuild_count(), stats.rebuilds as u64);
+        assert_eq!(g.num_particles(), 4);
+    }
+
+    #[test]
+    fn iter_sorted_visits_bin_order() {
+        let cells = vec![2, 0, 1];
+        let g = Gpma::build(&cells, 3, 0.5);
+        let order: Vec<(usize, usize)> = g.iter_sorted().collect();
+        assert_eq!(order, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn empty_ratio_reflects_gaps() {
+        let cells = vec![0, 0];
+        let g = Gpma::build(&cells, 1, 1.0); // 2 particles + 2 gaps.
+        assert!((g.empty_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_counters_clears_rebuilds() {
+        let cells = vec![0];
+        let mut g = Gpma::build(&cells, 1, 0.0);
+        let extended = vec![0, 0, 0];
+        g.queue_insert(1, 0);
+        g.queue_insert(2, 0);
+        g.apply_pending_moves(&extended);
+        assert!(g.rebuild_count() > 0);
+        g.reset_counters();
+        assert_eq!(g.rebuild_count(), 0);
+        assert!(!g.was_rebuilt_this_step);
+    }
+
+    #[test]
+    fn chain_borrow_across_multiple_bins() {
+        // Only the far-right bin has a free slot; inserting into bin 0
+        // must chain the boundary shift across bins 1..3.
+        let cells = vec![0, 1, 2, 3];
+        let mut g = Gpma::build(&cells, 4, 0.0);
+        // Fill every gap first.
+        let mid = vec![0, 1, 2, 3, 0, 1, 2];
+        g.queue_insert(4, 0);
+        g.queue_insert(5, 1);
+        g.queue_insert(6, 2);
+        let s1 = g.apply_pending_moves(&mid);
+        assert_eq!(s1.rebuilds, 0);
+        g.check_invariants(&mid);
+        // Now only bin 3's gap remains; insert into bin 0.
+        let fin = vec![0, 1, 2, 3, 0, 1, 2, 0];
+        g.queue_insert(7, 0);
+        let s2 = g.apply_pending_moves(&fin);
+        g.check_invariants(&fin);
+        // The insertion itself must be satisfied by chained borrowing (a
+        // maintenance rebuild may still fire afterwards because the tile
+        // ends up completely full — that is the empty-ratio trigger).
+        assert_eq!(s2.borrow_shifts, 3, "one relocation per bin: {s2:?}");
+        assert!(s2.bins_scanned > 0);
+        assert_eq!(g.bin_len(0), 3);
+    }
+}

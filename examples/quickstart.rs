@@ -1,0 +1,57 @@
+//! Quickstart: run a small uniform plasma with the full MatrixPIC stack
+//! and print the per-phase breakdown of every step.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use matrix_pic::core::workloads;
+use matrix_pic::deposit::{KernelConfig, ShapeOrder};
+use matrix_pic::machine::Phase;
+
+fn main() {
+    let steps = 10;
+    let mut sim = workloads::uniform_plasma_sim(
+        [16, 16, 16],
+        8,
+        ShapeOrder::Cic,
+        KernelConfig::FullOpt,
+        2024,
+    );
+    println!(
+        "Matrix-PIC quickstart: {} cells, {} particles, kernel = {}",
+        sim.geom.total_cells(),
+        sim.num_particles(),
+        sim.kernel_name()
+    );
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "step", "gather", "push", "sort", "deposit", "solve", "total [ms]"
+    );
+    let clock = sim.cfg.machine.clone();
+    let to_ms = |cy: f64| 1e3 * clock.cycles_to_seconds(cy);
+    for s in 0..steps {
+        let t = sim.step();
+        println!(
+            "{:>4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            s,
+            to_ms(t.phase(Phase::Gather)),
+            to_ms(t.phase(Phase::Push)),
+            to_ms(t.phase(Phase::Sort)),
+            to_ms(t.phase(Phase::Preprocess) + t.phase(Phase::Compute) + t.phase(Phase::Reduce)),
+            to_ms(t.phase(Phase::FieldSolve)),
+            to_ms(t.total()),
+        );
+    }
+    let rep = sim.report();
+    println!(
+        "\nkernel throughput: {:.3e} particles/s (emulated LX2 core)",
+        rep.particles_per_second(&clock)
+    );
+    println!(
+        "energy: field {:.3e} J, kinetic {:.3e} J; total charge {:.3e} C",
+        sim.field_energy(),
+        sim.kinetic_energy(),
+        sim.total_charge()
+    );
+}

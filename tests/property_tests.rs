@@ -1,0 +1,174 @@
+//! Property-based tests over the core data structures and invariants.
+
+use matrix_pic::deposit::{reference_deposit, ShapeOrder};
+use matrix_pic::grid::GridGeometry;
+use matrix_pic::particles::{counting_sort_keys, Gpma, INVALID_PARTICLE_ID};
+use proptest::prelude::*;
+
+/// Arbitrary move sequences never lose or duplicate particles and keep
+/// every GPMA invariant — the structure's central safety property.
+#[test]
+fn gpma_survives_arbitrary_move_sequences() {
+    proptest!(ProptestConfig::with_cases(64), |(
+        initial in prop::collection::vec(0usize..16, 1..200),
+        moves in prop::collection::vec((0usize..200, 0usize..16), 0..300),
+    )| {
+        let n_bins = 16;
+        let mut cells = initial.clone();
+        let mut g = Gpma::build(&cells, n_bins, 0.3);
+        g.check_invariants(&cells);
+        // Apply moves in batches (one per "step"), deduplicating by
+        // particle within a batch (the sweep visits each particle once).
+        for batch in moves.chunks(20) {
+            let mut seen = std::collections::HashSet::new();
+            for &(p, new_bin) in batch {
+                let p = p % cells.len();
+                if !seen.insert(p) || cells[p] == new_bin {
+                    continue;
+                }
+                g.queue_move(p, cells[p], new_bin);
+                cells[p] = new_bin;
+            }
+            g.apply_pending_moves(&cells);
+            g.check_invariants(&cells);
+        }
+        prop_assert_eq!(g.num_particles(), cells.len());
+    });
+}
+
+/// Mixed insert/remove workloads keep the GPMA consistent.
+#[test]
+fn gpma_survives_insert_remove_churn() {
+    proptest!(ProptestConfig::with_cases(48), |(
+        ops in prop::collection::vec((0u8..3, 0usize..64, 0usize..8), 1..150),
+    )| {
+        let n_bins = 8;
+        let mut cells: Vec<usize> = vec![0, 1, 2, 3];
+        let mut g = Gpma::build(&cells, n_bins, 0.5);
+        for chunk in ops.chunks(10) {
+            let mut touched = std::collections::HashSet::new();
+            for &(op, pick, bin) in chunk {
+                match op {
+                    // Insert a brand-new particle.
+                    0 => {
+                        let p = cells.len();
+                        cells.push(bin);
+                        g.queue_insert(p, bin);
+                        touched.insert(p);
+                    }
+                    // Remove an existing live particle.
+                    1 => {
+                        let live: Vec<usize> = (0..cells.len())
+                            .filter(|&p| cells[p] != INVALID_PARTICLE_ID
+                                && !touched.contains(&p))
+                            .collect();
+                        if live.is_empty() { continue; }
+                        let p = live[pick % live.len()];
+                        g.queue_remove(p, cells[p]);
+                        cells[p] = INVALID_PARTICLE_ID;
+                        touched.insert(p);
+                    }
+                    // Move an existing live particle.
+                    _ => {
+                        let live: Vec<usize> = (0..cells.len())
+                            .filter(|&p| cells[p] != INVALID_PARTICLE_ID
+                                && !touched.contains(&p))
+                            .collect();
+                        if live.is_empty() { continue; }
+                        let p = live[pick % live.len()];
+                        if cells[p] == bin { continue; }
+                        g.queue_move(p, cells[p], bin);
+                        cells[p] = bin;
+                        touched.insert(p);
+                    }
+                }
+            }
+            g.apply_pending_moves(&cells);
+            g.check_invariants(&cells);
+        }
+    });
+}
+
+/// Counting sort always produces a stable permutation that sorts.
+#[test]
+fn counting_sort_is_stable_bijection() {
+    proptest!(|(keys in prop::collection::vec(0usize..32, 0..500))| {
+        let (perm, _) = counting_sort_keys(&keys, 32);
+        prop_assert_eq!(perm.len(), keys.len());
+        // Bijection.
+        let mut seen = vec![false; keys.len()];
+        for &p in &perm {
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+        // Sorted and stable.
+        for w in perm.windows(2) {
+            let (a, b) = (keys[w[0]], keys[w[1]]);
+            prop_assert!(a <= b);
+            if a == b {
+                prop_assert!(w[0] < w[1], "stability violated");
+            }
+        }
+    });
+}
+
+/// 1-D shape weights are a partition of unity for every order and any
+/// intra-cell offset — the discrete charge-conservation property.
+#[test]
+fn shape_weights_partition_unity() {
+    proptest!(|(d in 0.0f64..1.0, order in 1usize..=3)| {
+        let order = ShapeOrder::from_order(order);
+        let mut w = [0.0; 4];
+        order.weights(d, &mut w);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-13);
+        prop_assert!(w.iter().all(|&x| x >= -1e-15));
+    });
+}
+
+/// Total deposited current equals the analytic sum q*w*v/V for any
+/// particle set (shape functions conserve the zeroth moment).
+#[test]
+fn deposition_conserves_total_current() {
+    proptest!(ProptestConfig::with_cases(24), |(
+        parts in prop::collection::vec(
+            (0.0f64..8.0, 0.0f64..8.0, 0.0f64..8.0,
+             -0.5f64..0.5, -0.5f64..0.5, -0.5f64..0.5),
+            1..40),
+        order in 1usize..=3,
+    )| {
+        use matrix_pic::grid::TileLayout;
+        use matrix_pic::particles::{Departure, ParticleContainer};
+        let geom = GridGeometry::new([8, 8, 8], [0.0; 3], [1.0; 3], 2);
+        let layout = TileLayout::new(&geom, [8, 8, 8]);
+        let mut c = ParticleContainer::new(&layout, -2.0, 1.0);
+        let mut expect = 0.0;
+        for &(x, y, z, ux, uy, uz) in &parts {
+            c.inject(&layout, &geom, Departure { x, y, z, ux, uy, uz, w: 1.5 });
+            let (vx, _, _) = matrix_pic::deposit::velocity_from_u(ux, uy, uz);
+            expect += -2.0 * 1.5 * vx / geom.cell_volume();
+        }
+        let order = ShapeOrder::from_order(order);
+        let (jx, _, _) = reference_deposit(&geom, order, &c);
+        let scale = expect.abs().max(1e-6);
+        prop_assert!((jx.sum() - expect).abs() / scale < 1e-10);
+    });
+}
+
+/// Position wrap + cell id: every position maps to a cell inside the
+/// domain, and wrap is idempotent.
+#[test]
+fn wrap_is_idempotent_and_in_range() {
+    proptest!(|(x in -100.0f64..100.0, y in -100.0f64..100.0, z in -100.0f64..100.0)| {
+        let geom = GridGeometry::new([8, 4, 2], [0.0; 3], [1.0; 3], 1);
+        let w1 = geom.wrap_position([x, y, z]);
+        let w2 = geom.wrap_position(w1);
+        for d in 0..3 {
+            prop_assert!(w1[d] >= geom.lo[d] && w1[d] < geom.hi()[d] + 1e-9);
+            prop_assert!((w1[d] - w2[d]).abs() < 1e-9);
+        }
+        let (cell, _) = geom.locate(w1[0], w1[1], w1[2]);
+        let c = geom.wrap_cell(cell);
+        prop_assert!(c[0] < 8 && c[1] < 4 && c[2] < 2);
+    });
+}
