@@ -167,7 +167,7 @@ pub fn lwfa_config(
     SimConfig {
         n_cells,
         dx,
-        tile_size: [8, 8, (n_cells[2] / 2).max(8).min(64)],
+        tile_size: [8, 8, (n_cells[2] / 2).clamp(8, 64)],
         guard: 2,
         cfl: 1.0,
         solver: SolverKind::Ckc,

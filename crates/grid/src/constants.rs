@@ -4,7 +4,7 @@
 pub const C: f64 = 299_792_458.0;
 
 /// Vacuum permittivity, F/m.
-pub const EPS0: f64 = 8.854_187_8128e-12;
+pub const EPS0: f64 = 8.854_187_812_8e-12;
 
 /// Vacuum permeability, H/m.
 pub const MU0: f64 = 1.256_637_062_12e-6;
@@ -13,7 +13,7 @@ pub const MU0: f64 = 1.256_637_062_12e-6;
 pub const Q_E: f64 = 1.602_176_634e-19;
 
 /// Electron mass, kg.
-pub const M_E: f64 = 9.109_383_7015e-31;
+pub const M_E: f64 = 9.109_383_701_5e-31;
 
 /// Proton mass, kg.
 pub const M_P: f64 = 1.672_621_923_69e-27;

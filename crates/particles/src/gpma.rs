@@ -580,7 +580,7 @@ mod tests {
     #[test]
     fn insertion_of_new_particle() {
         let cells = vec![0, 1];
-        let mut g = Gpma::build(&cells, 2, 0.5);
+        let g = Gpma::build(&cells, 2, 0.5);
         let extended = vec![0, 1, 1];
         let mut g2 = g.clone();
         g2.queue_insert(2, 1);

@@ -87,7 +87,7 @@ mod tests {
     fn permutation_is_bijection() {
         let keys: Vec<usize> = (0..100).map(|i| (i * 7 + 3) % 10).collect();
         let (perm, _) = counting_sort_keys(&keys, 10);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &p in &perm {
             assert!(!seen[p]);
             seen[p] = true;

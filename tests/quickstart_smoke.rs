@@ -1,0 +1,58 @@
+//! Smoke test pinning the facade's public quickstart path: the exact
+//! sequence from the `src/lib.rs` doctest and `examples/quickstart.rs`
+//! must keep building a sim, running steps, and producing a nonzero
+//! cycle-model report. Guards the crate-level re-exports as much as the
+//! behaviour: if a workspace refactor drops a re-export this stops
+//! compiling.
+
+use matrix_pic::core::workloads;
+use matrix_pic::deposit::{KernelConfig, ShapeOrder};
+
+#[test]
+fn quickstart_path_runs_three_steps_and_reports_cycles() {
+    let mut sim =
+        workloads::uniform_plasma_sim([8, 8, 8], 4, ShapeOrder::Cic, KernelConfig::FullOpt, 42);
+    sim.run(3);
+
+    assert_eq!(sim.step_index(), 3, "run(3) must advance exactly 3 steps");
+
+    let report = sim.report();
+    assert_eq!(report.len(), 3, "one StepTimings entry per step");
+    assert!(
+        report.deposition_cycles() > 0.0,
+        "deposition must consume cycles on a populated plasma"
+    );
+    assert!(
+        report.total_cycles() >= report.deposition_cycles(),
+        "deposition is a subset of the whole step"
+    );
+
+    let cfg = sim.cfg.machine.clone();
+    let pps = report.particles_per_second(&cfg);
+    assert!(
+        pps.is_finite() && pps > 0.0,
+        "throughput must be positive and finite, got {pps}"
+    );
+    assert!(report.deposition_seconds(&cfg) > 0.0);
+    assert!(report.wall_seconds_per_step(&cfg) > 0.0);
+}
+
+#[test]
+fn quickstart_path_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut sim = workloads::uniform_plasma_sim(
+            [8, 8, 8],
+            2,
+            ShapeOrder::Cic,
+            KernelConfig::FullOpt,
+            seed,
+        );
+        sim.run(2);
+        sim.report().total_cycles()
+    };
+    assert_eq!(
+        run(7),
+        run(7),
+        "same seed must reproduce the same cycle count"
+    );
+}

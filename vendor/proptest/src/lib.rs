@@ -1,0 +1,356 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering the subset of its API this workspace's property tests
+//! use: the [`proptest!`] macro with `|(binding in strategy, ...)| { .. }`
+//! syntax, [`ProptestConfig::with_cases`], range and tuple strategies,
+//! `prop::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//!
+//! * **No shrinking.** A failing case reports the concrete generated
+//!   inputs so it can be replayed by hand, but is not minimised.
+//! * **Deterministic seeding.** Every `proptest!` run derives its RNG
+//!   stream from a fixed seed plus the case index, so CI failures
+//!   reproduce locally without a persistence file.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Error carried out of a failing property body by the `prop_assert*`
+/// macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep parity so un-configured
+        // properties get comparable coverage.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Wraps the vendored `rand` shim so the
+/// whole workspace shares one generator implementation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic stream for a given property (identified by its
+    /// source location salt) and case index.
+    pub fn for_case(salt: u64, case: u64) -> Self {
+        // Golden-ratio spacing decorrelates per-case streams; the salt
+        // decorrelates distinct properties so two tests with the same
+        // strategy shape do not replay identical inputs.
+        TestRng {
+            inner: StdRng::seed_from_u64(
+                salt ^ 0xC0FF_EE00_D15E_A5E5 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        }
+    }
+}
+
+/// FNV-1a hash of a property's source location, used to give every
+/// `proptest!` call site its own input stream (still fully deterministic
+/// across runs — failures replay without a persistence file).
+#[doc(hidden)]
+pub fn location_salt(file: &str, line: u32, column: u32) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in file.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for b in line.to_le_bytes().iter().chain(column.to_le_bytes().iter()) {
+        h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy` minus
+/// shrinking: `generate` produces one random value.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// `proptest::collection` subset.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` path used inside `proptest!` bodies
+/// (`prop::collection::vec(..)` etc.).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Fail the current property case unless `cond` holds. Usable only
+/// inside a `proptest!` body (expands to an early `return Err(..)`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current property case unless the two operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fail the current property case if the two operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Run a property: `proptest!(|(x in 0usize..10, v in vec(..))| { .. })`,
+/// optionally with a leading [`ProptestConfig`] argument.
+///
+/// Binding names must be plain identifiers (all uses in this workspace
+/// are). Strategies may be arbitrary expressions; a comma at paren
+/// nesting depth 0 separates bindings, exactly like real proptest.
+#[macro_export]
+macro_rules! proptest {
+    // The closure-only arm must come first: a leading `$config:expr`
+    // fragment would otherwise abort while trying to parse
+    // `|(x in ..)| {..}` as an expression instead of falling through.
+    (|($($bindings:tt)*)| $body:block) => {
+        $crate::__proptest_parse!(@parse ($crate::ProptestConfig::default()); $body; []; $($bindings)*)
+    };
+    ($config:expr, |($($bindings:tt)*)| $body:block) => {
+        $crate::__proptest_parse!(@parse ($config); $body; []; $($bindings)*)
+    };
+}
+
+/// Internal tt-muncher for [`proptest!`]: splits `name in strategy` pairs
+/// on top-level commas, then expands the runner loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // All bindings consumed -> expand the runner.
+    (@parse $cfg:tt; $body:block; [$($done:tt)*];) => {
+        $crate::__proptest_parse!(@run $cfg; $body; [$($done)*])
+    };
+    // Start of one binding: `name in ...`.
+    (@parse $cfg:tt; $body:block; [$($done:tt)*]; $name:ident in $($rest:tt)*) => {
+        $crate::__proptest_parse!(@strat $cfg; $body; [$($done)*]; $name; []; $($rest)*)
+    };
+    // Top-level comma ends the strategy expression for `$name`.
+    (@strat $cfg:tt; $body:block; [$($done:tt)*]; $name:ident; [$($acc:tt)*]; , $($rest:tt)*) => {
+        $crate::__proptest_parse!(@parse $cfg; $body; [$($done)* ($name; $($acc)*)]; $($rest)*)
+    };
+    // End of input also ends the strategy expression.
+    (@strat $cfg:tt; $body:block; [$($done:tt)*]; $name:ident; [$($acc:tt)*];) => {
+        $crate::__proptest_parse!(@parse $cfg; $body; [$($done)* ($name; $($acc)*)];)
+    };
+    // Any other token belongs to the strategy expression.
+    (@strat $cfg:tt; $body:block; [$($done:tt)*]; $name:ident; [$($acc:tt)*]; $tok:tt $($rest:tt)*) => {
+        $crate::__proptest_parse!(@strat $cfg; $body; [$($done)*]; $name; [$($acc)* $tok]; $($rest)*)
+    };
+    // Runner: N cases, fresh deterministic RNG per case, body runs in a
+    // Result-returning closure so `prop_assert*` can early-return.
+    (@run ($cfg:expr); $body:block; [$(($name:ident; $($strat:tt)*))*]) => {{
+        let __cfg: $crate::ProptestConfig = $cfg;
+        let __salt = $crate::location_salt(file!(), line!(), column!());
+        for __case in 0..__cfg.cases {
+            let mut __rng = $crate::TestRng::for_case(__salt, __case as u64);
+            $(let $name = $crate::Strategy::generate(&($($strat)*), &mut __rng);)*
+            let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                $body
+                ::core::result::Result::Ok(())
+            })();
+            if let ::core::result::Result::Err(__err) = __result {
+                panic!(
+                    "proptest case {}/{} failed: {}\n  inputs:{}",
+                    __case + 1,
+                    __cfg.cases,
+                    __err,
+                    String::new() $(+ &format!("\n    {} = {:?}", stringify!($name), $name))*,
+                );
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        proptest!(ProptestConfig::with_cases(64), |(
+            x in 1usize..10,
+            y in 0.0f64..1.0,
+            pair in (0u8..3, 5usize..=7),
+            v in prop::collection::vec(0usize..4, 0..20),
+        )| {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!(pair.0 < 3);
+            prop_assert!((5..=7).contains(&pair.1));
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        });
+    }
+
+    #[test]
+    fn no_trailing_comma_single_binding_parses() {
+        proptest!(|(keys in prop::collection::vec(0usize..32, 0..50))| {
+            prop_assert!(keys.len() < 50);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest!(ProptestConfig::with_cases(8), |(x in 0usize..10)| {
+            prop_assert!(x > 100, "x was {}", x);
+        });
+    }
+
+    #[test]
+    fn prop_assert_eq_reports_both_sides() {
+        proptest!(ProptestConfig::with_cases(4), |(x in 3usize..4)| {
+            prop_assert_eq!(x, 3);
+            prop_assert_ne!(x, 4);
+        });
+    }
+}
