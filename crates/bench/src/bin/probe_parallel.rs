@@ -1,0 +1,206 @@
+//! Host-performance probe for the parallel tile pipeline: runs the
+//! uniform-plasma FullOpt workload at several worker counts, verifies
+//! that fields and emulated cycle totals are bit-identical across them,
+//! and records host wall-clock numbers in `BENCH_step.json` so the perf
+//! trajectory of the step loop is tracked in-repo.
+//!
+//! Exit code is nonzero if the determinism check fails, making this bin
+//! usable as a CI gate.
+//!
+//! Usage: `probe_parallel [ppc] [steps]` (defaults: 8, 3).
+
+use std::time::Instant;
+
+use mpic_core::workloads;
+use mpic_deposit::{KernelConfig, ShapeOrder};
+use mpic_machine::Phase;
+
+/// Grid of the probe workload (matches `mpic_bench::UNIFORM_CELLS`).
+const CELLS: [usize; 3] = [32, 32, 32];
+
+/// Sequential host ms/step of this workload measured at the commit
+/// before the parallel pipeline landed (PR 1 tree, same container
+/// class). Kept as the fixed reference point for the
+/// `single_thread_vs_pre_pr` ratio below.
+const PRE_PR_SEQUENTIAL_MS_PER_STEP: f64 = 286.4;
+
+struct ProbeResult {
+    workers: usize,
+    host_ms_per_step: f64,
+    emulated_ms_per_step: f64,
+    /// Bit patterns of jx, jy, jz (worker-count invariance gate).
+    currents: [Vec<u64>; 3],
+    cycles: [f64; 8],
+    particles: usize,
+}
+
+fn run_probe(workers: usize, ppc: usize, steps: usize) -> ProbeResult {
+    let mut sim =
+        workloads::uniform_plasma_sim(CELLS, ppc, ShapeOrder::Cic, KernelConfig::FullOpt, 42);
+    sim.cfg.num_workers = workers;
+    sim.step(); // Warm-up: first-touch, pool growth, cold host caches.
+    let skip = sim.report().len();
+    let t0 = Instant::now();
+    sim.run(steps);
+    let host_ms_per_step = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
+    let measured: f64 = sim
+        .report()
+        .steps
+        .iter()
+        .skip(skip)
+        .map(|s| s.total())
+        .sum();
+    let emulated_ms_per_step = 1e3 * sim.cfg.machine.cycles_to_seconds(measured) / steps as f64;
+    let mut cycles = [0.0; 8];
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        cycles[i] = sim.machine.counters().cycles(*p);
+    }
+    ProbeResult {
+        workers,
+        host_ms_per_step,
+        emulated_ms_per_step,
+        currents: [&sim.fields.jx, &sim.fields.jy, &sim.fields.jz]
+            .map(|a| a.as_slice().iter().map(|v| v.to_bits()).collect()),
+        cycles,
+        particles: sim.num_particles(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ppc: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("== probe_parallel: uniform {CELLS:?} ppc {ppc}, FullOpt/CIC, {steps} steps ==");
+    println!("host CPUs available: {host_cpus}");
+    println!(
+        "{:>8} {:>14} {:>16} {:>12}",
+        "workers", "host ms/step", "emulated ms/step", "particles"
+    );
+
+    let worker_counts = [1usize, 2, 4];
+    let results: Vec<ProbeResult> = worker_counts
+        .iter()
+        .map(|&w| {
+            let r = run_probe(w, ppc, steps);
+            println!(
+                "{:>8} {:>14.1} {:>16.3} {:>12}",
+                r.workers, r.host_ms_per_step, r.emulated_ms_per_step, r.particles
+            );
+            r
+        })
+        .collect();
+
+    // Determinism gate: every worker count must reproduce the 1-worker
+    // run bit for bit, in both fields and per-phase cycle totals.
+    let base = &results[0];
+    let mut deterministic = true;
+    for r in &results[1..] {
+        for (name, i) in [("jx", 0), ("jy", 1), ("jz", 2)] {
+            if r.currents[i] != base.currents[i] {
+                eprintln!("FAIL: {name} differs between 1 and {} workers", r.workers);
+                deterministic = false;
+            }
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if r.cycles[i].to_bits() != base.cycles[i].to_bits() {
+                eprintln!(
+                    "FAIL: {p:?} cycles differ between 1 and {} workers: {} vs {}",
+                    r.workers, base.cycles[i], r.cycles[i]
+                );
+                deterministic = false;
+            }
+        }
+    }
+    println!(
+        "determinism (fields + per-phase cycles, 1 vs 2 vs 4 workers): {}",
+        if deterministic {
+            "BIT-IDENTICAL"
+        } else {
+            "FAILED"
+        }
+    );
+
+    let s1 = base.host_ms_per_step;
+    let s4 = results.last().unwrap().host_ms_per_step;
+    let speedup_4w = s1 / s4;
+    let vs_pre_pr = PRE_PR_SEQUENTIAL_MS_PER_STEP / s1;
+    println!("4-worker speedup over 1 worker (this host): {speedup_4w:.2}x");
+    println!(
+        "1-worker speedup over pre-PR sequential baseline ({PRE_PR_SEQUENTIAL_MS_PER_STEP} ms/step): {vs_pre_pr:.2}x"
+    );
+    // Serialization check: on a host with >=4 CPUs the sharded phases
+    // (~90% of step time) should show real thread-level speedup; a
+    // 4-worker run at <1.3x suggests something re-serialized the
+    // pipeline (a shared lock, a degenerate chunk size, ...). The
+    // threshold sits well below the multi-core target (>=2x) to
+    // tolerate noisy shared runners. Warn-only for now: it has not yet
+    // been calibrated on a multi-core host (the dev container exposes
+    // one CPU), so it reports loudly without going red — flip to a hard
+    // gate once CI has a multi-core baseline. On smaller hosts it is
+    // informational only.
+    let scaling_ok = host_cpus < 4 || speedup_4w >= 1.3;
+    if host_cpus < 4 {
+        println!(
+            "note: only {host_cpus} host CPU(s) visible; thread-level speedup is bounded by the host, not the pipeline"
+        );
+    } else if !scaling_ok {
+        eprintln!(
+            "WARN: {host_cpus}-CPU host but 4-worker speedup is only {speedup_4w:.2}x (<1.3x): the tile pipeline may be serialized"
+        );
+    }
+
+    // BENCH_step.json: the tracked perf record for this step loop.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"probe_parallel\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"cells\": [{}, {}, {}], \"ppc\": {ppc}, \"kernel\": \"FullOpt\", \"shape\": \"CIC\", \"measured_steps\": {steps}, \"particles\": {}}},\n",
+        CELLS[0], CELLS[1], CELLS[2], base.particles
+    ));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!(
+        "  \"pre_pr_sequential_ms_per_step\": {PRE_PR_SEQUENTIAL_MS_PER_STEP},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"host_ms_per_step\": {:.2}, \"emulated_ms_per_step\": {:.4}}}{}\n",
+            r.workers,
+            r.host_ms_per_step,
+            r.emulated_ms_per_step,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_4_workers_vs_1\": {speedup_4w:.3},\n  \"speedup_1_worker_vs_pre_pr\": {vs_pre_pr:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"determinism\": \"{}\",\n  \"thread_scaling\": \"{}\"\n}}\n",
+        if deterministic {
+            "bit-identical"
+        } else {
+            "FAILED"
+        },
+        if host_cpus < 4 {
+            "not-assessable-on-this-host"
+        } else if scaling_ok {
+            "ok"
+        } else {
+            "below-threshold"
+        }
+    ));
+    let path = "BENCH_step.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !deterministic {
+        std::process::exit(1);
+    }
+}

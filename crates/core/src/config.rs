@@ -36,6 +36,10 @@ pub struct SimConfig {
     pub machine: MachineConfig,
     /// RNG seed for particle loading.
     pub seed: u64,
+    /// Host worker threads sharding the tile loops (gather+push and the
+    /// rhocell deposit pipeline). Results and emulated cycle totals are
+    /// bit-identical for any value; only host wall-clock changes.
+    pub num_workers: usize,
 }
 
 impl SimConfig {
@@ -56,6 +60,7 @@ impl SimConfig {
             absorber: AbsorbingLayer::default(),
             machine: MachineConfig::lx2(),
             seed: 0x5eed,
+            num_workers: 1,
         }
     }
 }

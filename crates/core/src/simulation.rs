@@ -1,13 +1,14 @@
 //! The PIC simulation orchestrator: Algorithm 1 embedded in the standard
 //! gather -> push -> sort -> deposit -> field-solve loop.
 
-use mpic_deposit::{canonical_flops_per_particle, Depositor, SortStrategy};
+use mpic_deposit::{canonical_flops_per_particle, Depositor, ShapeOrder, SortStrategy};
 use mpic_grid::constants::C;
 use mpic_grid::{FieldArrays, GridGeometry, TileLayout};
 use mpic_machine::{Machine, Phase, VAddr};
-use mpic_particles::{ParticleContainer, RankSortStats, INVALID_PARTICLE_ID};
+use mpic_particles::{ParticleContainer, ParticleTile, RankSortStats, INVALID_PARTICLE_ID};
 use mpic_push::boris::{boris_push, charge_push, BorisCoeffs};
-use mpic_push::gather::{charge_gather, gather_fields, GatherCost};
+use mpic_push::gather::{charge_gather, gather_fields_with_cell, GatherCost};
+use mpic_push::PushScratch;
 use mpic_solver::{BoundaryKind, MaxwellSolver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,6 +55,8 @@ pub struct Simulation {
     field_addrs: [VAddr; 6],
     rng: StdRng,
     report: RunReport,
+    /// Per-worker reusable gather/push buffers (index = worker id).
+    push_scratch: Vec<PushScratch>,
 }
 
 impl Simulation {
@@ -96,6 +99,7 @@ impl Simulation {
             field_addrs,
             rng,
             report: RunReport::default(),
+            push_scratch: Vec::new(),
         }
     }
 
@@ -174,12 +178,13 @@ impl Simulation {
         }
 
         // --- Current deposition ----------------------------------------
-        self.depositor.deposit_step(
+        self.depositor.deposit_step_parallel(
             &mut self.machine,
             &self.geom,
             &self.layout,
             &self.electrons,
             &mut self.fields,
+            self.cfg.num_workers,
         );
         // Credit canonical useful work (section 5.2.2).
         let n = self.num_particles();
@@ -220,90 +225,55 @@ impl Simulation {
         &self.report
     }
 
-    /// Gather + Boris push + position boundaries for every particle.
+    /// Gather + Boris push + position boundaries for every particle,
+    /// sharded across `cfg.num_workers` scoped threads (tiles are
+    /// independent: each worker mutates only its own tiles and reads the
+    /// shared immutable field state).
+    ///
+    /// Each tile is charged on a forked worker machine with a per-tile
+    /// cold private cache, and counter deltas merge back in tile order —
+    /// so positions, momenta and emulated cycles are bit-identical for
+    /// any worker count.
     fn push_particles(&mut self) {
         let order = self.cfg.shape;
         let nodes = order.nodes_3d();
         let absorbing = self.cfg.boundary == BoundaryKind::AbsorbingZ;
         let zlo = self.geom.lo[2];
         let zhi = self.geom.hi()[2];
-        let mut total = 0usize;
-        for (t, tile) in self.electrons.tiles.iter_mut().enumerate() {
-            let live: Vec<usize> = tile.soa.live_indices().collect();
-            if live.is_empty() {
-                continue;
-            }
-            total += live.len();
-            let mut sample_idx = Vec::with_capacity(live.len());
-            let mut removals: Vec<(usize, usize)> = Vec::new();
-            for &p in &live {
-                let (e, b) = gather_fields(
-                    &self.geom,
-                    order,
-                    &self.fields,
-                    tile.soa.x[p],
-                    tile.soa.y[p],
-                    tile.soa.z[p],
-                );
-                let (cell, _) = self
-                    .geom
-                    .locate(tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
-                let cw = self.geom.wrap_cell(cell);
-                sample_idx.push(self.fields.ex.idx(
-                    cw[0] + self.geom.guard,
-                    cw[1] + self.geom.guard,
-                    cw[2] + self.geom.guard,
-                ));
-                let (mut x, mut y, mut z) = (tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
-                let (mut ux, mut uy, mut uz) = (tile.soa.ux[p], tile.soa.uy[p], tile.soa.uz[p]);
-                boris_push(
-                    &self.boris,
-                    e,
-                    b,
-                    &mut ux,
-                    &mut uy,
-                    &mut uz,
-                    &mut x,
-                    &mut y,
-                    &mut z,
-                );
-                // Periodic wrap in x/y (and z when fully periodic).
-                let wrapped = self.geom.wrap_position([x, y, z]);
-                x = wrapped[0];
-                y = wrapped[1];
-                if absorbing {
-                    if z < zlo || z >= zhi {
-                        removals.push((p, tile.cells[p]));
-                    }
-                } else {
-                    z = wrapped[2];
-                }
-                tile.soa.x[p] = x;
-                tile.soa.y[p] = y;
-                tile.soa.z[p] = z;
-                tile.soa.ux[p] = ux;
-                tile.soa.uy[p] = uy;
-                tile.soa.uz[p] = uz;
-            }
-            for &(p, bin) in &removals {
-                tile.gpma.queue_remove(p, bin);
-                tile.cells[p] = INVALID_PARTICLE_ID;
-                tile.soa.remove(p);
-            }
-            if !removals.is_empty() {
-                tile.gpma.apply_pending_moves(&tile.cells);
-            }
-            charge_gather(
-                &mut self.machine,
-                GatherCost::default(),
-                live.len(),
-                nodes,
-                &self.field_addrs,
-                &sample_idx,
-            );
-            let _ = t;
+        let workers = self.cfg.num_workers.max(1);
+        if self.push_scratch.len() < workers {
+            self.push_scratch.resize_with(workers, PushScratch::default);
         }
-        charge_push(&mut self.machine, total);
+        let geom = &self.geom;
+        let fields = &self.fields;
+        let boris = self.boris;
+        let field_addrs = self.field_addrs;
+        let counters = mpic_machine::run_sharded(
+            &self.machine,
+            &mut self.electrons.tiles,
+            &mut self.push_scratch,
+            workers,
+            |wm, _t, tile, scratch| {
+                push_tile(
+                    wm,
+                    geom,
+                    order,
+                    nodes,
+                    fields,
+                    &field_addrs,
+                    &boris,
+                    absorbing,
+                    zlo,
+                    zhi,
+                    tile,
+                    scratch,
+                );
+            },
+        );
+        // Deterministic fixed-order counter merge (tile order).
+        for c in &counters {
+            self.machine.absorb_counters(c);
+        }
     }
 
     /// Shifts the moving window when it has advanced one cell.
@@ -392,6 +362,86 @@ impl Simulation {
             self.pending_global_sort = true;
         }
     }
+}
+
+/// One tile's gather + Boris push + boundary handling, charged on the
+/// worker machine `wm` with a fresh per-tile cache. All mutation is
+/// tile-local; the field state is read-only.
+#[allow(clippy::too_many_arguments)]
+fn push_tile(
+    wm: &mut Machine,
+    geom: &GridGeometry,
+    order: ShapeOrder,
+    nodes: usize,
+    fields: &FieldArrays,
+    field_addrs: &[VAddr; 6],
+    boris: &BorisCoeffs,
+    absorbing: bool,
+    zlo: f64,
+    zhi: f64,
+    tile: &mut ParticleTile,
+    scratch: &mut PushScratch,
+) {
+    scratch.clear();
+    scratch.live.extend(tile.soa.live_indices());
+    if scratch.live.is_empty() {
+        return;
+    }
+    wm.mem().flush_cache();
+    for &p in &scratch.live {
+        let (e, b, cw) = gather_fields_with_cell(
+            geom,
+            order,
+            fields,
+            tile.soa.x[p],
+            tile.soa.y[p],
+            tile.soa.z[p],
+        );
+        scratch.sample_idx.push(fields.ex.idx(
+            cw[0] + geom.guard,
+            cw[1] + geom.guard,
+            cw[2] + geom.guard,
+        ));
+        let (mut x, mut y, mut z) = (tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
+        let (mut ux, mut uy, mut uz) = (tile.soa.ux[p], tile.soa.uy[p], tile.soa.uz[p]);
+        boris_push(
+            boris, e, b, &mut ux, &mut uy, &mut uz, &mut x, &mut y, &mut z,
+        );
+        // Periodic wrap in x/y (and z when fully periodic).
+        let wrapped = geom.wrap_position([x, y, z]);
+        x = wrapped[0];
+        y = wrapped[1];
+        if absorbing {
+            if z < zlo || z >= zhi {
+                scratch.removals.push((p, tile.cells[p]));
+            }
+        } else {
+            z = wrapped[2];
+        }
+        tile.soa.x[p] = x;
+        tile.soa.y[p] = y;
+        tile.soa.z[p] = z;
+        tile.soa.ux[p] = ux;
+        tile.soa.uy[p] = uy;
+        tile.soa.uz[p] = uz;
+    }
+    for &(p, bin) in &scratch.removals {
+        tile.gpma.queue_remove(p, bin);
+        tile.cells[p] = INVALID_PARTICLE_ID;
+        tile.soa.remove(p);
+    }
+    if !scratch.removals.is_empty() {
+        tile.gpma.apply_pending_moves(&tile.cells);
+    }
+    charge_gather(
+        wm,
+        GatherCost::default(),
+        scratch.live.len(),
+        nodes,
+        field_addrs,
+        &scratch.sample_idx,
+    );
+    charge_push(wm, scratch.live.len());
 }
 
 #[cfg(test)]

@@ -130,6 +130,7 @@ pub fn uniform_plasma_config(
         absorber: AbsorbingLayer::default(),
         machine: mpic_machine::MachineConfig::lx2(),
         seed,
+        num_workers: 1,
     }
 }
 
@@ -179,6 +180,7 @@ pub fn lwfa_config(
         absorber: AbsorbingLayer::default(),
         machine: mpic_machine::MachineConfig::lx2(),
         seed,
+        num_workers: 1,
     }
 }
 

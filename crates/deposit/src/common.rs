@@ -69,6 +69,25 @@ pub fn stage_particle(
     }
 }
 
+/// Wrapped, guarded node coordinate along axis `d` for support offset
+/// `a` of a particle in physical cell `cell_d`.
+///
+/// The single source of truth for the periodic node wrap: both the
+/// deposit side ([`node_index`]) and the gather side
+/// (`mpic_push::gather_fields`) must target the same grid nodes, so
+/// both derive their coordinates from this helper.
+#[inline]
+pub fn node_coord(
+    geom: &GridGeometry,
+    order: ShapeOrder,
+    d: usize,
+    cell_d: usize,
+    a: usize,
+) -> usize {
+    let v = (cell_d as i64 + order.start_offset() + a as i64).rem_euclid(geom.n_cells[d] as i64);
+    v as usize + geom.guard
+}
+
 /// Node index (wrapped periodically) for support offsets `(a, b, c)` of a
 /// staged particle, in guarded array coordinates.
 #[inline]
@@ -80,12 +99,10 @@ pub fn node_index(
     b: usize,
     c: usize,
 ) -> [usize; 3] {
-    let s0 = order.start_offset();
-    let wrap = |v: i64, n: usize| (v.rem_euclid(n as i64)) as usize;
     [
-        wrap(staged.cell[0] as i64 + s0 + a as i64, geom.n_cells[0]) + geom.guard,
-        wrap(staged.cell[1] as i64 + s0 + b as i64, geom.n_cells[1]) + geom.guard,
-        wrap(staged.cell[2] as i64 + s0 + c as i64, geom.n_cells[2]) + geom.guard,
+        node_coord(geom, order, 0, staged.cell[0], a),
+        node_coord(geom, order, 1, staged.cell[1], b),
+        node_coord(geom, order, 2, staged.cell[2], c),
     ]
 }
 
@@ -168,10 +185,16 @@ pub enum PrepStyle {
 
 /// Staged per-tile deposition data in term-major SoA layout — the
 /// "temporary 1-D arrays" Algorithm 2 Stage 1 produces.
+///
+/// Instances are pooled per worker (see [`TileScratch`]) and recycled
+/// tile after tile via [`Staging::reset`], so the step loop performs no
+/// heap allocation once the buffers have grown to the largest tile.
 #[derive(Debug, Clone, Default)]
 pub struct Staging {
     /// Number of staged particles.
     pub n: usize,
+    /// Shape support the buffers are currently laid out for.
+    support: usize,
     /// Tile-local cell id per staged particle (GPMA bin); drives the
     /// cell-grouped MPU sweep and the rhocell target.
     pub cell_local: Vec<usize>,
@@ -184,16 +207,67 @@ pub struct Staging {
 }
 
 impl Staging {
+    /// Resizes (reusing capacity) and zeroes the buffers for a tile of
+    /// `n` particles at shape support `support`. Every buffer is sized
+    /// exactly, so stale data from a previously staged tile can never
+    /// alias into the new layout.
+    pub fn reset(&mut self, n: usize, support: usize) {
+        self.n = n;
+        self.support = support;
+        self.cell_local.clear();
+        self.cell_local.resize(n, 0);
+        self.cell.clear();
+        self.cell.resize(n, [0; 3]);
+        for c in &mut self.wq {
+            c.clear();
+            c.resize(n, 0.0);
+        }
+        for d in &mut self.shape {
+            d.clear();
+            d.resize(support * n, 0.0);
+        }
+    }
+
+    /// Shape support the staging buffers are laid out for.
+    pub fn support(&self) -> usize {
+        self.support
+    }
+
     /// Shape term `a` of dimension `d` for staged particle `p`.
+    ///
+    /// The flat `shape` buffers are term-major (`a * n + p`); with pooled
+    /// buffers an out-of-range `a` or `p` could silently read another
+    /// term's data instead of panicking, so the layout coordinates are
+    /// debug-asserted here.
     #[inline]
     pub fn s(&self, d: usize, a: usize, p: usize) -> f64 {
+        debug_assert!(d < 3, "shape dimension {d} out of range");
+        debug_assert!(
+            a < self.support,
+            "shape term {a} out of support {}",
+            self.support
+        );
+        debug_assert!(p < self.n, "staged particle {p} out of {}", self.n);
         self.shape[d][a * self.n + p]
     }
 }
 
+/// Per-worker pool of reusable tile-processing buffers: the staging
+/// arrays plus the sorted-iteration index buffer. One instance per
+/// parallel worker keeps the deposit hot path allocation-free without
+/// any cross-worker synchronisation.
+#[derive(Debug, Clone, Default)]
+pub struct TileScratch {
+    /// Staged per-particle data, recycled across tiles.
+    pub staging: Staging,
+    /// Iteration order (GPMA-sorted or live-slot) for the current tile.
+    pub iteration: Vec<usize>,
+}
+
 /// Runs the preprocessing stage for one tile: loads particle data in the
 /// given iteration order, computes cell indices, shape factors and
-/// effective currents, and stores them to staging arrays.
+/// effective currents, and stores them into `st` (a pooled [`Staging`],
+/// reset and refilled in place — no allocation once warm).
 ///
 /// `iteration` lists SoA indices in processing order (GPMA-sorted or
 /// raw); contiguous chunks are charged as unit-stride vector loads while
@@ -213,22 +287,13 @@ pub fn stage_tile(
     soa_addr: &[VAddr; 7],
     staging_addr: VAddr,
     prep: PrepStyle,
-) -> Staging {
+    st: &mut Staging,
+) {
     let _ = staging_addr; // Retained for future cache-priced staging.
     use mpic_machine::Phase;
     let n = iteration.len();
     let support = order.support();
-    let mut st = Staging {
-        n,
-        cell_local: vec![0; n],
-        cell: vec![[0; 3]; n],
-        wq: [vec![0.0; n], vec![0.0; n], vec![0.0; n]],
-        shape: [
-            vec![0.0; support * n],
-            vec![0.0; support * n],
-            vec![0.0; support * n],
-        ],
-    };
+    st.reset(n, support);
 
     // Functional fill.
     for (p, &i) in iteration.iter().enumerate() {
@@ -298,7 +363,6 @@ pub fn stage_tile(
             }
         }
     });
-    st
 }
 
 #[cfg(test)]
@@ -365,6 +429,23 @@ mod tests {
         assert_eq!(n, [7 + 2, 7 + 2, 7 + 2]);
         let n2 = node_index(&g, &s, ShapeOrder::Qsp, 1, 1, 1);
         assert_eq!(n2, [2, 2, 2]);
+    }
+
+    #[test]
+    fn staging_reset_sizes_buffers_exactly() {
+        let mut st = Staging::default();
+        st.reset(10, 4);
+        st.shape[0][39] = 7.0; // Last slot of the old layout.
+        assert_eq!(st.shape[0].len(), 40);
+        st.reset(3, 2);
+        assert_eq!(st.n, 3);
+        assert_eq!(st.support(), 2);
+        assert_eq!(
+            st.shape[0].len(),
+            6,
+            "pooled buffer must shrink logically so stale terms cannot alias"
+        );
+        assert!(st.shape[0].iter().all(|&v| v == 0.0));
     }
 
     #[test]

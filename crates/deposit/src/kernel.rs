@@ -11,7 +11,7 @@ use mpic_grid::{Array3, FieldArrays, GridGeometry, Tile, TileLayout};
 use mpic_machine::{Machine, Phase, VAddr};
 use mpic_particles::{MoveStats, ParticleContainer, SortPolicy, SortStats};
 
-use crate::common::{stage_tile, AddrMap, PrepStyle, Staging};
+use crate::common::{stage_tile, AddrMap, PrepStyle, Staging, TileScratch};
 use crate::rhocell::Rhocell;
 use crate::shape::ShapeOrder;
 
@@ -50,7 +50,11 @@ pub struct TileCtx<'a> {
 }
 
 /// A current-deposition kernel variant.
-pub trait DepositionKernel {
+///
+/// `Send + Sync` because the parallel tile pipeline shares one kernel
+/// instance across worker threads; kernels are stateless configuration
+/// structs, so this costs nothing.
+pub trait DepositionKernel: Send + Sync {
     /// Human-readable configuration name (matches the paper's tables).
     fn name(&self) -> &'static str;
 
@@ -105,6 +109,8 @@ pub struct Depositor {
     addrs: Option<AddrMap>,
     rhocells: Vec<Rhocell>,
     order: ShapeOrder,
+    /// Per-worker reusable tile buffers (index = worker id).
+    scratch: Vec<TileScratch>,
 }
 
 impl Depositor {
@@ -120,6 +126,7 @@ impl Depositor {
             addrs: None,
             rhocells: Vec::new(),
             order,
+            scratch: Vec::new(),
         }
     }
 
@@ -234,7 +241,8 @@ impl Depositor {
     }
 
     /// Runs staging, the kernel and (if applicable) the rhocell reduction
-    /// for every tile, writing current onto `fields`.
+    /// for every tile, writing current onto `fields`. Single-worker
+    /// convenience wrapper around [`Depositor::deposit_step_parallel`].
     pub fn deposit_step(
         &mut self,
         m: &mut Machine,
@@ -243,61 +251,100 @@ impl Depositor {
         container: &ParticleContainer,
         fields: &mut FieldArrays,
     ) {
+        self.deposit_step_parallel(m, geom, layout, container, fields, 1);
+    }
+
+    /// The parallel tile pipeline: shards tiles across `num_workers`
+    /// scoped threads for staging, the kernel sweep and the reduction
+    /// *cost* charging, then applies every tile's rhocell onto the grid
+    /// sequentially in tile order.
+    ///
+    /// Each tile executes on a forked worker machine whose cache is
+    /// flushed at the tile boundary — the model of one tile per core with
+    /// a private, initially cold cache — and its counter deltas are
+    /// drained per tile and merged back in tile order. Both the grid
+    /// currents and the emulated per-phase cycle totals are therefore
+    /// bit-identical for any worker count (see
+    /// `tests/parallel_determinism.rs`).
+    ///
+    /// Direct-scatter kernels (`uses_rhocell() == false`) interleave cost
+    /// charging with grid mutation and run sequentially on a single
+    /// worker fork, so their results are `num_workers`-independent by
+    /// construction.
+    pub fn deposit_step_parallel(
+        &mut self,
+        m: &mut Machine,
+        geom: &GridGeometry,
+        layout: &TileLayout,
+        container: &ParticleContainer,
+        fields: &mut FieldArrays,
+        num_workers: usize,
+    ) {
         fields.clear_currents();
         let addrs = self.addrs.as_ref().expect("prepare() not called");
         let sorted = self.strategy.provides_sorted_order();
         let j_addr = [addrs.jx, addrs.jy, addrs.jz];
+        let n_tiles = container.tiles.len();
+        let workers = if self.kernel.uses_rhocell() {
+            num_workers.clamp(1, n_tiles.max(1))
+        } else {
+            1
+        };
+        if self.scratch.len() < workers {
+            self.scratch.resize_with(workers, TileScratch::default);
+        }
+        let order = self.order;
+        let kernel: &dyn DepositionKernel = &*self.kernel;
 
-        for (t, ptile) in container.tiles.iter().enumerate() {
-            if ptile.is_empty() {
-                continue;
-            }
-            let tile = layout.tile(t);
-            let iteration: Vec<usize> = if sorted {
-                ptile.gpma.iter_sorted().map(|(_, p)| p).collect()
-            } else {
-                ptile.soa.live_indices().collect()
-            };
-            let st = stage_tile(
+        if kernel.uses_rhocell() {
+            let counters = mpic_machine::run_sharded(
                 m,
-                geom,
-                tile,
-                self.order,
-                container.charge,
-                &ptile.soa,
-                &iteration,
-                &addrs.soa[t],
-                addrs.staging,
-                self.kernel.prep_style(),
+                &mut self.rhocells,
+                &mut self.scratch,
+                workers,
+                |wm, t, rho, scratch| {
+                    deposit_tile_worker(
+                        wm, kernel, order, sorted, geom, layout, container, addrs, j_addr, t, rho,
+                        scratch,
+                    );
+                },
             );
-            let ctx = TileCtx {
-                geom,
-                tile,
-                order: self.order,
-                staging_addr: addrs.staging,
-            };
-            if self.kernel.uses_rhocell() {
-                let rho = &mut self.rhocells[t];
-                rho.clear();
-                {
-                    let mut out = TileOutput::Rho {
-                        rho_addr: addrs.rhocell[t],
-                        rho,
-                    };
-                    self.kernel.deposit_tile(m, &ctx, &st, &mut out);
+            // Fixed-order merges: tile-order counter absorption, then
+            // tile-order grid application — both independent of sharding.
+            for c in &counters {
+                m.absorb_counters(c);
+            }
+            for (t, rho) in self.rhocells.iter().enumerate() {
+                if container.tiles[t].is_empty() {
+                    continue;
                 }
-                rho.reduce_to_grid(
-                    m,
+                rho.apply_to_grid(
                     geom,
-                    tile,
-                    addrs.rhocell[t],
-                    j_addr,
+                    layout.tile(t),
                     &mut fields.jx,
                     &mut fields.jy,
                     &mut fields.jz,
                 );
-            } else {
-                // Split borrows of the three current arrays.
+            }
+        } else {
+            // Direct-scatter path: same per-tile worker model, run inline.
+            let mut wm = m.fork_worker();
+            let scratch = &mut self.scratch[0];
+            for (t, ptile) in container.tiles.iter().enumerate() {
+                if ptile.is_empty() {
+                    continue;
+                }
+                wm.mem().flush_cache();
+                let tile = layout.tile(t);
+                stage_tile_scratch(
+                    &mut wm, order, sorted, geom, tile, container, addrs, t, kernel, scratch,
+                );
+                let ctx = TileCtx {
+                    geom,
+                    tile,
+                    order,
+                    staging_addr: addrs.staging,
+                };
                 let f = &mut *fields;
                 let mut out = TileOutput::Grid {
                     j_addr,
@@ -305,10 +352,95 @@ impl Depositor {
                     jy: &mut f.jy,
                     jz: &mut f.jz,
                 };
-                self.kernel.deposit_tile(m, &ctx, &st, &mut out);
+                kernel.deposit_tile(&mut wm, &ctx, &scratch.staging, &mut out);
+                m.absorb_counters(&wm.drain_counters());
             }
         }
     }
+}
+
+/// Stages one tile into the worker's pooled buffers: collects the
+/// iteration order (GPMA-sorted or raw live slots) and runs the charged
+/// preprocessing sweep.
+#[allow(clippy::too_many_arguments)]
+fn stage_tile_scratch(
+    wm: &mut Machine,
+    order: ShapeOrder,
+    sorted: bool,
+    geom: &GridGeometry,
+    tile: &Tile,
+    container: &ParticleContainer,
+    addrs: &AddrMap,
+    t: usize,
+    kernel: &dyn DepositionKernel,
+    scratch: &mut TileScratch,
+) {
+    let ptile = &container.tiles[t];
+    scratch.iteration.clear();
+    if sorted {
+        scratch
+            .iteration
+            .extend(ptile.gpma.iter_sorted().map(|(_, p)| p));
+    } else {
+        scratch.iteration.extend(ptile.soa.live_indices());
+    }
+    stage_tile(
+        wm,
+        geom,
+        tile,
+        order,
+        container.charge,
+        &ptile.soa,
+        &scratch.iteration,
+        &addrs.soa[t],
+        addrs.staging,
+        kernel.prep_style(),
+        &mut scratch.staging,
+    );
+}
+
+/// Processes one tile end-to-end on a worker: per-tile cold cache, then
+/// staging, the kernel sweep into the tile's private rhocell, and the
+/// reduction cost charge. Grid values are *not* written here — the
+/// orchestrator applies rhocells in tile order afterwards.
+#[allow(clippy::too_many_arguments)]
+fn deposit_tile_worker(
+    wm: &mut Machine,
+    kernel: &dyn DepositionKernel,
+    order: ShapeOrder,
+    sorted: bool,
+    geom: &GridGeometry,
+    layout: &TileLayout,
+    container: &ParticleContainer,
+    addrs: &AddrMap,
+    j_addr: [VAddr; 3],
+    t: usize,
+    rho: &mut Rhocell,
+    scratch: &mut TileScratch,
+) {
+    if container.tiles[t].is_empty() {
+        return;
+    }
+    wm.mem().flush_cache();
+    let tile = layout.tile(t);
+    stage_tile_scratch(
+        wm, order, sorted, geom, tile, container, addrs, t, kernel, scratch,
+    );
+    let ctx = TileCtx {
+        geom,
+        tile,
+        order,
+        staging_addr: addrs.staging,
+    };
+    rho.clear();
+    {
+        let mut out = TileOutput::Rho {
+            rho_addr: addrs.rhocell[t],
+            rho: &mut *rho,
+        };
+        kernel.deposit_tile(wm, &ctx, &scratch.staging, &mut out);
+    }
+    rho.charge_reduction(wm, geom, tile, addrs.rhocell[t], j_addr);
 }
 
 /// Charges the cost of a global counting sort.

@@ -29,7 +29,9 @@ pub mod rhocell_vec;
 pub mod scalar;
 pub mod shape;
 
-pub use common::{stage_particle, velocity_from_u, AddrMap, PrepStyle, Staged, Staging};
+pub use common::{
+    stage_particle, velocity_from_u, AddrMap, PrepStyle, Staged, Staging, TileScratch,
+};
 pub use configs::KernelConfig;
 pub use kernel::{DepositionKernel, Depositor, SortStrategy, StepSortReport};
 pub use matrix::MatrixKernel;

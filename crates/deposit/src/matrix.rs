@@ -175,7 +175,10 @@ fn deposit_run_cic(
     // Extraction once per run: p1 block = rows 0-1 x cols 0-3, p2 block =
     // rows 2-3 x cols 4-7; node id = (c*2 + b)*2 + a = col*2 + row.
     for comp in 0..3 {
-        let rows: Vec<VReg> = (0..4).map(|r| m.t_read_row(COMP_TILE[comp], r)).collect();
+        let mut rows = [VReg::zero(); 4];
+        for (r, row) in rows.iter_mut().enumerate() {
+            *row = m.t_read_row(COMP_TILE[comp], r);
+        }
         let mut vals = [0.0; 8];
         for col in 0..4 {
             for row in 0..2 {

@@ -104,12 +104,48 @@ impl Rhocell {
             .sum()
     }
 
+    /// Maximum nodes per cell across shape orders (QSP: 4^3 = 64), sizing
+    /// the stack-resident node-index buffer of the reduction.
+    const MAX_NODES: usize = 64;
+
+    /// Grid node indices of every accumulator slot of `cell`, in node
+    /// order (shared by all three components, whose arrays are congruent).
+    /// Written into a caller-provided stack buffer — no allocation.
+    fn cell_node_indices(
+        &self,
+        geom: &GridGeometry,
+        tile: &Tile,
+        cell: usize,
+        idx: &mut [usize; Self::MAX_NODES],
+    ) {
+        let s = self.order.support();
+        // Node offsets are identical for every particle binned in this
+        // cell; a pseudo-staged record carries the geometry.
+        let pseudo = Staged {
+            cell: tile.global_cell(cell),
+            wq: [0.0; 3],
+            sx: [0.0; 4],
+            sy: [0.0; 4],
+            sz: [0.0; 4],
+        };
+        let dims = geom.dims_with_guard();
+        for (nd, slot) in idx.iter_mut().enumerate().take(self.nodes) {
+            let a = nd % s;
+            let b = (nd / s) % s;
+            let c = nd / (s * s);
+            let g = node_index(geom, &pseudo, self.order, a, b, c);
+            *slot = (g[2] * dims[1] + g[1]) * dims[0] + g[0];
+        }
+    }
+
     /// VPU-based reduction of the accumulators onto the global current
     /// arrays (Algorithm 2 Stage 3): for every cell and component, loads
     /// the contiguous node vector and scatter-adds it to the grid.
     ///
-    /// Charged to [`Phase::Reduce`]. `rho_addr` is the tile's rhocell
-    /// base; `j_addr` the three grid bases.
+    /// Equivalent to [`Rhocell::charge_reduction`] followed by
+    /// [`Rhocell::apply_to_grid`]; the parallel driver calls the two
+    /// halves separately (cost charged per worker, values applied in
+    /// deterministic tile order).
     #[allow(clippy::too_many_arguments)]
     pub fn reduce_to_grid(
         &self,
@@ -122,20 +158,29 @@ impl Rhocell {
         jy: &mut Array3,
         jz: &mut Array3,
     ) {
+        self.charge_reduction(m, geom, tile, rho_addr, j_addr);
+        self.apply_to_grid(geom, tile, jx, jy, jz);
+    }
+
+    /// Charges the full instruction and memory stream of the reduction —
+    /// node-vector loads plus grid scatter-adds with conflict pricing —
+    /// without touching grid data. Charged to [`Phase::Reduce`].
+    ///
+    /// `rho_addr` is the tile's rhocell base; `j_addr` the three grid
+    /// bases.
+    pub fn charge_reduction(
+        &self,
+        m: &mut Machine,
+        geom: &GridGeometry,
+        tile: &Tile,
+        rho_addr: VAddr,
+        j_addr: [VAddr; 3],
+    ) {
         m.in_phase(Phase::Reduce, |m| {
-            let s = self.order.support();
+            let mut idx = [0usize; Self::MAX_NODES];
             for cell in 0..self.n_cells {
-                // Node offsets are identical for every particle binned in
-                // this cell; a pseudo-staged record carries the geometry.
-                let gcell = tile.global_cell(cell);
-                let pseudo = Staged {
-                    cell: gcell,
-                    wq: [0.0; 3],
-                    sx: [0.0; 4],
-                    sy: [0.0; 4],
-                    sz: [0.0; 4],
-                };
-                for (comp, arr) in [&mut *jx, &mut *jy, &mut *jz].into_iter().enumerate() {
+                let mut indices_ready = false;
+                for comp in 0..3 {
                     let slice_start = self.index(comp, cell, 0);
                     let src = &self.data[slice_start..slice_start + self.nodes];
                     // Skip all-zero cells (common in sparse tiles) with a
@@ -144,30 +189,56 @@ impl Rhocell {
                         m.s_ops(1);
                         continue;
                     }
+                    if !indices_ready {
+                        self.cell_node_indices(geom, tile, cell, &mut idx);
+                        indices_ready = true;
+                    }
                     // Process the cell's node vector in full-width chunks:
                     // CIC's 8 nodes are one register, QSP's 64 are eight.
                     let mut node = 0;
                     while node < self.nodes {
                         let n = (self.nodes - node).min(VLANES);
-                        let idx: Vec<usize> = (node..node + n)
-                            .map(|nd| {
-                                let a = nd % s;
-                                let b = (nd / s) % s;
-                                let c = nd / (s * s);
-                                let g = node_index(geom, &pseudo, self.order, a, b, c);
-                                arr.idx(g[0], g[1], g[2])
-                            })
-                            .collect();
-                        let reg = m.v_load(
-                            rho_addr.offset_f64(slice_start + node),
-                            &src[node..node + n],
-                        );
-                        m.v_scatter_add(j_addr[comp], &idx, reg, arr.as_mut_slice());
+                        m.v_touch_load(rho_addr.offset_f64(slice_start + node), n);
+                        m.v_touch_scatter_add(j_addr[comp], &idx[node..node + n]);
                         node += n;
                     }
                 }
             }
         });
+    }
+
+    /// Applies the accumulated values onto the grid (the functional half
+    /// of the reduction; no cost model). Adds run in (cell, component,
+    /// node) order, so calling this per tile in tile order reproduces the
+    /// sequential reduction bit for bit regardless of how the rhocells
+    /// were computed.
+    pub fn apply_to_grid(
+        &self,
+        geom: &GridGeometry,
+        tile: &Tile,
+        jx: &mut Array3,
+        jy: &mut Array3,
+        jz: &mut Array3,
+    ) {
+        let mut idx = [0usize; Self::MAX_NODES];
+        for cell in 0..self.n_cells {
+            let mut indices_ready = false;
+            for (comp, arr) in [&mut *jx, &mut *jy, &mut *jz].into_iter().enumerate() {
+                let slice_start = self.index(comp, cell, 0);
+                let src = &self.data[slice_start..slice_start + self.nodes];
+                if src.iter().all(|&v| v == 0.0) {
+                    continue;
+                }
+                if !indices_ready {
+                    self.cell_node_indices(geom, tile, cell, &mut idx);
+                    indices_ready = true;
+                }
+                let dst = arr.as_mut_slice();
+                for (nd, &v) in src.iter().enumerate() {
+                    dst[idx[nd]] += v;
+                }
+            }
+        }
     }
 }
 

@@ -20,6 +20,7 @@ use mpic_machine::{Machine, Phase, VReg, VLANES};
 
 use crate::common::{PrepStyle, Staging};
 use crate::kernel::{DepositionKernel, TileCtx, TileOutput};
+use crate::shape::MAX_SUPPORT;
 
 /// VPU rhocell kernel (auto-vectorised or hand-tuned).
 #[derive(Debug, Clone, Copy)]
@@ -69,8 +70,9 @@ impl DepositionKernel for RhocellKernel {
                 m.v_issue(2);
 
                 // Precompute the s*s x-y products (2 vector ops for QSP's
-                // 16 terms, 1 for CIC's 4).
-                let mut sxy = vec![0.0; s * s];
+                // 16 terms, 1 for CIC's 4). Stack-resident: support is at
+                // most MAX_SUPPORT, so the hot loop never allocates.
+                let mut sxy = [0.0; MAX_SUPPORT * MAX_SUPPORT];
                 for b in 0..s {
                     for a in 0..s {
                         sxy[b * s + a] = st.s(0, a, p) * st.s(1, b, p);
@@ -181,7 +183,8 @@ mod tests {
             let rho_addr = m.mem().alloc_f64(3 * 64 * 8);
             let tile = layout.tile(0);
             let iter: Vec<usize> = c.tiles[0].soa.live_indices().collect();
-            let st = stage_tile(
+            let mut st = Staging::default();
+            stage_tile(
                 &mut m,
                 &geom,
                 tile,
@@ -196,6 +199,7 @@ mod tests {
                 } else {
                     PrepStyle::Autovec
                 },
+                &mut st,
             );
             let mut rho = crate::rhocell::Rhocell::new(ShapeOrder::Cic, tile.num_cells());
             let k = RhocellKernel { hand_tuned };

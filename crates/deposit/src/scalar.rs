@@ -109,25 +109,29 @@ impl DepositionKernel for BaselineKernel {
                             let w = m.v_mul(sxy, szc);
                             // Per-lane target node (address math).
                             m.v_ops(2);
-                            let idx: Vec<usize> = (p0..p0 + lanes)
-                                .map(|p| {
-                                    let pseudo = crate::common::Staged {
-                                        cell: st.cell[p],
-                                        wq: [0.0; 3],
-                                        sx: [0.0; 4],
-                                        sy: [0.0; 4],
-                                        sz: [0.0; 4],
-                                    };
-                                    let g = node_index(ctx.geom, &pseudo, ctx.order, a, b, c);
-                                    jx.idx(g[0], g[1], g[2])
-                                })
-                                .collect();
+                            let mut idx = [0usize; VLANES];
+                            for (l, p) in (p0..p0 + lanes).enumerate() {
+                                let pseudo = crate::common::Staged {
+                                    cell: st.cell[p],
+                                    wq: [0.0; 3],
+                                    sx: [0.0; 4],
+                                    sy: [0.0; 4],
+                                    sz: [0.0; 4],
+                                };
+                                let g = node_index(ctx.geom, &pseudo, ctx.order, a, b, c);
+                                idx[l] = jx.idx(g[0], g[1], g[2]);
+                            }
                             for (comp, arr) in
                                 [&mut **jx, &mut **jy, &mut **jz].into_iter().enumerate()
                             {
                                 let wq = VReg::from_slice(&st.wq[comp][p0..p0 + lanes]);
                                 let val = m.v_mul(w, wq);
-                                m.v_scatter_add(j_addr[comp], &idx, val, arr.as_mut_slice());
+                                m.v_scatter_add(
+                                    j_addr[comp],
+                                    &idx[..lanes],
+                                    val,
+                                    arr.as_mut_slice(),
+                                );
                             }
                         }
                     }

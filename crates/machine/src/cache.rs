@@ -50,6 +50,12 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Adds another statistics snapshot into this one (worker merge).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
 }
 
 /// One set-associative level, tag-only with true LRU.
@@ -248,10 +254,36 @@ impl CacheSim {
     }
 
     /// Invalidates all cached lines (statistics are preserved).
+    ///
+    /// Resets every piece of *behavioural* state — tags, stream slots and
+    /// the decay tick — so that the cost of an access sequence after a
+    /// flush depends only on that sequence. This is what makes per-tile
+    /// charging deterministic regardless of which worker ran the tile.
     pub fn flush(&mut self) {
         self.l1.flush();
         self.l2.flush();
         self.streams = [(u64::MAX, 0); STREAM_SLOTS];
+        self.decay_tick = 0;
+    }
+
+    /// Takes (and zeroes) the accumulated statistics:
+    /// `(l1, l2, streamed_misses, random_misses)`.
+    pub fn take_stats(&mut self) -> (CacheStats, CacheStats, u64, u64) {
+        (
+            std::mem::take(&mut self.l1.stats),
+            std::mem::take(&mut self.l2.stats),
+            std::mem::take(&mut self.streamed_misses),
+            std::mem::take(&mut self.random_misses),
+        )
+    }
+
+    /// Adds externally accumulated statistics (a worker's) into this
+    /// hierarchy's totals without touching behavioural state.
+    pub fn absorb_stats(&mut self, l1: &CacheStats, l2: &CacheStats, streamed: u64, random: u64) {
+        self.l1.stats.merge(l1);
+        self.l2.stats.merge(l2);
+        self.streamed_misses += streamed;
+        self.random_misses += random;
     }
 
     /// Line size in bytes (identical across levels).

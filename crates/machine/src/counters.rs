@@ -85,6 +85,49 @@ impl Phase {
     }
 }
 
+use crate::cache::CacheStats;
+
+/// The complete mergeable accounting state of one emulated machine:
+/// per-[`Phase`] cycles and instruction counts ([`PerfCounters`]) plus the
+/// cache-hierarchy statistics the memory simulation accumulates.
+///
+/// Parallel tile workers each charge a private `MachineCounters` set
+/// (drained per tile via [`crate::Machine::drain_counters`]) which the
+/// orchestrator merges back into the main machine **in tile order**.
+/// Because merging is a fixed-order sum of per-tile deltas, the totals
+/// are bit-identical no matter how tiles were sharded across workers.
+#[derive(Debug, Clone, Default)]
+pub struct MachineCounters {
+    /// Cycle and instruction counters.
+    pub perf: PerfCounters,
+    /// L1 hit/miss statistics.
+    pub l1: CacheStats,
+    /// L2 hit/miss statistics.
+    pub l2: CacheStats,
+    /// DRAM misses served at streaming (prefetched) cost.
+    pub streamed_misses: u64,
+    /// DRAM misses served at full random latency.
+    pub random_misses: u64,
+}
+
+impl MachineCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another counter set into this one. Deterministic: merging
+    /// the same sequence of counter sets in the same order always
+    /// produces the same floating-point totals.
+    pub fn merge(&mut self, other: &MachineCounters) {
+        self.perf.merge(&other.perf);
+        self.l1.merge(&other.l1);
+        self.l2.merge(&other.l2);
+        self.streamed_misses += other.streamed_misses;
+        self.random_misses += other.random_misses;
+    }
+}
+
 /// Aggregated emulation statistics.
 #[derive(Debug, Clone, Default)]
 pub struct PerfCounters {
@@ -221,6 +264,25 @@ mod tests {
     fn peak_fraction_zero_when_idle() {
         let c = PerfCounters::new();
         assert_eq!(c.peak_fraction(64.0), 0.0);
+    }
+
+    #[test]
+    fn machine_counters_merge_all_fields() {
+        let mut a = MachineCounters::new();
+        a.perf.add_cycles(Phase::Compute, 2.0);
+        a.l1.hits = 3;
+        a.random_misses = 1;
+        let mut b = MachineCounters::new();
+        b.perf.add_cycles(Phase::Compute, 5.0);
+        b.l1.hits = 4;
+        b.l2.misses = 2;
+        b.streamed_misses = 7;
+        a.merge(&b);
+        assert_eq!(a.perf.cycles(Phase::Compute), 7.0);
+        assert_eq!(a.l1.hits, 7);
+        assert_eq!(a.l2.misses, 2);
+        assert_eq!(a.streamed_misses, 7);
+        assert_eq!(a.random_misses, 1);
     }
 
     #[test]

@@ -43,12 +43,14 @@ pub mod counters;
 pub mod gpu;
 pub mod machine;
 pub mod mem;
+pub mod shard;
 pub mod vreg;
 
 pub use cache::{CacheLevelConfig, CacheSim, CacheStats};
 pub use cost::MachineConfig;
-pub use counters::{PerfCounters, Phase};
+pub use counters::{MachineCounters, PerfCounters, Phase};
 pub use gpu::{GpuConfig, GpuDepositionReport, GpuModel};
 pub use machine::{Machine, TileId};
 pub use mem::{MemSystem, VAddr};
+pub use shard::run_sharded;
 pub use vreg::{VMask, VReg, VLANES};

@@ -9,7 +9,7 @@
 //! the per-phase breakdowns of the paper's Tables 1 and 2.
 
 use crate::cost::MachineConfig;
-use crate::counters::{PerfCounters, Phase};
+use crate::counters::{MachineCounters, PerfCounters, Phase};
 use crate::mem::{MemSystem, VAddr};
 use crate::vreg::{VMask, VReg, VLANES};
 
@@ -50,6 +50,46 @@ impl Machine {
             throughput_penalty: 1.0,
             tiles: [[[0.0; VLANES]; VLANES]; NUM_TILES],
         }
+    }
+
+    /// Forks a worker machine for parallel tile execution: same
+    /// configuration and virtual address space (so shared [`VAddr`]s stay
+    /// valid), but zeroed counters, a flushed cache and neutral execution
+    /// state. Workers charge their private counters and hand them back per
+    /// tile via [`Machine::drain_counters`]; the orchestrator merges them
+    /// into the main machine with [`Machine::absorb_counters`] in tile
+    /// order, keeping totals bit-identical for any worker count.
+    pub fn fork_worker(&self) -> Machine {
+        let mut w = self.clone();
+        w.ctr = PerfCounters::new();
+        w.mem.flush_cache();
+        let _ = w.mem.take_stats();
+        w.phase = Phase::Other;
+        w.throughput_penalty = 1.0;
+        w.tiles = [[[0.0; VLANES]; VLANES]; NUM_TILES];
+        w
+    }
+
+    /// Takes (and zeroes) everything this machine has accumulated since
+    /// the last drain: per-phase cycles, instruction counts and cache
+    /// statistics.
+    pub fn drain_counters(&mut self) -> MachineCounters {
+        let (l1, l2, streamed_misses, random_misses) = self.mem.take_stats();
+        MachineCounters {
+            perf: std::mem::take(&mut self.ctr),
+            l1,
+            l2,
+            streamed_misses,
+            random_misses,
+        }
+    }
+
+    /// Merges a drained worker counter set into this machine's totals.
+    /// Purely additive: the cache's behavioural state is untouched.
+    pub fn absorb_counters(&mut self, c: &MachineCounters) {
+        self.ctr.merge(&c.perf);
+        self.mem
+            .absorb_stats(&c.l1, &c.l2, c.streamed_misses, c.random_misses);
     }
 
     /// The machine configuration.
@@ -315,11 +355,24 @@ impl Machine {
     /// per-lane issue penalty.
     fn gather_mem_cost(&mut self, base: VAddr, idx: &[usize]) -> f64 {
         let line = self.mem.line_bytes();
-        let mut lines: Vec<u64> = idx.iter().map(|&i| base.offset_f64(i).0 / line).collect();
-        lines.sort_unstable();
-        lines.dedup();
+        // A gather touches at most VLANES distinct lines: dedup into a
+        // stack buffer (no heap traffic on this very hot path), then
+        // visit lines in ascending order as the coalescing unit would.
+        let mut lines = [0u64; VLANES];
+        let mut n = 0usize;
+        'lanes: for &i in idx {
+            let l = base.offset_f64(i).0 / line;
+            for &seen in &lines[..n] {
+                if seen == l {
+                    continue 'lanes;
+                }
+            }
+            lines[n] = l;
+            n += 1;
+        }
+        lines[..n].sort_unstable();
         let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
-        for l in lines {
+        for &l in &lines[..n] {
             cy += Self::GATHER_MLP * self.mem.access(VAddr(l * line), 1);
         }
         cy
@@ -355,10 +408,27 @@ impl Machine {
     /// Panics if `idx.len() > VLANES` or any index is out of bounds.
     pub fn v_scatter_add(&mut self, base: VAddr, idx: &[usize], reg: VReg, dst: &mut [f64]) {
         assert!(idx.len() <= VLANES);
+        for (l, &i) in idx.iter().enumerate() {
+            dst[i] += reg.0[l];
+        }
+        self.charge_scatter_add(base, idx);
+    }
+
+    /// Charges an indexed scatter-add's memory, issue and conflict cost
+    /// without writing data (cost-only mirror of
+    /// [`Machine::v_scatter_add`]). Used when the functional accumulation
+    /// is applied separately — e.g. the parallel rhocell reduction, where
+    /// workers price the scatter stream per tile while the actual grid
+    /// writes happen in a deterministic fixed-order pass.
+    pub fn v_touch_scatter_add(&mut self, base: VAddr, idx: &[usize]) {
+        assert!(idx.len() <= VLANES);
+        self.charge_scatter_add(base, idx);
+    }
+
+    fn charge_scatter_add(&mut self, base: VAddr, idx: &[usize]) {
         self.ctr.vector_ops += 1;
         let mut cy = 0.0;
         for (l, &i) in idx.iter().enumerate() {
-            dst[i] += reg.0[l];
             cy += self.mem.access(base.offset_f64(i), 8) + self.cfg.gather_lane_cy;
             // Conflict detection: lanes before `l` hitting the same index.
             let conflicts = idx[..l].iter().filter(|&&j| j == i).count();
@@ -611,5 +681,86 @@ mod tests {
         let mut m = machine();
         m.charge(1.3e9);
         assert!((m.elapsed_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_worker_starts_clean_and_shares_addresses() {
+        let mut m = machine();
+        let base = m.mem().alloc_f64(64);
+        m.set_phase(Phase::Compute);
+        m.s_ops(100);
+        let mut w = m.fork_worker();
+        assert_eq!(w.counters().total_cycles(), 0.0, "fork has zero cycles");
+        assert_eq!(w.phase(), Phase::Other);
+        // Allocations continue past the parent's, never aliasing.
+        let next = w.mem().alloc_f64(8);
+        assert!(next.0 >= base.0 + 64 * 8);
+    }
+
+    #[test]
+    fn drain_and_absorb_round_trip() {
+        let mut m = machine();
+        let mut w = m.fork_worker();
+        w.set_phase(Phase::Reduce);
+        let base = w.mem().alloc_f64(8);
+        w.s_load(base, 64);
+        w.s_ops(4);
+        let c = w.drain_counters();
+        assert_eq!(
+            w.counters().total_cycles(),
+            0.0,
+            "drain must zero the worker"
+        );
+        assert!(c.perf.cycles(Phase::Reduce) > 0.0);
+        assert_eq!(c.l1.misses + c.l2.misses + c.random_misses, 3); // cold miss at each level
+        let before = m.counters().total_cycles();
+        m.absorb_counters(&c);
+        assert_eq!(m.counters().total_cycles(), before + c.perf.total_cycles());
+        assert!(m.mem().l1_stats().misses > 0, "stats absorbed into main");
+    }
+
+    #[test]
+    fn touch_scatter_add_matches_real_scatter_cost() {
+        let cfg = MachineConfig::lx2();
+        let mut real = Machine::new(cfg.clone());
+        let mut touch = Machine::new(cfg);
+        let b1 = real.mem().alloc_f64(16);
+        let b2 = touch.mem().alloc_f64(16);
+        let idx = [0usize, 3, 3, 9];
+        let mut dst = vec![0.0; 16];
+        real.v_scatter_add(b1, &idx, VReg::splat(1.0), &mut dst);
+        touch.v_touch_scatter_add(b2, &idx);
+        assert_eq!(
+            real.counters().total_cycles(),
+            touch.counters().total_cycles()
+        );
+        assert_eq!(real.counters().flops_issued, touch.counters().flops_issued);
+        assert_eq!(real.counters().vector_ops, touch.counters().vector_ops);
+    }
+
+    #[test]
+    fn per_tile_flush_makes_charges_order_independent() {
+        // The same access sequence after a flush must cost the same no
+        // matter what ran before — the invariant behind deterministic
+        // parallel tile charging.
+        let mut cold = machine();
+        let mut warm = machine();
+        let a1 = cold.mem().alloc_f64(1024);
+        let a2 = warm.mem().alloc_f64(1024);
+        warm.set_phase(Phase::Compute);
+        for i in 0..1024 {
+            warm.s_load(a2.offset_f64(i % 512), 8); // Pollute cache + streams.
+        }
+        warm.counters_mut().reset();
+        warm.mem().flush_cache();
+        cold.set_phase(Phase::Compute);
+        for i in [0usize, 77, 13, 500, 2, 900] {
+            cold.s_load(a1.offset_f64(i), 8);
+            warm.s_load(a2.offset_f64(i), 8);
+        }
+        assert_eq!(
+            cold.counters().cycles(Phase::Compute),
+            warm.counters().cycles(Phase::Compute)
+        );
     }
 }

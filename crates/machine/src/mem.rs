@@ -81,9 +81,22 @@ impl MemSystem {
         self.cache.l2_stats()
     }
 
-    /// Invalidates the cache contents (e.g. between benchmark repetitions).
+    /// Invalidates the cache contents (e.g. between benchmark repetitions,
+    /// or at tile boundaries in the parallel pipeline where each tile is
+    /// modelled as running on a private, initially cold per-core cache).
     pub fn flush_cache(&mut self) {
         self.cache.flush();
+    }
+
+    /// Takes (and zeroes) the cache statistics:
+    /// `(l1, l2, streamed_misses, random_misses)`.
+    pub fn take_stats(&mut self) -> (CacheStats, CacheStats, u64, u64) {
+        self.cache.take_stats()
+    }
+
+    /// Adds a worker's cache statistics into this memory system's totals.
+    pub fn absorb_stats(&mut self, l1: &CacheStats, l2: &CacheStats, streamed: u64, random: u64) {
+        self.cache.absorb_stats(l1, l2, streamed, random);
     }
 
     /// Cache line size in bytes.

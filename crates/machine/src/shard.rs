@@ -1,0 +1,143 @@
+//! Deterministic tile sharding for parallel emulation.
+//!
+//! The parallel pipeline's bit-identity guarantee rests on one
+//! invariant: per-tile work must be chargeable as a pure function of the
+//! tile (worker machines fork with a private cold cache), and per-tile
+//! counter deltas must merge back in **global tile order** no matter how
+//! tiles were distributed over threads. This module owns that invariant
+//! so every sharded phase (gather+push, deposit) uses the identical
+//! scheme instead of re-implementing it.
+
+use crate::counters::MachineCounters;
+use crate::machine::Machine;
+
+/// Runs `f` once per item, sharded across `workers` scoped threads, and
+/// returns the per-item [`MachineCounters`] deltas **in item order**.
+///
+/// Sharding is contiguous (`chunks_mut` of `ceil(len / workers)`), each
+/// worker executes its chunk in ascending item order on a private
+/// [`Machine::fork_worker`] fork, and results are concatenated in worker
+/// order — which, for contiguous chunks, *is* item order. Callers absorb
+/// the returned deltas sequentially, making both cycle totals and any
+/// caller-side fixed-order value reduction independent of `workers`.
+///
+/// `f` receives `(worker_machine, global_item_index, item, worker
+/// scratch)`. It is the callee's job to flush the worker cache at the
+/// item boundary if its cost model is per-item (both pipeline phases
+/// do, via `wm.mem().flush_cache()`), keeping each delta a pure
+/// function of the item.
+///
+/// `scratch` provides one reusable per-worker state; it must hold at
+/// least `min(workers, ceil(len / per))` entries (callers size it to
+/// `workers`).
+///
+/// # Panics
+///
+/// Panics if `scratch` holds fewer entries than the number of chunks
+/// (which would silently skip trailing items), or if a worker thread
+/// panics (the panic is propagated).
+pub fn run_sharded<T, S, F>(
+    main: &Machine,
+    items: &mut [T],
+    scratch: &mut [S],
+    workers: usize,
+    f: F,
+) -> Vec<MachineCounters>
+where
+    T: Send,
+    S: Send,
+    F: Fn(&mut Machine, usize, &mut T, &mut S) + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    let per = items.len().div_ceil(workers).max(1);
+    assert!(
+        scratch.len() >= items.len().div_ceil(per),
+        "scratch ({}) must cover every chunk ({}): trailing items would be silently dropped",
+        scratch.len(),
+        items.len().div_ceil(per)
+    );
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(per)
+            .zip(scratch.iter_mut())
+            .enumerate()
+            .map(|(w, (chunk, scr))| {
+                let proto = main.fork_worker();
+                let f = &f;
+                s.spawn(move || {
+                    let mut wm = proto;
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (i, item) in chunk.iter_mut().enumerate() {
+                        f(&mut wm, w * per + i, item, scr);
+                        out.push(wm.drain_counters());
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sharded tile worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::MachineConfig;
+    use crate::counters::Phase;
+
+    fn charge_item(wm: &mut Machine, t: usize, item: &mut f64, scratch: &mut Vec<u64>) {
+        wm.mem().flush_cache();
+        scratch.push(t as u64);
+        wm.set_phase(Phase::Compute);
+        // Cost depends only on the item: deterministic per tile.
+        wm.s_ops(t + 1);
+        *item = t as f64;
+    }
+
+    #[test]
+    fn counters_return_in_item_order_for_any_worker_count() {
+        let main = Machine::new(MachineConfig::lx2());
+        let totals: Vec<Vec<f64>> = [1usize, 3, 5, 11]
+            .iter()
+            .map(|&w| {
+                let mut items = vec![0.0; 11];
+                let mut scratch = vec![Vec::new(); w];
+                let counters = run_sharded(&main, &mut items, &mut scratch, w, charge_item);
+                assert_eq!(counters.len(), 11);
+                assert!(items.iter().enumerate().all(|(t, &v)| v == t as f64));
+                counters
+                    .iter()
+                    .map(|c| c.perf.cycles(Phase::Compute))
+                    .collect()
+            })
+            .collect();
+        for later in &totals[1..] {
+            assert_eq!(
+                &totals[0], later,
+                "per-item deltas must not depend on sharding"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_items_yield_no_counters() {
+        let main = Machine::new(MachineConfig::lx2());
+        let mut items: Vec<f64> = Vec::new();
+        let mut scratch = vec![Vec::new(); 4];
+        let counters = run_sharded(&main, &mut items, &mut scratch, 4, charge_item);
+        assert!(counters.is_empty());
+    }
+
+    #[test]
+    fn workers_exceeding_items_are_clamped() {
+        let main = Machine::new(MachineConfig::lx2());
+        let mut items = vec![0.0; 2];
+        let mut scratch = vec![Vec::new(); 8];
+        let counters = run_sharded(&main, &mut items, &mut scratch, 8, charge_item);
+        assert_eq!(counters.len(), 2);
+        assert_eq!(items, vec![0.0, 1.0]);
+    }
+}

@@ -4,7 +4,7 @@
 
 use crate::gpma::{Gpma, MoveStats, INVALID_PARTICLE_ID};
 use crate::soa::ParticleSoA;
-use crate::sort::{counting_sort_keys, SortStats};
+use crate::sort::{counting_sort_keys_into, SortScratch, SortStats};
 use mpic_grid::{GridGeometry, Tile, TileLayout};
 
 /// Default fractional gap headroom used when (re)building tile GPMAs.
@@ -63,42 +63,65 @@ impl ParticleTile {
 
     /// Recomputes every live particle's bin from its position and rebuilds
     /// both the SoA (compacted, cell-ordered) and the GPMA — the paper's
-    /// `GlobalSortParticlesByCell` restricted to one tile.
-    pub fn global_sort(&mut self, tile: &Tile, geom: &GridGeometry, gap_ratio: f64) -> SortStats {
+    /// `GlobalSortParticlesByCell` restricted to one tile. All gather and
+    /// histogram buffers come from `scratch`, so a warm scratch makes the
+    /// sort itself allocation-free (the GPMA rebuild still allocates, but
+    /// global sorts are rare policy events rather than per-step work).
+    pub fn global_sort(
+        &mut self,
+        tile: &Tile,
+        geom: &GridGeometry,
+        gap_ratio: f64,
+        scratch: &mut SortScratch,
+    ) -> SortStats {
         let n_bins = tile.num_cells();
         // Gather live slots and their bins.
-        let mut live: Vec<usize> = Vec::with_capacity(self.soa.len());
-        let mut keys: Vec<usize> = Vec::with_capacity(self.soa.len());
+        scratch.live.clear();
+        scratch.keys.clear();
         for i in self.soa.live_indices() {
             let (cell, _) = geom.locate(self.soa.x[i], self.soa.y[i], self.soa.z[i]);
             let cell = geom.wrap_cell(cell);
             debug_assert!(tile.contains(cell), "particle escaped its tile");
-            live.push(i);
-            keys.push(tile.local_cell_id(cell));
+            scratch.live.push(i);
+            scratch.keys.push(tile.local_cell_id(cell));
         }
-        let (perm, stats) = counting_sort_keys(&keys, n_bins);
+        let stats = counting_sort_keys_into(
+            &scratch.keys,
+            n_bins,
+            &mut scratch.perm,
+            &mut scratch.counts,
+        );
         // Compose: new slot s holds old slot live[perm[s]].
-        let gathered: Vec<usize> = perm.iter().map(|&p| live[p]).collect();
-        self.soa.permute(&gathered);
-        self.cells = perm.iter().map(|&p| keys[p]).collect();
+        scratch.gathered.clear();
+        scratch
+            .gathered
+            .extend(scratch.perm.iter().map(|&p| scratch.live[p]));
+        self.soa.permute_with(&scratch.gathered, &mut scratch.attr);
+        self.cells.clear();
+        self.cells
+            .extend(scratch.perm.iter().map(|&p| scratch.keys[p]));
         self.gpma = Gpma::build(&self.cells, n_bins, gap_ratio);
         stats
     }
 
     /// Phase 1 of Algorithm 1: scans particles in sorted order, queues
     /// moved particles, extracts tile-leavers, then applies pending moves.
+    /// The scan snapshot comes from `scratch.scan` and tile-leavers are
+    /// appended to `scratch.departures`, so a warm scratch keeps the
+    /// per-step sweep allocation-free.
     ///
-    /// Returns the GPMA operation stats, the number of particles scanned,
-    /// and the departures to re-home.
+    /// Returns the GPMA operation stats and the number of particles
+    /// scanned.
     pub fn incremental_sort_sweep(
         &mut self,
         tile: &Tile,
         geom: &GridGeometry,
-    ) -> (MoveStats, usize, Vec<Departure>) {
-        let mut departures = Vec::new();
-        let scan: Vec<(usize, usize)> = self.gpma.iter_sorted().collect();
-        let scanned = scan.len();
-        for (old_bin, p) in scan {
+        scratch: &mut SortScratch,
+    ) -> (MoveStats, usize) {
+        scratch.scan.clear();
+        scratch.scan.extend(self.gpma.iter_sorted());
+        let scanned = scratch.scan.len();
+        for &(old_bin, p) in &scratch.scan {
             let (cell, _) = geom.locate(self.soa.x[p], self.soa.y[p], self.soa.z[p]);
             let cell = geom.wrap_cell(cell);
             if tile.contains(cell) {
@@ -109,7 +132,7 @@ impl ParticleTile {
                 }
             } else {
                 let (x, y, z, ux, uy, uz, w) = self.soa.get(p);
-                departures.push(Departure {
+                scratch.departures.push(Departure {
                     x,
                     y,
                     z,
@@ -124,7 +147,7 @@ impl ParticleTile {
             }
         }
         let stats = self.gpma.apply_pending_moves(&self.cells);
-        (stats, scanned, departures)
+        (stats, scanned)
     }
 
     /// Inserts one particle (injection or cross-tile arrival).
@@ -158,6 +181,9 @@ pub struct ParticleContainer {
     /// Per-tile storage, indexed like `TileLayout`.
     pub tiles: Vec<ParticleTile>,
     gap_ratio: f64,
+    /// Pooled buffers for the sequential sort paths (sweep snapshots,
+    /// counting-sort histograms, permutation gathers).
+    scratch: SortScratch,
 }
 
 impl ParticleContainer {
@@ -172,6 +198,7 @@ impl ParticleContainer {
             mass,
             tiles,
             gap_ratio: DEFAULT_GAP_RATIO,
+            scratch: SortScratch::default(),
         }
     }
 
@@ -207,8 +234,10 @@ impl ParticleContainer {
     pub fn global_sort(&mut self, layout: &TileLayout, geom: &GridGeometry) -> SortStats {
         self.incremental_sort(layout, geom);
         let mut total = SortStats::default();
-        for (t, tile) in self.tiles.iter_mut().enumerate() {
-            let s = tile.global_sort(layout.tile(t), geom, self.gap_ratio);
+        let gap_ratio = self.gap_ratio;
+        let Self { tiles, scratch, .. } = self;
+        for (t, tile) in tiles.iter_mut().enumerate() {
+            let s = tile.global_sort(layout.tile(t), geom, gap_ratio, scratch);
             total.n += s.n;
             total.buckets += s.buckets;
             total.moves += s.moves;
@@ -225,17 +254,20 @@ impl ParticleContainer {
     ) -> (MoveStats, usize) {
         let mut stats = MoveStats::default();
         let mut scanned = 0;
-        let mut all_departures: Vec<Departure> = Vec::new();
+        self.scratch.departures.clear();
         for (t, tile) in self.tiles.iter_mut().enumerate() {
-            let (s, n, dep) = tile.incremental_sort_sweep(layout.tile(t), geom);
+            let (s, n) = tile.incremental_sort_sweep(layout.tile(t), geom, &mut self.scratch);
             stats.merge(&s);
             scanned += n;
-            all_departures.extend(dep);
         }
-        for d in all_departures {
+        // Re-home tile-leavers; take the buffer so `inject` can borrow
+        // `self` (its capacity is restored afterwards).
+        let mut departures = std::mem::take(&mut self.scratch.departures);
+        for d in departures.drain(..) {
             let s = self.inject(layout, geom, d);
             stats.merge(&s);
         }
+        self.scratch.departures = departures;
         (stats, scanned)
     }
 

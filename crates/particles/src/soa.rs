@@ -112,15 +112,31 @@ impl ParticleSoA {
     /// `perm[s]`. All slots in `perm` must be live; the result is fully
     /// compacted (no free slots).
     pub fn permute(&mut self, perm: &[usize]) {
-        let gather = |src: &[f64]| -> Vec<f64> { perm.iter().map(|&p| src[p]).collect() };
-        self.x = gather(&self.x);
-        self.y = gather(&self.y);
-        self.z = gather(&self.z);
-        self.ux = gather(&self.ux);
-        self.uy = gather(&self.uy);
-        self.uz = gather(&self.uz);
-        self.w = gather(&self.w);
-        self.alive = vec![true; perm.len()];
+        let mut scratch = Vec::new();
+        self.permute_with(perm, &mut scratch);
+    }
+
+    /// [`ParticleSoA::permute`] with a caller-provided gather buffer:
+    /// each attribute array is gathered into `scratch` and swapped in, so
+    /// a warm scratch (capacity >= `perm.len()`) makes the permutation
+    /// allocation-free. The buffer cycles through the seven retired
+    /// attribute arrays, so their capacity is recycled too.
+    pub fn permute_with(&mut self, perm: &[usize], scratch: &mut Vec<f64>) {
+        for attr in [
+            &mut self.x,
+            &mut self.y,
+            &mut self.z,
+            &mut self.ux,
+            &mut self.uy,
+            &mut self.uz,
+            &mut self.w,
+        ] {
+            scratch.clear();
+            scratch.extend(perm.iter().map(|&p| attr[p]));
+            std::mem::swap(attr, scratch);
+        }
+        self.alive.clear();
+        self.alive.resize(perm.len(), true);
         self.free.clear();
     }
 

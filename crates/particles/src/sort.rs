@@ -17,6 +17,30 @@ pub struct SortStats {
     pub moves: usize,
 }
 
+/// Reusable buffers for the global counting sort and the incremental
+/// sweep, pooled so the per-step and per-sort hot paths perform no heap
+/// allocation in steady state. One instance per worker (or per
+/// container when sorting is sequential).
+#[derive(Debug, Clone, Default)]
+pub struct SortScratch {
+    /// Live SoA slot indices gathered before keying.
+    pub live: Vec<usize>,
+    /// Tile-local cell keys parallel to `live`.
+    pub keys: Vec<usize>,
+    /// Counting-sort permutation output.
+    pub perm: Vec<usize>,
+    /// Counting-sort histogram / cursor buffer.
+    pub counts: Vec<usize>,
+    /// Composed gather permutation over SoA slots.
+    pub gathered: Vec<usize>,
+    /// Attribute gather buffer for [`crate::ParticleSoA::permute_with`].
+    pub attr: Vec<f64>,
+    /// Snapshot of the GPMA iteration order for the incremental sweep.
+    pub scan: Vec<(usize, usize)>,
+    /// Departures accumulated across tiles during a sweep.
+    pub departures: Vec<crate::container::Departure>,
+}
+
 /// Computes the stable counting-sort permutation of `keys` over
 /// `n_buckets` buckets.
 ///
@@ -27,7 +51,27 @@ pub struct SortStats {
 ///
 /// Panics if any key is `>= n_buckets`.
 pub fn counting_sort_keys(keys: &[usize], n_buckets: usize) -> (Vec<usize>, SortStats) {
-    let mut counts = vec![0usize; n_buckets + 1];
+    let mut perm = Vec::new();
+    let mut counts = Vec::new();
+    let stats = counting_sort_keys_into(keys, n_buckets, &mut perm, &mut counts);
+    (perm, stats)
+}
+
+/// Allocation-reusing variant of [`counting_sort_keys`]: writes the
+/// permutation into `perm` and uses `counts` as histogram scratch, both
+/// resized as needed (no allocation once warm).
+///
+/// # Panics
+///
+/// Panics if any key is `>= n_buckets`.
+pub fn counting_sort_keys_into(
+    keys: &[usize],
+    n_buckets: usize,
+    perm: &mut Vec<usize>,
+    counts: &mut Vec<usize>,
+) -> SortStats {
+    counts.clear();
+    counts.resize(n_buckets + 1, 0);
     for &k in keys {
         assert!(k < n_buckets, "key {k} out of range");
         counts[k + 1] += 1;
@@ -35,18 +79,17 @@ pub fn counting_sort_keys(keys: &[usize], n_buckets: usize) -> (Vec<usize>, Sort
     for b in 0..n_buckets {
         counts[b + 1] += counts[b];
     }
-    let mut perm = vec![0usize; keys.len()];
-    let mut cursor = counts;
+    perm.clear();
+    perm.resize(keys.len(), 0);
     for (i, &k) in keys.iter().enumerate() {
-        perm[cursor[k]] = i;
-        cursor[k] += 1;
+        perm[counts[k]] = i;
+        counts[k] += 1;
     }
-    let stats = SortStats {
+    SortStats {
         n: keys.len(),
         buckets: n_buckets,
         moves: keys.len(),
-    };
-    (perm, stats)
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +124,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_key() {
         let _ = counting_sort_keys(&[5], 4);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let keys: Vec<usize> = (0..257).map(|i| (i * 13 + 5) % 32).collect();
+        let (perm, stats) = counting_sort_keys(&keys, 32);
+        let mut perm2 = vec![99; 3]; // Stale contents must be overwritten.
+        let mut counts = Vec::new();
+        let stats2 = counting_sort_keys_into(&keys, 32, &mut perm2, &mut counts);
+        assert_eq!(perm, perm2);
+        assert_eq!(stats.n, stats2.n);
+        assert_eq!(stats.moves, stats2.moves);
     }
 
     #[test]

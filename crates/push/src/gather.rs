@@ -23,6 +23,12 @@ impl Default for GatherCost {
 
 /// Interpolates `(E, B)` at one particle position using shape order
 /// `order` (pure; used by the push loop and tests).
+///
+/// The innermost loop of the whole step runs here (particles x nodes x
+/// six arrays), so the periodic node wrap is hoisted to one pass per
+/// dimension and each node's linear index is computed once and shared by
+/// all six field reads. Weight products keep the `sx * sy * sz`
+/// association of the scalar reference.
 pub fn gather_fields(
     geom: &GridGeometry,
     order: ShapeOrder,
@@ -31,27 +37,64 @@ pub fn gather_fields(
     y: f64,
     z: f64,
 ) -> ([f64; 3], [f64; 3]) {
+    let (e, b, _) = gather_fields_with_cell(geom, order, fields, x, y, z);
+    (e, b)
+}
+
+/// [`gather_fields`] returning also the particle's wrapped physical
+/// cell, which staging computes anyway — the push loop uses it for the
+/// gather cost model's sampled address stream instead of locating the
+/// particle a second time.
+pub fn gather_fields_with_cell(
+    geom: &GridGeometry,
+    order: ShapeOrder,
+    fields: &FieldArrays,
+    x: f64,
+    y: f64,
+    z: f64,
+) -> ([f64; 3], [f64; 3], [usize; 3]) {
     // Reuse the deposition staging to get cell + weights (charge/weight
     // arguments are irrelevant for the shape factors).
     let st = stage_particle(geom, order, 1.0, x, y, z, 0.0, 0.0, 0.0, 1.0);
     let s = order.support();
+    // Guarded node coordinate per support offset, from the shared
+    // deposit-side wrap (`node_coord`) so gather and deposit can never
+    // disagree on node targets — computed 3*s times instead of 3*s^3.
+    let mut ni = [[0usize; 4]; 3];
+    for d in 0..3 {
+        for (a, slot) in ni[d].iter_mut().enumerate().take(s) {
+            *slot = mpic_deposit::common::node_coord(geom, order, d, st.cell[d], a);
+        }
+    }
+    let dims = geom.dims_with_guard();
+    let (ex, ey, ez) = (
+        fields.ex.as_slice(),
+        fields.ey.as_slice(),
+        fields.ez.as_slice(),
+    );
+    let (bx, by, bz) = (
+        fields.bx.as_slice(),
+        fields.by.as_slice(),
+        fields.bz.as_slice(),
+    );
     let mut e = [0.0; 3];
     let mut b = [0.0; 3];
     for c in 0..s {
         for bb in 0..s {
+            let row = (ni[2][c] * dims[1] + ni[1][bb]) * dims[0];
             for a in 0..s {
                 let w = st.sx[a] * st.sy[bb] * st.sz[c];
-                let n = mpic_deposit::common::node_index(geom, &st, order, a, bb, c);
-                e[0] += w * fields.ex.get(n[0], n[1], n[2]);
-                e[1] += w * fields.ey.get(n[0], n[1], n[2]);
-                e[2] += w * fields.ez.get(n[0], n[1], n[2]);
-                b[0] += w * fields.bx.get(n[0], n[1], n[2]);
-                b[1] += w * fields.by.get(n[0], n[1], n[2]);
-                b[2] += w * fields.bz.get(n[0], n[1], n[2]);
+                let li = row + ni[0][a];
+                e[0] += w * ex[li];
+                e[1] += w * ey[li];
+                e[2] += w * ez[li];
+                b[0] += w * bx[li];
+                b[1] += w * by[li];
+                b[2] += w * bz[li];
             }
         }
     }
-    (e, b)
+    (e, b, st.cell)
 }
 
 /// Charges the gather cost of `n` particles touching `nodes` grid nodes
@@ -73,12 +116,15 @@ pub fn charge_gather(
             m.v_ops(cost.v_ops_per_chunk);
             // Six field arrays x nodes gathers; use the sampled node
             // index of each lane, offset per node to cover the stencil.
+            // The lane indices are identical across the six arrays, so
+            // they are built once per node in a stack buffer.
             for node in 0..nodes.min(8) {
+                let mut idx = [0usize; 8];
+                for (l, i) in (p..p + lanes).enumerate() {
+                    idx[l] = sample_idx[i.min(sample_idx.len() - 1)] + node;
+                }
                 for addr in field_addrs {
-                    let idx: Vec<usize> = (p..p + lanes)
-                        .map(|i| sample_idx[i.min(sample_idx.len() - 1)] + node)
-                        .collect();
-                    m.v_touch_gather(*addr, &idx);
+                    m.v_touch_gather(*addr, &idx[..lanes]);
                 }
             }
             p += lanes;

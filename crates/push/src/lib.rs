@@ -8,6 +8,8 @@
 
 pub mod boris;
 pub mod gather;
+pub mod scratch;
 
 pub use boris::{boris_push, BorisCoeffs};
 pub use gather::{gather_fields, GatherCost};
+pub use scratch::PushScratch;

@@ -1,0 +1,44 @@
+//! Per-worker reusable buffers for the gather + push sweep.
+//!
+//! The parallel tile pipeline gives each worker one [`PushScratch`] and
+//! reuses it for every tile the worker processes, so the per-step hot
+//! path performs no heap allocation once the buffers have grown to the
+//! largest tile's population.
+
+/// Reusable per-worker buffers for one tile's gather + push sweep.
+#[derive(Debug, Clone, Default)]
+pub struct PushScratch {
+    /// Live SoA slot indices of the tile being processed.
+    pub live: Vec<usize>,
+    /// Per-particle sampled grid node index (drives the gather's emulated
+    /// address stream).
+    pub sample_idx: Vec<usize>,
+    /// Particles leaving the domain this step, as `(slot, gpma_bin)`.
+    pub removals: Vec<(usize, usize)>,
+}
+
+impl PushScratch {
+    /// Clears all buffers, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.live.clear();
+        self.sample_idx.clear();
+        self.removals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = PushScratch::default();
+        s.live.extend(0..100);
+        s.sample_idx.extend(0..100);
+        s.removals.push((1, 2));
+        let cap = s.live.capacity();
+        s.clear();
+        assert!(s.live.is_empty() && s.sample_idx.is_empty() && s.removals.is_empty());
+        assert_eq!(s.live.capacity(), cap);
+    }
+}

@@ -1,0 +1,113 @@
+//! Worker-count invariance: the parallel tile pipeline must produce
+//! bit-identical physics *and* bit-identical emulated cycle accounting
+//! for any `num_workers`, on both evaluation workloads.
+//!
+//! This pins the two deterministic fixed-order reductions of the
+//! pipeline: per-worker rhocell outputs are applied to the grid in tile
+//! order, and per-tile counter deltas are merged in tile order — so
+//! neither field currents nor per-phase cycle totals can depend on how
+//! tiles were sharded across threads.
+
+use matrix_pic::core::{workloads, Simulation};
+use matrix_pic::deposit::{KernelConfig, ShapeOrder};
+use matrix_pic::grid::FieldArrays;
+use matrix_pic::machine::Phase;
+
+/// Runs `steps` and returns the final fields plus per-phase cycle totals.
+fn run(mut sim: Simulation, workers: usize, steps: usize) -> (FieldArrays, [f64; 8], usize) {
+    sim.cfg.num_workers = workers;
+    sim.run(steps);
+    let mut cycles = [0.0; 8];
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        cycles[i] = sim.machine.counters().cycles(*p);
+    }
+    (sim.fields.clone(), cycles, sim.num_particles())
+}
+
+fn assert_bit_identical(
+    label: &str,
+    a: &(FieldArrays, [f64; 8], usize),
+    b: &(FieldArrays, [f64; 8], usize),
+) {
+    assert_eq!(a.2, b.2, "{label}: particle counts diverged");
+    for (name, x, y) in [
+        ("jx", &a.0.jx, &b.0.jx),
+        ("jy", &a.0.jy, &b.0.jy),
+        ("jz", &a.0.jz, &b.0.jz),
+        ("ex", &a.0.ex, &b.0.ex),
+        ("bz", &a.0.bz, &b.0.bz),
+    ] {
+        for (i, (u, v)) in x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .enumerate()
+        {
+            assert!(
+                u.to_bits() == v.to_bits(),
+                "{label}: {name}[{i}] differs across worker counts: {u:e} vs {v:e}"
+            );
+        }
+    }
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        assert!(
+            a.1[i].to_bits() == b.1[i].to_bits(),
+            "{label}: {p:?} cycles differ across worker counts: {} vs {}",
+            a.1[i],
+            b.1[i]
+        );
+    }
+}
+
+#[test]
+fn uniform_plasma_fullopt_is_worker_count_invariant() {
+    let build = || {
+        workloads::uniform_plasma_sim([16, 16, 16], 4, ShapeOrder::Cic, KernelConfig::FullOpt, 42)
+    };
+    let one = run(build(), 1, 3);
+    let four = run(build(), 4, 3);
+    assert_bit_identical("uniform/FullOpt 1v4", &one, &four);
+    let seven = run(build(), 7, 3); // Ragged shard sizes.
+    assert_bit_identical("uniform/FullOpt 1v7", &one, &seven);
+}
+
+#[test]
+fn uniform_plasma_qsp_vpu_is_worker_count_invariant() {
+    let build = || {
+        workloads::uniform_plasma_sim(
+            [8, 8, 16],
+            2,
+            ShapeOrder::Qsp,
+            KernelConfig::RhocellIncrSortVpu,
+            7,
+        )
+    };
+    let one = run(build(), 1, 2);
+    let four = run(build(), 4, 2);
+    assert_bit_identical("uniform/QSP-VPU 1v4", &one, &four);
+}
+
+#[test]
+fn lwfa_fullopt_is_worker_count_invariant() {
+    // Moving window, laser injection, absorbing boundaries: exercises
+    // particle removal and injection alongside the parallel sweeps.
+    let build = || workloads::lwfa_sim([8, 8, 32], 2, ShapeOrder::Cic, KernelConfig::FullOpt, 13);
+    let one = run(build(), 1, 4);
+    let four = run(build(), 4, 4);
+    assert_bit_identical("lwfa/FullOpt 1v4", &one, &four);
+    let seven = run(build(), 7, 4); // Ragged shards on the removal path.
+    assert_bit_identical("lwfa/FullOpt 1v7", &one, &seven);
+}
+
+#[test]
+fn baseline_direct_scatter_is_worker_count_invariant() {
+    // The direct-scatter path runs sequentially regardless of the worker
+    // knob; its results must still be invariant to the setting.
+    let build =
+        || workloads::uniform_plasma_sim([8, 8, 8], 4, ShapeOrder::Cic, KernelConfig::Baseline, 3);
+    let one = run(build(), 1, 2);
+    let four = run(build(), 4, 2);
+    assert_bit_identical("uniform/Baseline 1v4", &one, &four);
+}

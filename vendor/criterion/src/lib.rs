@@ -22,6 +22,23 @@ const DEFAULT_SAMPLE_SIZE: usize = 20;
 /// to hit it.
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
 
+/// Quick mode (`cargo bench -- --quick`, mirroring real criterion's
+/// flag, or `CRITERION_QUICK=1`): caps samples at 2 and shrinks the
+/// per-sample target so a full bench sweep finishes in seconds. CI uses
+/// this as a smoke pass that still prints comparable numbers.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("CRITERION_QUICK").is_some()
+}
+
+/// Effective sample count and per-sample target for the current mode.
+fn sampling_params(sample_size: usize) -> (usize, Duration) {
+    if quick_mode() {
+        (sample_size.min(2), Duration::from_millis(5))
+    } else {
+        (sample_size, TARGET_SAMPLE_TIME)
+    }
+}
+
 /// Top-level harness handle, mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -116,15 +133,15 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
+        let (samples, target) = sampling_params(self.sample_size);
         // Calibrate: run once to estimate per-iteration cost.
         let start = Instant::now();
         std::hint::black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters_per_sample =
-            (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
 
         self.samples.clear();
-        for _ in 0..self.sample_size {
+        for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..iters_per_sample {
                 std::hint::black_box(routine());
@@ -204,6 +221,16 @@ mod tests {
     fn bench_function_runs_and_records() {
         let mut c = Criterion::default();
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn quick_mode_caps_samples() {
+        // Not in quick mode by default (no --quick arg in the test
+        // runner); params pass through untouched.
+        if !quick_mode() {
+            assert_eq!(sampling_params(20), (20, TARGET_SAMPLE_TIME));
+            assert_eq!(sampling_params(1), (1, TARGET_SAMPLE_TIME));
+        }
     }
 
     #[test]
