@@ -36,9 +36,11 @@ pub struct SimConfig {
     pub machine: MachineConfig,
     /// RNG seed for particle loading.
     pub seed: u64,
-    /// Host worker threads sharding the tile loops (gather+push and the
-    /// rhocell deposit pipeline). Results and emulated cycle totals are
-    /// bit-identical for any value; only host wall-clock changes.
+    /// Host worker threads sharding every phase of the step loop:
+    /// gather+push tiles, the global counting sort, both deposit kernel
+    /// families (rhocell and direct-scatter), and the Z-slab Maxwell
+    /// solve. Results and emulated cycle totals are bit-identical for
+    /// any value; only host wall-clock changes.
     pub num_workers: usize,
 }
 

@@ -133,6 +133,24 @@ impl Simulation {
         self.electrons.total_particles()
     }
 
+    /// Requests a global re-sort at the start of the next step (the same
+    /// escalation path the adaptive policy uses). Only meaningful for
+    /// [`SortStrategy::Incremental`] configurations.
+    pub fn request_global_sort(&mut self) {
+        self.pending_global_sort = true;
+    }
+
+    /// Whether a global sort is pending for the next step.
+    pub fn global_sort_pending(&self) -> bool {
+        self.pending_global_sort
+    }
+
+    /// The adaptive-policy counters as of the end of the last step
+    /// (diagnostics and tests).
+    pub fn sort_stats(&self) -> &RankSortStats {
+        &self.sort_stats
+    }
+
     /// Total kinetic energy (J).
     pub fn kinetic_energy(&self) -> f64 {
         let mc2 = self.electrons.mass * C * C;
@@ -166,15 +184,23 @@ impl Simulation {
 
         // --- Sorting (incremental GPMA or per-strategy) ----------------
         let force = std::mem::take(&mut self.pending_global_sort);
-        let sort_report = self.depositor.sort_step(
+        let sort_report = self.depositor.sort_step_parallel(
             &mut self.machine,
             &self.geom,
             &self.layout,
             &mut self.electrons,
             force,
+            self.cfg.num_workers,
         );
         if sort_report.policy_triggered {
             self.sort_stats.reset();
+            // The metric `reset()` just promoted to `baseline_perf` is the
+            // *pre-sort* throughput of the step that requested the sort —
+            // stale and degraded. Clear it so `update_sort_policy` at the
+            // end of *this* step re-seeds the baseline from the first
+            // post-sort measurement; until then trigger 5 is disarmed, so
+            // the policy cannot re-fire off its own sort's cost.
+            self.sort_stats.baseline_perf = 0.0;
         }
 
         // --- Current deposition ----------------------------------------
@@ -192,8 +218,15 @@ impl Simulation {
             canonical_flops_per_particle(self.cfg.shape) * n as f64;
 
         // --- Field solve + sources + boundaries ------------------------
-        self.solver
-            .step(&mut self.machine, &self.geom, &mut self.fields, self.dt);
+        // Z-slab sharded stencil sweeps; laser injection and the
+        // absorbing layer below stay on this thread in fixed order.
+        self.solver.step_sharded(
+            &mut self.machine,
+            &self.geom,
+            &mut self.fields,
+            self.dt,
+            self.cfg.num_workers,
+        );
         if let Some(laser) = &self.cfg.laser {
             laser.inject(&self.geom, &mut self.fields, self.time);
         }
@@ -467,6 +500,34 @@ mod tests {
         assert!(t.phase(Phase::Gather) > 0.0);
         assert!(t.phase(Phase::Push) > 0.0);
         assert!(t.phase(Phase::FieldSolve) > 0.0);
+    }
+
+    #[test]
+    fn forced_global_sort_reseeds_baseline_from_post_sort_step() {
+        let mut sim = workloads::uniform_plasma_sim(
+            [8, 8, 8],
+            4,
+            mpic_deposit::ShapeOrder::Cic,
+            mpic_deposit::KernelConfig::FullOpt,
+            5,
+        );
+        sim.step(); // Seed the policy baseline from a normal step.
+        sim.request_global_sort();
+        assert!(sim.global_sort_pending());
+        sim.step(); // Executes the forced sort.
+        assert!(
+            !sim.global_sort_pending(),
+            "policy re-fired immediately after its own forced sort"
+        );
+        let s = sim.sort_stats();
+        assert_eq!(s.steps_since_sort, 1);
+        assert!(s.baseline_perf > 0.0, "baseline must be re-seeded");
+        assert_eq!(
+            s.baseline_perf.to_bits(),
+            s.perf_metric.to_bits(),
+            "baseline must be the first post-sort step's metric, not the \
+             stale pre-sort throughput"
+        );
     }
 
     #[test]

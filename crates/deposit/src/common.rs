@@ -4,7 +4,7 @@
 //! model.
 
 use mpic_grid::constants::C;
-use mpic_grid::GridGeometry;
+use mpic_grid::{Array3, GridGeometry};
 use mpic_machine::{Machine, VAddr};
 
 use crate::shape::{ShapeOrder, MAX_SUPPORT};
@@ -252,16 +252,95 @@ impl Staging {
     }
 }
 
+/// First-touch-order tracker of grid nodes written by a direct-scatter
+/// kernel, so a tile's dense private accumulator can be converted to a
+/// sparse per-tile output (and re-zeroed) without scanning the whole
+/// grid. The recorded order is a pure function of the tile's particle
+/// stream — the determinism anchor of the sharded direct-scatter path.
+#[derive(Debug, Clone, Default)]
+pub struct TouchedNodes {
+    /// Per-node generation stamp (`== gen` means already recorded).
+    stamp: Vec<u32>,
+    gen: u32,
+    /// Distinct linear node indices in first-touch order.
+    pub idx: Vec<usize>,
+}
+
+impl TouchedNodes {
+    /// Prepares for a new tile over a grid of `len` nodes: clears the
+    /// recorded indices and invalidates all stamps in O(1) (amortised; a
+    /// generation wrap or resize pays one O(len) refill).
+    pub fn reset(&mut self, len: usize) {
+        if self.stamp.len() != len || self.gen == u32::MAX {
+            self.stamp.clear();
+            self.stamp.resize(len, 0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.idx.clear();
+    }
+
+    /// Records node `i` if this is its first touch since the last reset.
+    #[inline]
+    pub fn note(&mut self, i: usize) {
+        if self.stamp[i] != self.gen {
+            self.stamp[i] = self.gen;
+            self.idx.push(i);
+        }
+    }
+}
+
+/// One tile's direct-scatter output in sparse form: the grid nodes it
+/// touched (first-touch order) and the accumulated current values per
+/// component. Produced by workers in parallel, applied to the global
+/// grid sequentially in tile order — the direct-scatter analogue of the
+/// rhocell apply pass.
+#[derive(Debug, Clone, Default)]
+pub struct TileCurrents {
+    /// Linear grid indices, parallel to each `j` component vector.
+    pub idx: Vec<usize>,
+    /// Accumulated per-node current values, `j[comp][k]` for `idx[k]`.
+    pub j: [Vec<f64>; 3],
+}
+
+impl TileCurrents {
+    /// Empties the output, keeping capacity for reuse.
+    pub fn clear(&mut self) {
+        self.idx.clear();
+        for c in &mut self.j {
+            c.clear();
+        }
+    }
+
+    /// Adds the recorded contributions onto the guarded grid arrays, in
+    /// first-touch node order per component.
+    pub fn apply_to_grid(&self, jx: &mut Array3, jy: &mut Array3, jz: &mut Array3) {
+        for (comp, arr) in [jx, jy, jz].into_iter().enumerate() {
+            let dst = arr.as_mut_slice();
+            for (&i, &v) in self.idx.iter().zip(&self.j[comp]) {
+                dst[i] += v;
+            }
+        }
+    }
+}
+
 /// Per-worker pool of reusable tile-processing buffers: the staging
-/// arrays plus the sorted-iteration index buffer. One instance per
-/// parallel worker keeps the deposit hot path allocation-free without
-/// any cross-worker synchronisation.
+/// arrays plus the sorted-iteration index buffer, and — for
+/// direct-scatter kernels — a private dense current accumulator with its
+/// touched-node tracker. One instance per parallel worker keeps the
+/// deposit hot path allocation-free without any cross-worker
+/// synchronisation.
 #[derive(Debug, Clone, Default)]
 pub struct TileScratch {
     /// Staged per-particle data, recycled across tiles.
     pub staging: Staging,
     /// Iteration order (GPMA-sorted or live-slot) for the current tile.
     pub iteration: Vec<usize>,
+    /// Dense per-worker `[jx, jy, jz]` accumulators for direct-scatter
+    /// kernels, allocated lazily to the guarded grid shape.
+    pub accum: Option<[Array3; 3]>,
+    /// Tracker of which accumulator nodes the current tile wrote.
+    pub touched: TouchedNodes,
 }
 
 /// Runs the preprocessing stage for one tile: loads particle data in the

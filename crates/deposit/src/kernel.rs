@@ -11,22 +11,30 @@ use mpic_grid::{Array3, FieldArrays, GridGeometry, Tile, TileLayout};
 use mpic_machine::{Machine, Phase, VAddr};
 use mpic_particles::{MoveStats, ParticleContainer, SortPolicy, SortStats};
 
-use crate::common::{stage_tile, AddrMap, PrepStyle, Staging, TileScratch};
+use crate::common::{
+    stage_tile, AddrMap, PrepStyle, Staging, TileCurrents, TileScratch, TouchedNodes,
+};
 use crate::rhocell::Rhocell;
 use crate::shape::ShapeOrder;
 
 /// Where a kernel writes its output for one tile.
 pub enum TileOutput<'a> {
-    /// Direct scatter onto the global current arrays.
+    /// Direct scatter onto per-worker private current accumulators (the
+    /// cache model is still priced against the *global* array bases in
+    /// `j_addr`, so the emulated cost is that of a true grid scatter).
     Grid {
         /// Current array bases for the cache model.
         j_addr: [VAddr; 3],
-        /// The guarded current arrays.
+        /// The worker's private guarded current accumulators.
         jx: &'a mut Array3,
-        /// The guarded current arrays.
+        /// The worker's private guarded current accumulators.
         jy: &'a mut Array3,
-        /// The guarded current arrays.
+        /// The worker's private guarded current accumulators.
         jz: &'a mut Array3,
+        /// Records every accumulator node the kernel writes, in
+        /// first-touch order, so the driver can extract (and re-zero) the
+        /// tile's sparse output deterministically.
+        touched: &'a mut TouchedNodes,
     },
     /// Accumulation into the tile's rhocell (reduced by the driver).
     Rho {
@@ -111,6 +119,8 @@ pub struct Depositor {
     order: ShapeOrder,
     /// Per-worker reusable tile buffers (index = worker id).
     scratch: Vec<TileScratch>,
+    /// Per-tile sparse outputs of direct-scatter kernels (index = tile).
+    tile_currents: Vec<TileCurrents>,
 }
 
 impl Depositor {
@@ -127,6 +137,7 @@ impl Depositor {
             rhocells: Vec::new(),
             order,
             scratch: Vec::new(),
+            tile_currents: Vec::new(),
         }
     }
 
@@ -182,6 +193,8 @@ impl Depositor {
 
     /// Runs the sorting phase for this step, returning the work report.
     /// `force_global` lets the caller's policy escalate to a global sort.
+    /// Single-worker convenience wrapper around
+    /// [`Depositor::sort_step_parallel`].
     pub fn sort_step(
         &mut self,
         m: &mut Machine,
@@ -189,6 +202,24 @@ impl Depositor {
         layout: &TileLayout,
         container: &mut ParticleContainer,
         force_global: bool,
+    ) -> StepSortReport {
+        self.sort_step_parallel(m, geom, layout, container, force_global, 1)
+    }
+
+    /// [`Depositor::sort_step`] with any global counting sort sharded
+    /// across `num_workers` host threads. The particle order, the
+    /// [`StepSortReport`] and the emulated [`Phase::Sort`] charge are
+    /// identical for every worker count: the sharded sort reproduces the
+    /// sequential permutation exactly and the cost model is driven by
+    /// the workload-shaped [`SortStats`], not by host threading.
+    pub fn sort_step_parallel(
+        &mut self,
+        m: &mut Machine,
+        geom: &GridGeometry,
+        layout: &TileLayout,
+        container: &mut ParticleContainer,
+        force_global: bool,
+        num_workers: usize,
     ) -> StepSortReport {
         let mut report = StepSortReport::default();
         match &self.strategy {
@@ -203,7 +234,7 @@ impl Depositor {
                 m.in_phase(Phase::Other, |m| charge_gpma(m, &stats));
             }
             SortStrategy::GlobalEveryStep => {
-                let stats = container.global_sort(layout, geom);
+                let stats = container.global_sort_parallel(layout, geom, num_workers);
                 m.in_phase(Phase::Sort, |m| charge_global_sort(m, &stats));
                 report.global = Some(stats);
             }
@@ -229,7 +260,7 @@ impl Depositor {
                 report.gpma = stats;
                 report.scanned = scanned;
                 if force_global {
-                    let gstats = container.global_sort(layout, geom);
+                    let gstats = container.global_sort_parallel(layout, geom, num_workers);
                     m.in_phase(Phase::Sort, |m| charge_global_sort(m, &gstats));
                     report.global = Some(gstats);
                     report.policy_triggered = true;
@@ -256,7 +287,7 @@ impl Depositor {
 
     /// The parallel tile pipeline: shards tiles across `num_workers`
     /// scoped threads for staging, the kernel sweep and the reduction
-    /// *cost* charging, then applies every tile's rhocell onto the grid
+    /// *cost* charging, then applies every tile's output onto the grid
     /// sequentially in tile order.
     ///
     /// Each tile executes on a forked worker machine whose cache is
@@ -267,10 +298,12 @@ impl Depositor {
     /// bit-identical for any worker count (see
     /// `tests/parallel_determinism.rs`).
     ///
-    /// Direct-scatter kernels (`uses_rhocell() == false`) interleave cost
-    /// charging with grid mutation and run sequentially on a single
-    /// worker fork, so their results are `num_workers`-independent by
-    /// construction.
+    /// Rhocell kernels (`uses_rhocell() == true`) accumulate into the
+    /// tile's private rhocell; direct-scatter kernels accumulate into the
+    /// worker's private dense current arrays, extracted per tile into a
+    /// sparse [`TileCurrents`] in first-touch node order. Both outputs
+    /// are pure functions of the tile, so the fixed-order apply pass
+    /// makes the fields independent of how tiles were sharded.
     pub fn deposit_step_parallel(
         &mut self,
         m: &mut Machine,
@@ -285,11 +318,7 @@ impl Depositor {
         let sorted = self.strategy.provides_sorted_order();
         let j_addr = [addrs.jx, addrs.jy, addrs.jz];
         let n_tiles = container.tiles.len();
-        let workers = if self.kernel.uses_rhocell() {
-            num_workers.clamp(1, n_tiles.max(1))
-        } else {
-            1
-        };
+        let workers = num_workers.clamp(1, n_tiles.max(1));
         if self.scratch.len() < workers {
             self.scratch.resize_with(workers, TileScratch::default);
         }
@@ -327,33 +356,29 @@ impl Depositor {
                 );
             }
         } else {
-            // Direct-scatter path: same per-tile worker model, run inline.
-            let mut wm = m.fork_worker();
-            let scratch = &mut self.scratch[0];
-            for (t, ptile) in container.tiles.iter().enumerate() {
-                if ptile.is_empty() {
-                    continue;
-                }
-                wm.mem().flush_cache();
-                let tile = layout.tile(t);
-                stage_tile_scratch(
-                    &mut wm, order, sorted, geom, tile, container, addrs, t, kernel, scratch,
-                );
-                let ctx = TileCtx {
-                    geom,
-                    tile,
-                    order,
-                    staging_addr: addrs.staging,
-                };
-                let f = &mut *fields;
-                let mut out = TileOutput::Grid {
-                    j_addr,
-                    jx: &mut f.jx,
-                    jy: &mut f.jy,
-                    jz: &mut f.jz,
-                };
-                kernel.deposit_tile(&mut wm, &ctx, &scratch.staging, &mut out);
-                m.absorb_counters(&wm.drain_counters());
+            // Direct-scatter path: same per-tile worker model, with the
+            // scatter stream landing in per-worker private accumulators.
+            if self.tile_currents.len() < n_tiles {
+                self.tile_currents
+                    .resize_with(n_tiles, TileCurrents::default);
+            }
+            let counters = mpic_machine::run_sharded(
+                m,
+                &mut self.tile_currents[..n_tiles],
+                &mut self.scratch,
+                workers,
+                |wm, t, tj, scratch| {
+                    scatter_tile_worker(
+                        wm, kernel, order, sorted, geom, layout, container, addrs, j_addr, t, tj,
+                        scratch,
+                    );
+                },
+            );
+            for c in &counters {
+                m.absorb_counters(c);
+            }
+            for tj in &self.tile_currents[..n_tiles] {
+                tj.apply_to_grid(&mut fields.jx, &mut fields.jy, &mut fields.jz);
             }
         }
     }
@@ -441,6 +466,81 @@ fn deposit_tile_worker(
         kernel.deposit_tile(wm, &ctx, &scratch.staging, &mut out);
     }
     rho.charge_reduction(wm, geom, tile, addrs.rhocell[t], j_addr);
+}
+
+/// Processes one tile end-to-end on a worker for a direct-scatter
+/// kernel: per-tile cold cache, staging, then the kernel's scatter sweep
+/// into the worker's private dense accumulators. The touched nodes are
+/// extracted into the tile's sparse [`TileCurrents`] (first-touch order)
+/// and the accumulators re-zeroed, leaving the output a pure function of
+/// the tile. Grid values are *not* written here — the orchestrator
+/// applies tile outputs in tile order afterwards.
+#[allow(clippy::too_many_arguments)]
+fn scatter_tile_worker(
+    wm: &mut Machine,
+    kernel: &dyn DepositionKernel,
+    order: ShapeOrder,
+    sorted: bool,
+    geom: &GridGeometry,
+    layout: &TileLayout,
+    container: &ParticleContainer,
+    addrs: &AddrMap,
+    j_addr: [VAddr; 3],
+    t: usize,
+    tj: &mut TileCurrents,
+    scratch: &mut TileScratch,
+) {
+    tj.clear();
+    if container.tiles[t].is_empty() {
+        return;
+    }
+    wm.mem().flush_cache();
+    let tile = layout.tile(t);
+    stage_tile_scratch(
+        wm, order, sorted, geom, tile, container, addrs, t, kernel, scratch,
+    );
+    let ctx = TileCtx {
+        geom,
+        tile,
+        order,
+        staging_addr: addrs.staging,
+    };
+    let dims = geom.dims_with_guard();
+    // Disjoint field borrows: the kernel reads `staging` while writing
+    // the accumulators and the touched tracker.
+    let TileScratch {
+        staging,
+        accum,
+        touched,
+        ..
+    } = scratch;
+    if accum.as_ref().is_none_or(|a| a[0].shape() != dims) {
+        *accum = Some(std::array::from_fn(|_| {
+            mpic_grid::Array3::zeros(dims[0], dims[1], dims[2])
+        }));
+    }
+    let [jx, jy, jz] = accum.as_mut().unwrap();
+    touched.reset(jx.len());
+    {
+        let mut out = TileOutput::Grid {
+            j_addr,
+            jx,
+            jy,
+            jz,
+            touched,
+        };
+        kernel.deposit_tile(wm, &ctx, &*staging, &mut out);
+    }
+    // Dense -> sparse extraction; re-zeroing only the touched nodes keeps
+    // the accumulators clean for the worker's next tile.
+    for &i in &touched.idx {
+        tj.idx.push(i);
+        for (comp, arr) in [&mut *jx, &mut *jy, &mut *jz].into_iter().enumerate() {
+            let slot = &mut arr.as_mut_slice()[i];
+            tj.j[comp].push(*slot);
+            *slot = 0.0;
+        }
+    }
 }
 
 /// Charges the cost of a global counting sort.

@@ -82,7 +82,14 @@ impl DepositionKernel for BaselineKernel {
     }
 
     fn deposit_tile(&self, m: &mut Machine, ctx: &TileCtx, st: &Staging, out: &mut TileOutput) {
-        let TileOutput::Grid { j_addr, jx, jy, jz } = out else {
+        let TileOutput::Grid {
+            j_addr,
+            jx,
+            jy,
+            jz,
+            touched,
+        } = out
+        else {
             panic!("baseline kernel writes the grid directly");
         };
         let s = ctx.order.support();
@@ -120,6 +127,7 @@ impl DepositionKernel for BaselineKernel {
                                 };
                                 let g = node_index(ctx.geom, &pseudo, ctx.order, a, b, c);
                                 idx[l] = jx.idx(g[0], g[1], g[2]);
+                                touched.note(idx[l]);
                             }
                             for (comp, arr) in
                                 [&mut **jx, &mut **jy, &mut **jz].into_iter().enumerate()

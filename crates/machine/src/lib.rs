@@ -52,5 +52,5 @@ pub use counters::{MachineCounters, PerfCounters, Phase};
 pub use gpu::{GpuConfig, GpuDepositionReport, GpuModel};
 pub use machine::{Machine, TileId};
 pub use mem::{MemSystem, VAddr};
-pub use shard::run_sharded;
+pub use shard::{run_sharded, shard_bounds};
 pub use vreg::{VMask, VReg, VLANES};

@@ -5,11 +5,33 @@
 //! tile (worker machines fork with a private cold cache), and per-tile
 //! counter deltas must merge back in **global tile order** no matter how
 //! tiles were distributed over threads. This module owns that invariant
-//! so every sharded phase (gather+push, deposit) uses the identical
-//! scheme instead of re-implementing it.
+//! so every sharded phase (gather+push, sort, both deposit kernels, and
+//! the Z-slab field solve) uses the identical scheme instead of
+//! re-implementing it: [`run_sharded`] for phases that charge per-item
+//! [`MachineCounters`], and [`shard_bounds`] for phases (counting sort,
+//! Maxwell slabs) that only need the contiguous chunk decomposition.
 
 use crate::counters::MachineCounters;
 use crate::machine::Machine;
+
+/// Contiguous chunk decomposition of `len` items over at most `workers`
+/// shards: `ceil(len / workers)` items per shard, last shard ragged.
+///
+/// This is the single chunk scheme every sharded phase uses — keeping it
+/// in one place means a phase can never disagree with [`run_sharded`]
+/// about which worker owns which items. Returns `(start, end)`
+/// half-open ranges covering `0..len` exactly, in ascending order; empty
+/// when `len == 0`.
+pub fn shard_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, len);
+    let per = len.div_ceil(workers);
+    (0..len.div_ceil(per))
+        .map(|w| (w * per, ((w + 1) * per).min(len)))
+        .collect()
+}
 
 /// Runs `f` once per item, sharded across `workers` scoped threads, and
 /// returns the per-item [`MachineCounters`] deltas **in item order**.
@@ -48,13 +70,13 @@ where
     S: Send,
     F: Fn(&mut Machine, usize, &mut T, &mut S) + Sync,
 {
-    let workers = workers.clamp(1, items.len().max(1));
-    let per = items.len().div_ceil(workers).max(1);
+    let bounds = shard_bounds(items.len(), workers);
+    let per = bounds.first().map_or(1, |&(s, e)| e - s);
     assert!(
-        scratch.len() >= items.len().div_ceil(per),
+        scratch.len() >= bounds.len(),
         "scratch ({}) must cover every chunk ({}): trailing items would be silently dropped",
         scratch.len(),
-        items.len().div_ceil(per)
+        bounds.len()
     );
     std::thread::scope(|s| {
         let handles: Vec<_> = items
@@ -129,6 +151,23 @@ mod tests {
         let mut scratch = vec![Vec::new(); 4];
         let counters = run_sharded(&main, &mut items, &mut scratch, 4, charge_item);
         assert!(counters.is_empty());
+    }
+
+    #[test]
+    fn shard_bounds_cover_exactly_in_order() {
+        for len in [0usize, 1, 2, 7, 11, 64] {
+            for workers in [1usize, 2, 3, 4, 7, 100] {
+                let b = shard_bounds(len, workers);
+                let mut next = 0;
+                for &(s, e) in &b {
+                    assert_eq!(s, next, "len {len} workers {workers}: gap/overlap");
+                    assert!(e > s, "len {len} workers {workers}: empty chunk");
+                    next = e;
+                }
+                assert_eq!(next, len, "len {len} workers {workers}: not covered");
+                assert!(b.len() <= workers.max(1));
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::gpma::{Gpma, MoveStats, INVALID_PARTICLE_ID};
 use crate::soa::ParticleSoA;
-use crate::sort::{counting_sort_keys_into, SortScratch, SortStats};
+use crate::sort::{counting_sort_keys_sharded, SortScratch, SortStats};
 use mpic_grid::{GridGeometry, Tile, TileLayout};
 
 /// Default fractional gap headroom used when (re)building tile GPMAs.
@@ -67,12 +67,18 @@ impl ParticleTile {
     /// histogram buffers come from `scratch`, so a warm scratch makes the
     /// sort itself allocation-free (the GPMA rebuild still allocates, but
     /// global sorts are rare policy events rather than per-step work).
+    ///
+    /// `workers` shards the counting-sort histogram and the attribute
+    /// permutation across host threads; the resulting SoA order, bin map
+    /// and [`SortStats`] are identical for any value (see
+    /// `counting_sort_keys_sharded`).
     pub fn global_sort(
         &mut self,
         tile: &Tile,
         geom: &GridGeometry,
         gap_ratio: f64,
         scratch: &mut SortScratch,
+        workers: usize,
     ) -> SortStats {
         let n_bins = tile.num_cells();
         // Gather live slots and their bins.
@@ -85,18 +91,18 @@ impl ParticleTile {
             scratch.live.push(i);
             scratch.keys.push(tile.local_cell_id(cell));
         }
-        let stats = counting_sort_keys_into(
-            &scratch.keys,
-            n_bins,
-            &mut scratch.perm,
-            &mut scratch.counts,
-        );
+        let keys = std::mem::take(&mut scratch.keys);
+        let mut perm = std::mem::take(&mut scratch.perm);
+        let stats = counting_sort_keys_sharded(&keys, n_bins, workers, &mut perm, scratch);
+        scratch.keys = keys;
+        scratch.perm = perm;
         // Compose: new slot s holds old slot live[perm[s]].
         scratch.gathered.clear();
         scratch
             .gathered
             .extend(scratch.perm.iter().map(|&p| scratch.live[p]));
-        self.soa.permute_with(&scratch.gathered, &mut scratch.attr);
+        self.soa
+            .permute_sharded(&scratch.gathered, &mut scratch.attr_bufs, workers);
         self.cells.clear();
         self.cells
             .extend(scratch.perm.iter().map(|&p| scratch.keys[p]));
@@ -226,18 +232,34 @@ impl ParticleContainer {
         self.tiles[t].insert(d, layout.tile(t), geom)
     }
 
-    /// Global sort of every tile; returns merged stats.
+    /// Global sort of every tile; returns merged stats. Single-worker
+    /// convenience wrapper around
+    /// [`ParticleContainer::global_sort_parallel`].
+    pub fn global_sort(&mut self, layout: &TileLayout, geom: &GridGeometry) -> SortStats {
+        self.global_sort_parallel(layout, geom, 1)
+    }
+
+    /// Global sort of every tile with the per-tile counting sort and
+    /// attribute permutation sharded across `workers` host threads; the
+    /// resulting particle order and merged stats are identical for any
+    /// worker count (tiles are visited in tile order, and the sharded
+    /// sort reproduces the sequential permutation exactly).
     ///
     /// Particles that crossed a tile boundary since the last maintenance
     /// pass are re-homed first (tile-local counting sort requires every
     /// particle to be inside its tile).
-    pub fn global_sort(&mut self, layout: &TileLayout, geom: &GridGeometry) -> SortStats {
+    pub fn global_sort_parallel(
+        &mut self,
+        layout: &TileLayout,
+        geom: &GridGeometry,
+        workers: usize,
+    ) -> SortStats {
         self.incremental_sort(layout, geom);
         let mut total = SortStats::default();
         let gap_ratio = self.gap_ratio;
         let Self { tiles, scratch, .. } = self;
         for (t, tile) in tiles.iter_mut().enumerate() {
-            let s = tile.global_sort(layout.tile(t), geom, gap_ratio, scratch);
+            let s = tile.global_sort(layout.tile(t), geom, gap_ratio, scratch, workers);
             total.n += s.n;
             total.buckets += s.buckets;
             total.moves += s.moves;
@@ -392,6 +414,36 @@ mod tests {
         assert_eq!(stats.moves_applied, 0, "no particle changed cell");
         assert_eq!(stats.deletions, 0);
         c.check_invariants();
+    }
+
+    #[test]
+    fn global_sort_parallel_is_worker_count_invariant() {
+        let build = || {
+            let (geom, layout, mut c) = setup();
+            // Scatter particles over cells in a worst-case reverse order.
+            for i in 0..40 {
+                let f = 7.5 - (i as f64) * 0.19;
+                c.inject(
+                    &layout,
+                    &geom,
+                    particle_at(f, 7.9 - f, 0.5 + 0.17 * i as f64),
+                );
+            }
+            (geom, layout, c)
+        };
+        let (geom, layout, mut want) = build();
+        want.global_sort(&layout, &geom);
+        for workers in [2usize, 3, 7] {
+            let (geom2, layout2, mut got) = build();
+            let s = got.global_sort_parallel(&layout2, &geom2, workers);
+            assert_eq!(s.n, 40);
+            got.check_invariants();
+            for (tw, tg) in want.tiles.iter().zip(&got.tiles) {
+                assert_eq!(tw.soa.x, tg.soa.x, "workers {workers}");
+                assert_eq!(tw.soa.w, tg.soa.w, "workers {workers}");
+                assert_eq!(tw.cells, tg.cells, "workers {workers}");
+            }
+        }
     }
 
     #[test]

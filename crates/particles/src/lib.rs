@@ -37,4 +37,6 @@ pub use container::{Departure, ParticleContainer, ParticleTile};
 pub use gpma::{Gpma, MoveStats, INVALID_PARTICLE_ID};
 pub use policy::{RankSortStats, SortPolicy, SortReason};
 pub use soa::ParticleSoA;
-pub use sort::{counting_sort_keys, counting_sort_keys_into, SortScratch, SortStats};
+pub use sort::{
+    counting_sort_keys, counting_sort_keys_into, counting_sort_keys_sharded, SortScratch, SortStats,
+};

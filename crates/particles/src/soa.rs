@@ -122,7 +122,18 @@ impl ParticleSoA {
     /// allocation-free. The buffer cycles through the seven retired
     /// attribute arrays, so their capacity is recycled too.
     pub fn permute_with(&mut self, perm: &[usize], scratch: &mut Vec<f64>) {
-        for attr in [
+        for attr in self.attrs_mut() {
+            scratch.clear();
+            scratch.extend(perm.iter().map(|&p| attr[p]));
+            std::mem::swap(attr, scratch);
+        }
+        self.compact_alive(perm.len());
+    }
+
+    /// The seven attribute arrays, in canonical order — the single source
+    /// for every whole-SoA sweep (sequential and sharded permutes).
+    fn attrs_mut(&mut self) -> [&mut Vec<f64>; 7] {
+        [
             &mut self.x,
             &mut self.y,
             &mut self.z,
@@ -130,14 +141,67 @@ impl ParticleSoA {
             &mut self.uy,
             &mut self.uz,
             &mut self.w,
-        ] {
-            scratch.clear();
-            scratch.extend(perm.iter().map(|&p| attr[p]));
-            std::mem::swap(attr, scratch);
-        }
+        ]
+    }
+
+    /// Post-permutation epilogue: every slot live, free list empty.
+    fn compact_alive(&mut self, len: usize) {
         self.alive.clear();
-        self.alive.resize(perm.len(), true);
+        self.alive.resize(len, true);
         self.free.clear();
+    }
+
+    /// [`ParticleSoA::permute_with`] with the seven attribute gathers
+    /// sharded across up to `workers` scoped threads (each attribute
+    /// array is independent, so attribute-parallel gathers produce the
+    /// identical result for any worker count). `bufs` provides one pooled
+    /// gather buffer per attribute, resized in place; a warm set keeps
+    /// the permutation allocation-free.
+    pub fn permute_sharded(&mut self, perm: &[usize], bufs: &mut Vec<Vec<f64>>, workers: usize) {
+        const ATTRS: usize = 7;
+        /// Minimum permutation length before gathers go multi-threaded;
+        /// small tiles run inline (identical result, no spawn cost).
+        const MIN_PAR_LEN: usize = 4096;
+        let workers = if perm.len() < MIN_PAR_LEN {
+            1
+        } else {
+            workers.clamp(1, ATTRS)
+        };
+        if workers == 1 {
+            // Single worker: gather inline, no thread-scope overhead
+            // (cycling one pooled buffer through the attributes).
+            if bufs.is_empty() {
+                bufs.push(Vec::new());
+            }
+            self.permute_with(perm, &mut bufs[0]);
+            return;
+        }
+        if bufs.len() < ATTRS {
+            bufs.resize_with(ATTRS, Vec::new);
+        }
+        let mut pairs: Vec<(&mut Vec<f64>, &mut Vec<f64>)> =
+            self.attrs_mut().into_iter().zip(bufs.iter_mut()).collect();
+        let per = ATTRS.div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .chunks_mut(per)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        for (attr, buf) in chunk {
+                            buf.clear();
+                            buf.extend(perm.iter().map(|&p| attr[p]));
+                            std::mem::swap(*attr, *buf);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        });
+        self.compact_alive(perm.len());
     }
 
     /// Iterator over live slot indices.
@@ -199,6 +263,37 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.x, vec![3.0, 0.0, 2.0]);
         assert!(s.alive.iter().all(|&a| a));
+    }
+
+    #[test]
+    fn permute_sharded_matches_sequential() {
+        // Above the parallel threshold so the threaded path runs.
+        let n = 5_000;
+        let build = || {
+            let mut s = ParticleSoA::new();
+            for i in 0..n + 1 {
+                let f = i as f64;
+                s.push(f, 10.0 + f, 20.0 + f, 0.1 * f, -0.1 * f, f, 1.0 + f);
+            }
+            s.remove(4);
+            s
+        };
+        // A scrambled full permutation of the live slots (skip slot 4).
+        let perm: Vec<usize> = (0..n + 1)
+            .map(|i| (i * 2_741) % (n + 1))
+            .filter(|&p| p != 4)
+            .collect();
+        let mut want = build();
+        want.permute(&perm);
+        for workers in [1usize, 2, 3, 7, 50] {
+            let mut got = build();
+            let mut bufs = Vec::new();
+            got.permute_sharded(&perm, &mut bufs, workers);
+            assert_eq!(got.x, want.x, "workers {workers}");
+            assert_eq!(got.w, want.w, "workers {workers}");
+            assert_eq!(got.len(), want.len());
+            assert!(got.alive.iter().all(|&a| a));
+        }
     }
 
     #[test]

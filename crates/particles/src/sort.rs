@@ -5,6 +5,16 @@
 //! index-only GPMA maintenance cannot provide), then rebuilds the GPMA.
 //! This module provides the permutation computation plus operation counts
 //! for the cost model.
+//!
+//! [`counting_sort_keys_sharded`] is the host-parallel variant: the
+//! key-count histogram is split across workers on the shared
+//! [`mpic_machine::shard_bounds`] chunk scheme and the per-worker prefix
+//! sums are merged in fixed worker order, so the resulting permutation is
+//! *identical* (not merely equivalent) to the sequential stable sort for
+//! any worker count — the emulated cost model sees the same
+//! [`SortStats`] either way.
+
+use mpic_machine::shard_bounds;
 
 /// Operation counts of one counting sort.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,8 +43,15 @@ pub struct SortScratch {
     pub counts: Vec<usize>,
     /// Composed gather permutation over SoA slots.
     pub gathered: Vec<usize>,
-    /// Attribute gather buffer for [`crate::ParticleSoA::permute_with`].
-    pub attr: Vec<f64>,
+    /// Per-worker key histograms / placement cursors for the sharded
+    /// counting sort.
+    pub worker_counts: Vec<Vec<usize>>,
+    /// Destination slot per input key (`dest[i]` = sorted position of
+    /// key `i`), the shard-local half of the sharded placement pass.
+    pub dest: Vec<usize>,
+    /// Per-attribute gather buffers for
+    /// [`crate::ParticleSoA::permute_sharded`] (up to one per attribute).
+    pub attr_bufs: Vec<Vec<f64>>,
     /// Snapshot of the GPMA iteration order for the incremental sweep.
     pub scan: Vec<(usize, usize)>,
     /// Departures accumulated across tiles during a sweep.
@@ -92,6 +109,125 @@ pub fn counting_sort_keys_into(
     }
 }
 
+/// Minimum keys per worker before the sharded sort spawns threads: below
+/// this, per-tile sorts (a few thousand keys) are cheaper sequential
+/// than the thread-scope spawns. Purely a host-performance knob — the
+/// permutation is identical either way.
+const MIN_KEYS_PER_WORKER: usize = 4096;
+
+/// Host-parallel stable counting sort producing the *same* permutation as
+/// [`counting_sort_keys_into`] for any `workers`.
+///
+/// The algorithm shards `keys` into contiguous chunks
+/// ([`shard_bounds`]), counts a private histogram per worker in
+/// parallel, then merges the prefix sums deterministically: bucket `k`'s
+/// region is subdivided among workers in ascending worker order, which —
+/// because chunks are contiguous and each worker scans its chunk in
+/// ascending index order — reproduces the sequential stable placement
+/// exactly. The scatter positions land in `dest` (chunk-disjoint, so the
+/// placement pass is parallel too); a final O(n) inversion yields the
+/// gather-form `perm`.
+///
+/// All buffers come from `scratch` and are resized in place, so a warm
+/// scratch makes the sort allocation-free.
+///
+/// # Panics
+///
+/// Panics if any key is `>= n_buckets`.
+pub fn counting_sort_keys_sharded(
+    keys: &[usize],
+    n_buckets: usize,
+    workers: usize,
+    perm: &mut Vec<usize>,
+    scratch: &mut SortScratch,
+) -> SortStats {
+    let workers = workers.min(keys.len() / MIN_KEYS_PER_WORKER + 1);
+    let bounds = shard_bounds(keys.len(), workers);
+    if bounds.len() <= 1 {
+        // Single chunk: the sequential sort is the same permutation
+        // without thread-scope or inversion overhead.
+        return counting_sort_keys_into(keys, n_buckets, perm, &mut scratch.counts);
+    }
+    if scratch.worker_counts.len() < bounds.len() {
+        scratch.worker_counts.resize_with(bounds.len(), Vec::new);
+    }
+    // Parallel per-chunk histograms.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .zip(scratch.worker_counts.iter_mut())
+            .map(|(&(lo, hi), counts)| {
+                let chunk = &keys[lo..hi];
+                s.spawn(move || {
+                    counts.clear();
+                    counts.resize(n_buckets, 0);
+                    for &k in chunk {
+                        assert!(k < n_buckets, "key {k} out of range");
+                        counts[k] += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p); // Preserve the original message.
+            }
+        }
+    });
+    // Deterministic merge: exclusive global prefix, then per-(worker,
+    // bucket) start cursors in ascending worker order.
+    scratch.counts.clear();
+    scratch.counts.resize(n_buckets + 1, 0);
+    for w in 0..bounds.len() {
+        for b in 0..n_buckets {
+            scratch.counts[b + 1] += scratch.worker_counts[w][b];
+        }
+    }
+    for b in 0..n_buckets {
+        scratch.counts[b + 1] += scratch.counts[b];
+    }
+    for b in 0..n_buckets {
+        let mut cursor = scratch.counts[b];
+        for counts in scratch.worker_counts.iter_mut().take(bounds.len()) {
+            let own = counts[b];
+            counts[b] = cursor;
+            cursor += own;
+        }
+    }
+    // Parallel placement into chunk-disjoint `dest` slices.
+    scratch.dest.clear();
+    scratch.dest.resize(keys.len(), 0);
+    std::thread::scope(|s| {
+        let mut rest = scratch.dest.as_mut_slice();
+        let mut handles = Vec::with_capacity(bounds.len());
+        for (&(lo, hi), cursors) in bounds.iter().zip(scratch.worker_counts.iter_mut()) {
+            let (dest_chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let chunk = &keys[lo..hi];
+            handles.push(s.spawn(move || {
+                for (d, &k) in dest_chunk.iter_mut().zip(chunk) {
+                    *d = cursors[k];
+                    cursors[k] += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("sort placement worker panicked");
+        }
+    });
+    // Invert scatter positions into the gather permutation.
+    perm.clear();
+    perm.resize(keys.len(), 0);
+    for (i, &d) in scratch.dest.iter().enumerate() {
+        perm[d] = i;
+    }
+    SortStats {
+        n: keys.len(),
+        buckets: n_buckets,
+        moves: keys.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +272,56 @@ mod tests {
         assert_eq!(perm, perm2);
         assert_eq!(stats.n, stats2.n);
         assert_eq!(stats.moves, stats2.moves);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_for_any_worker_count() {
+        // Large enough that several worker counts clear the
+        // MIN_KEYS_PER_WORKER threshold and genuinely go parallel.
+        let keys: Vec<usize> = (0..30_011).map(|i| (i * 131 + 17) % 97).collect();
+        let (perm, stats) = counting_sort_keys(&keys, 97);
+        let mut scratch = SortScratch::default();
+        for workers in [1usize, 2, 3, 4, 7, 16, 2000] {
+            let mut perm2 = vec![5; 7]; // Stale contents must be overwritten.
+            let stats2 = counting_sort_keys_sharded(&keys, 97, workers, &mut perm2, &mut scratch);
+            assert_eq!(perm, perm2, "workers {workers}: permutation diverged");
+            assert_eq!(stats.n, stats2.n);
+            assert_eq!(stats.buckets, stats2.buckets);
+            assert_eq!(stats.moves, stats2.moves);
+        }
+    }
+
+    #[test]
+    fn sharded_handles_empty_and_single() {
+        let mut scratch = SortScratch::default();
+        let mut perm = Vec::new();
+        let s = counting_sort_keys_sharded(&[], 4, 3, &mut perm, &mut scratch);
+        assert!(perm.is_empty());
+        assert_eq!(s.n, 0);
+        let s = counting_sort_keys_sharded(&[2], 4, 3, &mut perm, &mut scratch);
+        assert_eq!(perm, vec![0]);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn sharded_is_stable_across_chunk_boundaries() {
+        // All-equal keys: stability demands the identity permutation even
+        // when the run is split mid-bucket across workers (length clears
+        // the parallel threshold so chunks genuinely split the bucket).
+        let n = 9_001;
+        let keys = vec![3usize; n];
+        let mut scratch = SortScratch::default();
+        let mut perm = Vec::new();
+        counting_sort_keys_sharded(&keys, 5, 4, &mut perm, &mut scratch);
+        assert_eq!(perm, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sharded_rejects_out_of_range_key() {
+        let mut scratch = SortScratch::default();
+        let mut perm = Vec::new();
+        let _ = counting_sort_keys_sharded(&[5], 4, 2, &mut perm, &mut scratch);
     }
 
     #[test]

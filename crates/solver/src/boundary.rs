@@ -54,11 +54,14 @@ impl AbsorbingLayer {
     }
 
     /// Applies the damping to all six field components in the z layers.
+    ///
+    /// Runs on the calling thread in a fixed plane order: this is part of
+    /// the solver's fixed-order boundary/source pass, so field state
+    /// after a step is independent of how the stencil sweeps were
+    /// sharded.
     pub fn apply(&self, geom: &GridGeometry, f: &mut FieldArrays) {
         let g = geom.guard;
         let n = geom.n_cells;
-        let [dx, dy, _] = [0, 1, 2].map(|d| geom.n_cells[d] + 2 * geom.guard);
-        let _ = (dx, dy);
         for depth in 0..self.thickness.min(n[2]) {
             let fac = self.factor(depth);
             if fac >= 1.0 {

@@ -76,14 +76,36 @@ impl MaxwellSolver {
     }
 
     /// Advances fields by one step given the deposited current; charges
-    /// the sweep to [`Phase::FieldSolve`].
+    /// the sweep to [`Phase::FieldSolve`]. Single-worker convenience
+    /// wrapper around [`MaxwellSolver::step_sharded`].
     pub fn step(&self, m: &mut Machine, geom: &GridGeometry, f: &mut FieldArrays, dt: f64) {
+        self.step_sharded(m, geom, f, dt, 1);
+    }
+
+    /// [`MaxwellSolver::step`] with each of the three stencil sweeps
+    /// sharded across `workers` scoped threads by Z-slab decomposition.
+    ///
+    /// Every cell update reads only the *previous* half-step's arrays and
+    /// writes its own cell exactly once, so slab workers touch disjoint
+    /// output planes and the fields are bit-identical for any worker
+    /// count. The guard exchanges between sweeps and the emulated cost
+    /// charge run on the calling thread in fixed order (the caller's
+    /// laser/absorber pass stays fixed-order too), so the per-phase
+    /// cycle totals are worker-count independent as well.
+    pub fn step_sharded(
+        &self,
+        m: &mut Machine,
+        geom: &GridGeometry,
+        f: &mut FieldArrays,
+        dt: f64,
+        workers: usize,
+    ) {
         m.in_phase(Phase::FieldSolve, |m| {
-            self.push_b(geom, f, 0.5 * dt);
+            self.push_b(geom, f, 0.5 * dt, workers);
             f.fill_guards_periodic();
-            self.push_e(geom, f, dt);
+            self.push_e(geom, f, dt, workers);
             f.fill_guards_periodic();
-            self.push_b(geom, f, 0.5 * dt);
+            self.push_b(geom, f, 0.5 * dt, workers);
             f.fill_guards_periodic();
             // Cost: ~36 FLOPs/cell/update x 2.5 sweeps, vectorised and
             // streaming (memory-bound stencil).
@@ -93,26 +115,45 @@ impl MaxwellSolver {
         });
     }
 
-    /// B update: `B -= dt curl E` (Faraday).
-    fn push_b(&self, geom: &GridGeometry, f: &mut FieldArrays, dt: f64) {
+    /// B update: `B -= dt curl E` (Faraday), sharded over Z slabs.
+    fn push_b(&self, geom: &GridGeometry, f: &mut FieldArrays, dt: f64, workers: usize) {
         let g = geom.guard;
         let n = geom.n_cells;
         let [dx, dy, dz] = geom.dx;
-        for k in g..g + n[2] {
-            for j in g..g + n[1] {
-                for i in g..g + n[0] {
-                    let curl_x = (f.ez.get(i, j + 1, k) - f.ez.get(i, j, k)) / dy
-                        - (f.ey.get(i, j, k + 1) - f.ey.get(i, j, k)) / dz;
-                    let curl_y = (f.ex.get(i, j, k + 1) - f.ex.get(i, j, k)) / dz
-                        - (f.ez.get(i + 1, j, k) - f.ez.get(i, j, k)) / dx;
-                    let curl_z = (f.ey.get(i + 1, j, k) - f.ey.get(i, j, k)) / dx
-                        - (f.ex.get(i, j + 1, k) - f.ex.get(i, j, k)) / dy;
-                    f.bx.add(i, j, k, -dt * curl_x);
-                    f.by.add(i, j, k, -dt * curl_y);
-                    f.bz.add(i, j, k, -dt * curl_z);
+        let FieldArrays {
+            ex,
+            ey,
+            ez,
+            bx,
+            by,
+            bz,
+            ..
+        } = f;
+        let (ex, ey, ez) = (&*ex, &*ey, &*ez);
+        for_each_z_slab(
+            geom,
+            workers,
+            [bx, by, bz],
+            move |(k0, k1), [sbx, sby, sbz]| {
+                let plane = plane_len(ex);
+                for k in k0..k1 {
+                    for j in g..g + n[1] {
+                        for i in g..g + n[0] {
+                            let curl_x = (ez.get(i, j + 1, k) - ez.get(i, j, k)) / dy
+                                - (ey.get(i, j, k + 1) - ey.get(i, j, k)) / dz;
+                            let curl_y = (ex.get(i, j, k + 1) - ex.get(i, j, k)) / dz
+                                - (ez.get(i + 1, j, k) - ez.get(i, j, k)) / dx;
+                            let curl_z = (ey.get(i + 1, j, k) - ey.get(i, j, k)) / dx
+                                - (ex.get(i, j + 1, k) - ex.get(i, j, k)) / dy;
+                            let at = ex.idx(i, j, k) - k0 * plane;
+                            sbx[at] += -dt * curl_x;
+                            sby[at] += -dt * curl_y;
+                            sbz[at] += -dt * curl_z;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
     }
 
     /// Backward difference of `arr` along `axis` at (i, j, k), optionally
@@ -156,30 +197,120 @@ impl MaxwellSolver {
         }
     }
 
-    /// E update: `E += dt (c^2 curl B - J / eps0)` (Ampere-Maxwell).
-    fn push_e(&self, geom: &GridGeometry, f: &mut FieldArrays, dt: f64) {
+    /// E update: `E += dt (c^2 curl B - J / eps0)` (Ampere-Maxwell),
+    /// sharded over Z slabs. Curls read B, current reads J, writes go to
+    /// E — slab-disjoint.
+    fn push_e(&self, geom: &GridGeometry, f: &mut FieldArrays, dt: f64, workers: usize) {
         let g = geom.guard;
         let n = geom.n_cells;
         let [dx, dy, dz] = geom.dx;
         let c2 = C * C;
         let je = dt / EPS0;
-        // Split borrows: curls read B, writes go to E.
-        for k in g..g + n[2] {
-            for j in g..g + n[1] {
-                for i in g..g + n[0] {
-                    let curl_x = self.diff_back(&f.bz, i, j, k, 1, 1.0 / dy)
-                        - self.diff_back(&f.by, i, j, k, 2, 1.0 / dz);
-                    let curl_y = self.diff_back(&f.bx, i, j, k, 2, 1.0 / dz)
-                        - self.diff_back(&f.bz, i, j, k, 0, 1.0 / dx);
-                    let curl_z = self.diff_back(&f.by, i, j, k, 0, 1.0 / dx)
-                        - self.diff_back(&f.bx, i, j, k, 1, 1.0 / dy);
-                    f.ex.add(i, j, k, dt * c2 * curl_x - je * f.jx.get(i, j, k));
-                    f.ey.add(i, j, k, dt * c2 * curl_y - je * f.jy.get(i, j, k));
-                    f.ez.add(i, j, k, dt * c2 * curl_z - je * f.jz.get(i, j, k));
+        let FieldArrays {
+            ex,
+            ey,
+            ez,
+            bx,
+            by,
+            bz,
+            jx,
+            jy,
+            jz,
+            ..
+        } = f;
+        let (bx, by, bz) = (&*bx, &*by, &*bz);
+        let (jx, jy, jz) = (&*jx, &*jy, &*jz);
+        for_each_z_slab(
+            geom,
+            workers,
+            [ex, ey, ez],
+            move |(k0, k1), [sex, sey, sez]| {
+                let plane = plane_len(bx);
+                for k in k0..k1 {
+                    for j in g..g + n[1] {
+                        for i in g..g + n[0] {
+                            let curl_x = self.diff_back(bz, i, j, k, 1, 1.0 / dy)
+                                - self.diff_back(by, i, j, k, 2, 1.0 / dz);
+                            let curl_y = self.diff_back(bx, i, j, k, 2, 1.0 / dz)
+                                - self.diff_back(bz, i, j, k, 0, 1.0 / dx);
+                            let curl_z = self.diff_back(by, i, j, k, 0, 1.0 / dx)
+                                - self.diff_back(bx, i, j, k, 1, 1.0 / dy);
+                            let at = bx.idx(i, j, k) - k0 * plane;
+                            sex[at] += dt * c2 * curl_x - je * jx.get(i, j, k);
+                            sey[at] += dt * c2 * curl_y - je * jy.get(i, j, k);
+                            sez[at] += dt * c2 * curl_z - je * jz.get(i, j, k);
+                        }
+                    }
                 }
+            },
+        );
+    }
+}
+
+/// Elements per z plane of a guarded array.
+#[inline]
+fn plane_len(arr: &Array3) -> usize {
+    let [sx, sy, _] = arr.shape();
+    sx * sy
+}
+
+/// Runs `body` once per Z slab of the *physical* cell range, handing each
+/// invocation the slab's guarded-k bounds `(k0, k1)` and the three output
+/// arrays' mutable plane slices for exactly those planes.
+///
+/// Slab bounds come from [`mpic_machine::shard_bounds`] — the same
+/// contiguous chunk scheme as every other sharded phase — offset by the
+/// guard. Because each output cell is written by exactly one slab and all
+/// stencil reads go to shared immutable arrays, results are bit-identical
+/// for any worker count.
+fn for_each_z_slab<F>(geom: &GridGeometry, workers: usize, out: [&mut Array3; 3], body: F)
+where
+    F: Fn((usize, usize), [&mut [f64]; 3]) + Sync,
+{
+    let g = geom.guard;
+    let nz = geom.n_cells[2];
+    let plane = plane_len(out[0]);
+    let bounds = mpic_machine::shard_bounds(nz, workers);
+    let [a0, a1, a2] = out;
+    if bounds.len() <= 1 {
+        // Single slab (workers == 1, the default config): run inline
+        // with no thread-scope overhead. Identical arithmetic — the
+        // sharded path is bit-exact per cell regardless.
+        if let Some(&(z0, z1)) = bounds.first() {
+            let (k0, k1) = (g + z0, g + z1);
+            let s0 = &mut a0.as_mut_slice()[k0 * plane..k1 * plane];
+            let s1 = &mut a1.as_mut_slice()[k0 * plane..k1 * plane];
+            let s2 = &mut a2.as_mut_slice()[k0 * plane..k1 * plane];
+            body((k0, k1), [s0, s1, s2]);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        // Peel each array into per-slab mutable plane slices, in order.
+        let mut rest = [a0.as_mut_slice(), a1.as_mut_slice(), a2.as_mut_slice()];
+        let mut consumed = 0;
+        let mut handles = Vec::with_capacity(bounds.len());
+        for &(z0, z1) in &bounds {
+            let (k0, k1) = (g + z0, g + z1);
+            let mut slabs = Vec::with_capacity(3);
+            for r in &mut rest {
+                let taken = std::mem::take(r);
+                let (_, tail) = taken.split_at_mut(k0 * plane - consumed);
+                let (slab, tail) = tail.split_at_mut((k1 - k0) * plane);
+                *r = tail;
+                slabs.push(slab);
+            }
+            consumed = k1 * plane;
+            let body = &body;
+            let [s0, s1, s2]: [&mut [f64]; 3] = slabs.try_into().expect("three slabs");
+            handles.push(s.spawn(move || body((k0, k1), [s0, s1, s2])));
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -287,6 +418,45 @@ mod tests {
             }
         }
         panic!("expected instability growth, max {}", f.ex.max_abs());
+    }
+
+    #[test]
+    fn sharded_step_is_bit_identical_for_any_worker_count() {
+        for kind in [SolverKind::Yee, SolverKind::Ckc] {
+            let (geom, mut base, solver, dt) = setup(kind, 16, 0.5);
+            seed_plane_wave(&geom, &mut base);
+            base.jx.set(5, 6, 7, 3.0e3); // Current source in the mix.
+            base.jz.set(9, 3, 12, -1.0e3);
+            let run = |workers: usize| {
+                let mut f = base.clone();
+                let mut m = Machine::new(MachineConfig::lx2());
+                for _ in 0..5 {
+                    solver.step_sharded(&mut m, &geom, &mut f, dt, workers);
+                }
+                (f, m.counters().cycles(Phase::FieldSolve))
+            };
+            let (f1, c1) = run(1);
+            for workers in [2usize, 4, 7, 16] {
+                let (fw, cw) = run(workers);
+                for (name, a, b) in [
+                    ("ex", &f1.ex, &fw.ex),
+                    ("ey", &f1.ey, &fw.ey),
+                    ("ez", &f1.ez, &fw.ez),
+                    ("bx", &f1.bx, &fw.bx),
+                    ("by", &f1.by, &fw.by),
+                    ("bz", &f1.bz, &fw.bz),
+                ] {
+                    assert!(
+                        a.as_slice()
+                            .iter()
+                            .zip(b.as_slice())
+                            .all(|(u, v)| u.to_bits() == v.to_bits()),
+                        "{kind:?} {name}: {workers}-worker solve diverged from sequential"
+                    );
+                }
+                assert_eq!(c1.to_bits(), cw.to_bits(), "{kind:?} cycles diverged");
+            }
+        }
     }
 
     #[test]

@@ -2,16 +2,19 @@
 //! bit-identical physics *and* bit-identical emulated cycle accounting
 //! for any `num_workers`, on both evaluation workloads.
 //!
-//! This pins the two deterministic fixed-order reductions of the
-//! pipeline: per-worker rhocell outputs are applied to the grid in tile
-//! order, and per-tile counter deltas are merged in tile order — so
-//! neither field currents nor per-phase cycle totals can depend on how
-//! tiles were sharded across threads.
+//! This pins the deterministic fixed-order reductions of the pipeline:
+//! per-worker rhocell and direct-scatter outputs are applied to the grid
+//! in tile order, per-tile counter deltas are merged in tile order, the
+//! sharded counting sort reproduces the sequential permutation exactly,
+//! and the Z-slab field solve writes disjoint planes — so neither the
+//! fields nor the per-phase cycle totals can depend on how work was
+//! sharded across threads.
 
 use matrix_pic::core::{workloads, Simulation};
 use matrix_pic::deposit::{KernelConfig, ShapeOrder};
-use matrix_pic::grid::FieldArrays;
+use matrix_pic::grid::{FieldArrays, GridGeometry, TileLayout};
 use matrix_pic::machine::Phase;
+use matrix_pic::solver::LaserAntenna;
 
 /// Runs `steps` and returns the final fields plus per-phase cycle totals.
 fn run(mut sim: Simulation, workers: usize, steps: usize) -> (FieldArrays, [f64; 8], usize) {
@@ -35,6 +38,10 @@ fn assert_bit_identical(
         ("jy", &a.0.jy, &b.0.jy),
         ("jz", &a.0.jz, &b.0.jz),
         ("ex", &a.0.ex, &b.0.ex),
+        ("ey", &a.0.ey, &b.0.ey),
+        ("ez", &a.0.ez, &b.0.ez),
+        ("bx", &a.0.bx, &b.0.bx),
+        ("by", &a.0.by, &b.0.by),
         ("bz", &a.0.bz, &b.0.bz),
     ] {
         for (i, (u, v)) in x
@@ -103,11 +110,76 @@ fn lwfa_fullopt_is_worker_count_invariant() {
 
 #[test]
 fn baseline_direct_scatter_is_worker_count_invariant() {
-    // The direct-scatter path runs sequentially regardless of the worker
-    // knob; its results must still be invariant to the setting.
+    // The direct-scatter (WarpX baseline) kernel is sharded via per-tile
+    // sparse current outputs applied in tile order; both the fields and
+    // the per-tile counter drains must be invariant to the worker count.
     let build =
         || workloads::uniform_plasma_sim([8, 8, 8], 4, ShapeOrder::Cic, KernelConfig::Baseline, 3);
     let one = run(build(), 1, 2);
     let four = run(build(), 4, 2);
     assert_bit_identical("uniform/Baseline 1v4", &one, &four);
+    let three = run(build(), 3, 2); // Ragged shard sizes.
+    assert_bit_identical("uniform/Baseline 1v3", &one, &three);
+}
+
+#[test]
+fn global_sort_every_step_is_worker_count_invariant() {
+    // Hybrid-GlobalSort runs the sharded counting sort every timestep:
+    // histogram split + deterministic prefix merge must reproduce the
+    // sequential particle order (and Sort-phase cycles) exactly.
+    let build = || {
+        workloads::uniform_plasma_sim(
+            [8, 8, 16],
+            3,
+            ShapeOrder::Cic,
+            KernelConfig::HybridGlobalSort,
+            21,
+        )
+    };
+    let one = run(build(), 1, 3);
+    let four = run(build(), 4, 3);
+    assert_bit_identical("uniform/GlobalSort 1v4", &one, &four);
+    let seven = run(build(), 7, 3); // Ragged key chunks.
+    assert_bit_identical("uniform/GlobalSort 1v7", &one, &seven);
+}
+
+/// Periodic boundaries + laser injection: the Z-slab field solve with a
+/// fixed-order source pass must pin E, B and `FieldSolve` cycles across
+/// 1/2/4/7 workers (satellite coverage for the sharded Maxwell step).
+#[test]
+fn periodic_laser_field_solve_is_worker_count_invariant() {
+    let build = || {
+        let mut cfg = workloads::uniform_plasma_config(
+            [12, 12, 24],
+            ShapeOrder::Cic,
+            KernelConfig::FullOpt,
+            17,
+        );
+        cfg.laser = Some(LaserAntenna {
+            lambda: 0.8e-6,
+            a0: 2.0,
+            tau: 6e-15,
+            t_peak: 9e-15,
+            waist: 3.0e-6,
+            z_plane: 4,
+        });
+        let geom = GridGeometry::new(cfg.n_cells, [0.0; 3], cfg.dx, cfg.guard);
+        let layout = TileLayout::new(&geom, cfg.tile_size);
+        let electrons = workloads::load_uniform_plasma(
+            &geom,
+            &layout,
+            workloads::UNIFORM_DENSITY,
+            2,
+            workloads::UNIFORM_UTH,
+            17,
+        );
+        Simulation::from_parts(cfg, geom, layout, electrons, None)
+    };
+    let one = run(build(), 1, 4);
+    for workers in [2usize, 4, 7] {
+        let w = run(build(), workers, 4);
+        assert_bit_identical(&format!("periodic-laser/FullOpt 1v{workers}"), &one, &w);
+        // The laser must actually be driving fields, or the pin is vacuous.
+        assert!(w.0.ex.max_abs() > 0.0, "laser injected no Ex");
+    }
 }
