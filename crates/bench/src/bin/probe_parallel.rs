@@ -1,27 +1,34 @@
-//! Host-performance probe for the parallel tile pipeline: runs the
-//! uniform-plasma FullOpt workload at several worker counts, verifies
-//! that fields and emulated cycle totals are bit-identical across them,
-//! and records host wall-clock numbers in `BENCH_step.json` so the perf
-//! trajectory of the step loop is tracked in-repo.
+//! Host-performance probe for the unified execution layer: runs the
+//! uniform-plasma FullOpt workload at several worker counts under each
+//! scheduler policy, verifies that fields and emulated cycle totals are
+//! bit-identical across all of them, and records host wall-clock numbers
+//! in `BENCH_step.json` so the perf trajectory of the step loop is
+//! tracked in-repo.
 //!
 //! A second, smaller sweep runs the WarpX-baseline (direct-scatter)
 //! kernel and asserts the same parity — the counter-parity gate for the
 //! sharded direct-scatter path, whose per-tile `MachineCounters` drains
 //! must charge identically whether tiles run on one worker or many.
 //!
+//! The probe also measures the dispatch overhead the persistent
+//! `WorkerPool` saves over the per-phase thread-spawn scheme it
+//! replaced: one spawn/join cycle per phase (~6 per step) versus one
+//! condvar wake of already-parked threads.
+//!
 //! Exit code is nonzero if any determinism check fails, making this bin
 //! usable as a CI gate.
 //!
-//! Usage: `probe_parallel [ppc] [steps] [workers-csv]`
-//! (defaults: 8, 3, `1,2,4,7`). Passing an explicit worker list (e.g.
-//! `3,7` to exercise ragged shards) skips the `BENCH_step.json` write so
-//! auxiliary runs never clobber the tracked record.
+//! Usage: `probe_parallel [ppc] [steps] [workers-csv] [--scheduler
+//! static|stealing]` (defaults: 8, 3, `1,2,4,7`, both policies).
+//! Passing an explicit worker list (e.g. `3,7` to exercise ragged
+//! shards) or restricting the policy skips the `BENCH_step.json` write
+//! so auxiliary runs never clobber the tracked record.
 
 use std::time::Instant;
 
 use mpic_core::workloads;
 use mpic_deposit::{KernelConfig, ShapeOrder};
-use mpic_machine::Phase;
+use mpic_machine::{Phase, SchedulerPolicy, WorkerPool};
 
 /// Grid of the probe workload (matches `mpic_bench::UNIFORM_CELLS`).
 const CELLS: [usize; 3] = [32, 32, 32];
@@ -36,8 +43,18 @@ const BASELINE_CELLS: [usize; 3] = [16, 16, 16];
 /// `single_thread_vs_pre_pr` ratio below.
 const PRE_PR_SEQUENTIAL_MS_PER_STEP: f64 = 286.4;
 
+/// Spawn/join cycles per default-configuration step that the pre-pool
+/// scheme paid (and the pool replaces with condvar wakes): gather+push,
+/// deposit, and the field solve's three slab sweeps. The guard fills
+/// and window shift were sequential before the pool existed, and the
+/// per-tile sort runs inline below the small-input threshold, so none
+/// of those count towards the *saving*. Used to convert the measured
+/// per-dispatch delta into an estimated ms/step saving.
+const PHASE_DISPATCHES_PER_STEP: f64 = 5.0;
+
 struct ProbeResult {
     workers: usize,
+    policy: SchedulerPolicy,
     host_ms_per_step: f64,
     emulated_ms_per_step: f64,
     /// Bit patterns of jx, jy, jz (worker-count invariance gate).
@@ -52,11 +69,13 @@ fn run_probe(
     cells: [usize; 3],
     kernel: KernelConfig,
     workers: usize,
+    policy: SchedulerPolicy,
     ppc: usize,
     steps: usize,
 ) -> ProbeResult {
     let mut sim = workloads::uniform_plasma_sim(cells, ppc, ShapeOrder::Cic, kernel, 42);
     sim.cfg.num_workers = workers;
+    sim.cfg.scheduler = policy;
     sim.step(); // Warm-up: first-touch, pool growth, cold host caches.
     let skip = sim.report().len();
     let t0 = Instant::now();
@@ -76,6 +95,7 @@ fn run_probe(
     }
     ProbeResult {
         workers,
+        policy,
         host_ms_per_step,
         emulated_ms_per_step,
         currents: [&sim.fields.jx, &sim.fields.jy, &sim.fields.jz]
@@ -94,18 +114,23 @@ fn run_probe(
     }
 }
 
-/// Compares every run against the first: currents and per-phase cycles
-/// must be bit-identical. Returns whether the whole set is clean.
+/// Compares every run against the first: currents, fields and per-phase
+/// cycles must be bit-identical across worker counts *and* scheduler
+/// policies. Returns whether the whole set is clean.
 fn check_parity(label: &str, results: &[ProbeResult]) -> bool {
     let base = &results[0];
     let mut ok = true;
     for r in &results[1..] {
+        let what = format!(
+            "{}w/{} and {}w/{}",
+            base.workers,
+            base.policy.label(),
+            r.workers,
+            r.policy.label()
+        );
         for (name, i) in [("jx", 0), ("jy", 1), ("jz", 2)] {
             if r.currents[i] != base.currents[i] {
-                eprintln!(
-                    "FAIL [{label}]: {name} differs between {} and {} workers",
-                    base.workers, r.workers
-                );
+                eprintln!("FAIL [{label}]: {name} differs between {what}");
                 ok = false;
             }
         }
@@ -118,18 +143,15 @@ fn check_parity(label: &str, results: &[ProbeResult]) -> bool {
             ("bz", 5),
         ] {
             if r.fields[i] != base.fields[i] {
-                eprintln!(
-                    "FAIL [{label}]: {name} differs between {} and {} workers",
-                    base.workers, r.workers
-                );
+                eprintln!("FAIL [{label}]: {name} differs between {what}");
                 ok = false;
             }
         }
         for (i, p) in Phase::ALL.iter().enumerate() {
             if r.cycles[i].to_bits() != base.cycles[i].to_bits() {
                 eprintln!(
-                    "FAIL [{label}]: {p:?} cycles differ between {} and {} workers: {} vs {}",
-                    base.workers, r.workers, base.cycles[i], r.cycles[i]
+                    "FAIL [{label}]: {p:?} cycles differ between {what}: {} vs {}",
+                    base.cycles[i], r.cycles[i]
                 );
                 ok = false;
             }
@@ -138,11 +160,55 @@ fn check_parity(label: &str, results: &[ProbeResult]) -> bool {
     ok
 }
 
+/// Measures the per-dispatch cost of (a) the pre-pool scheme — spawning
+/// and joining `workers - 1` fresh threads, which is what one
+/// `thread::scope` phase paid — and (b) waking the persistent pool.
+/// Returns `(spawn_us, pool_us)` per dispatch.
+fn measure_dispatch_overhead(workers: usize) -> (f64, f64) {
+    const REPS: u32 = 100;
+    let spawn_us = {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let handles: Vec<_> = (1..workers).map(|_| std::thread::spawn(|| {})).collect();
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / REPS as f64
+    };
+    let pool_us = {
+        let pool = WorkerPool::new(workers);
+        for _ in 0..10 {
+            pool.broadcast(&|_| {}); // Warm the parked threads.
+        }
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            pool.broadcast(&|_| {});
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / REPS as f64
+    };
+    (spawn_us, pool_us)
+}
+
 fn main() {
+    let mut policy_flag: Option<SchedulerPolicy> = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let ppc: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
-    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
-    let custom_workers: Option<Vec<usize>> = args.next().map(|a| {
+    while let Some(a) = args.next() {
+        if a == "--scheduler" {
+            let v = args.next().expect("--scheduler needs static|stealing");
+            policy_flag =
+                Some(SchedulerPolicy::parse(&v).unwrap_or_else(|| {
+                    panic!("unknown scheduler {v:?} (expected static|stealing)")
+                }));
+        } else {
+            positional.push(a);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let ppc: usize = positional.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let steps: usize = positional.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let custom_workers: Option<Vec<usize>> = positional.next().map(|a| {
         a.split(',')
             .map(|w| {
                 w.parse()
@@ -150,7 +216,11 @@ fn main() {
             })
             .collect()
     });
-    let write_bench = custom_workers.is_none();
+    let write_bench = custom_workers.is_none() && policy_flag.is_none();
+    let policies: Vec<SchedulerPolicy> = match policy_flag {
+        Some(p) => vec![p],
+        None => vec![SchedulerPolicy::Static, SchedulerPolicy::Stealing],
+    };
     let mut worker_counts = custom_workers.unwrap_or_else(|| vec![1, 2, 4, 7]);
     // Always carry the sequential reference: parity against a 1-worker
     // run is the point of the gate (a bug shared by every multi-worker
@@ -163,32 +233,41 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
+    let policy_labels: Vec<&str> = policies.iter().map(|p| p.label()).collect();
     println!(
-        "== probe_parallel: uniform {CELLS:?} ppc {ppc}, FullOpt/CIC, {steps} steps, workers {worker_counts:?} =="
+        "== probe_parallel: uniform {CELLS:?} ppc {ppc}, FullOpt/CIC, {steps} steps, workers {worker_counts:?}, schedulers {policy_labels:?} =="
     );
     println!("host CPUs available: {host_cpus}");
     println!(
-        "{:>8} {:>14} {:>16} {:>12}",
-        "workers", "host ms/step", "emulated ms/step", "particles"
+        "{:>8} {:>10} {:>14} {:>16} {:>12}",
+        "workers", "scheduler", "host ms/step", "emulated ms/step", "particles"
     );
 
-    let results: Vec<ProbeResult> = worker_counts
-        .iter()
-        .map(|&w| {
-            let r = run_probe(CELLS, KernelConfig::FullOpt, w, ppc, steps);
+    // The 1-worker run is policy-independent (inline dispatch), so run
+    // it once; multi-worker counts sweep every policy.
+    let mut results: Vec<ProbeResult> = Vec::new();
+    for &w in &worker_counts {
+        let run_policies: &[SchedulerPolicy] = if w == 1 { &policies[..1] } else { &policies };
+        for &policy in run_policies {
+            let r = run_probe(CELLS, KernelConfig::FullOpt, w, policy, ppc, steps);
             println!(
-                "{:>8} {:>14.1} {:>16.3} {:>12}",
-                r.workers, r.host_ms_per_step, r.emulated_ms_per_step, r.particles
+                "{:>8} {:>10} {:>14.1} {:>16.3} {:>12}",
+                r.workers,
+                r.policy.label(),
+                r.host_ms_per_step,
+                r.emulated_ms_per_step,
+                r.particles
             );
-            r
-        })
-        .collect();
+            results.push(r);
+        }
+    }
 
-    // Determinism gate: every worker count must reproduce the first run
-    // bit for bit, in both fields and per-phase cycle totals.
+    // Determinism gate: every (worker count, policy) combination must
+    // reproduce the first run bit for bit, in fields and per-phase
+    // cycle totals.
     let deterministic = check_parity("FullOpt", &results);
     println!(
-        "determinism (fields + per-phase cycles, workers {worker_counts:?}): {}",
+        "determinism (fields + per-phase cycles, workers {worker_counts:?} x {policy_labels:?}): {}",
         if deterministic {
             "BIT-IDENTICAL"
         } else {
@@ -196,23 +275,29 @@ fn main() {
         }
     );
 
-    // Direct-scatter counter-parity gate: the WarpX-baseline kernel now
-    // runs through the same sharded per-tile drain scheme; its currents
-    // AND MachineCounters must match the sequential run exactly. The
-    // sweep follows the invocation's worker list (plus a 1-worker
-    // reference), so the ragged CI run adds coverage instead of
-    // repeating the default sweep.
-    let mut baseline_workers = worker_counts.clone();
-    if !baseline_workers.contains(&1) {
-        baseline_workers.insert(0, 1);
+    // Direct-scatter counter-parity gate: the WarpX-baseline kernel runs
+    // through the same pooled per-tile drain scheme; its currents AND
+    // MachineCounters must match the sequential run exactly. The sweep
+    // follows the invocation's worker list and policies (plus a
+    // 1-worker reference), so the ragged CI run adds coverage instead
+    // of repeating the default sweep.
+    let mut baseline_results: Vec<ProbeResult> = Vec::new();
+    for &w in &worker_counts {
+        let run_policies: &[SchedulerPolicy] = if w == 1 { &policies[..1] } else { &policies };
+        for &policy in run_policies {
+            baseline_results.push(run_probe(
+                BASELINE_CELLS,
+                KernelConfig::Baseline,
+                w,
+                policy,
+                ppc.min(4),
+                2,
+            ));
+        }
     }
-    let baseline_results: Vec<ProbeResult> = baseline_workers
-        .iter()
-        .map(|&w| run_probe(BASELINE_CELLS, KernelConfig::Baseline, w, ppc.min(4), 2))
-        .collect();
     let baseline_parity = check_parity("Baseline", &baseline_results);
     println!(
-        "baseline direct-scatter counter parity (workers {baseline_workers:?}): {}",
+        "baseline direct-scatter counter parity (workers {worker_counts:?} x {policy_labels:?}): {}",
         if baseline_parity {
             "BIT-IDENTICAL"
         } else {
@@ -223,21 +308,36 @@ fn main() {
     let base = &results[0];
     let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
     let s1 = base.host_ms_per_step;
-    let s_max = results
-        .iter()
-        .find(|r| r.workers == max_workers)
-        .unwrap()
-        .host_ms_per_step;
+    let best_at = |w: usize| -> f64 {
+        results
+            .iter()
+            .filter(|r| r.workers == w)
+            .map(|r| r.host_ms_per_step)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let s_max = best_at(max_workers);
     let speedup_max = s1 / s_max;
     let vs_pre_pr = PRE_PR_SEQUENTIAL_MS_PER_STEP / s1;
     println!(
-        "{max_workers}-worker speedup over {}-worker (this host): {speedup_max:.2}x",
+        "{max_workers}-worker speedup over {}-worker (this host, best policy): {speedup_max:.2}x",
         base.workers
     );
     println!(
         "{}-worker speedup over pre-PR sequential baseline ({PRE_PR_SEQUENTIAL_MS_PER_STEP} ms/step): {vs_pre_pr:.2}x",
         base.workers
     );
+
+    // Dispatch-overhead saving of the persistent pool vs the per-phase
+    // spawn scheme it replaced (measured at the largest swept worker
+    // count; a 1-worker pool dispatches inline, nothing to save).
+    let overhead_workers = max_workers.max(2);
+    let (spawn_us, pool_us) = measure_dispatch_overhead(overhead_workers);
+    let saved_ms_per_step = (spawn_us - pool_us) * PHASE_DISPATCHES_PER_STEP / 1e3;
+    println!(
+        "dispatch overhead at {overhead_workers} workers: spawn/join {spawn_us:.1} us vs pool wake {pool_us:.1} us \
+         => ~{saved_ms_per_step:.2} ms/step saved at {PHASE_DISPATCHES_PER_STEP} phase dispatches/step"
+    );
+
     // Serialization canary: assess the *largest measured worker count
     // the host can actually run in parallel* (workers <= CPUs), so a
     // 4-core host still checks its 4-worker run even when the sweep
@@ -250,7 +350,8 @@ fn main() {
     let canary = results
         .iter()
         .filter(|r| r.workers > base.workers && r.workers <= host_cpus)
-        .max_by_key(|r| r.workers);
+        .max_by_key(|r| r.workers)
+        .map(|r| r.workers);
     let scaling_ok = match canary {
         None => {
             println!(
@@ -258,12 +359,11 @@ fn main() {
             );
             true
         }
-        Some(r) => {
-            let speedup = s1 / r.host_ms_per_step;
+        Some(w) => {
+            let speedup = s1 / best_at(w);
             if speedup < 1.3 {
                 eprintln!(
-                    "WARN: {host_cpus}-CPU host but {}-worker speedup is only {speedup:.2}x (<1.3x): the tile pipeline may be serialized",
-                    r.workers
+                    "WARN: {host_cpus}-CPU host but {w}-worker speedup is only {speedup:.2}x (<1.3x): the tile pipeline may be serialized"
                 );
                 false
             } else {
@@ -274,7 +374,8 @@ fn main() {
     let canary_assessable = canary.is_some();
 
     // BENCH_step.json: the tracked perf record for this step loop
-    // (default worker list only; ragged auxiliary runs don't clobber it).
+    // (default worker list + both policies only; auxiliary runs don't
+    // clobber it).
     if write_bench {
         let mut json = String::new();
         json.push_str("{\n");
@@ -290,14 +391,18 @@ fn main() {
         json.push_str("  \"results\": [\n");
         for (i, r) in results.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"workers\": {}, \"host_ms_per_step\": {:.2}, \"emulated_ms_per_step\": {:.4}}}{}\n",
+                "    {{\"workers\": {}, \"scheduler\": \"{}\", \"host_ms_per_step\": {:.2}, \"emulated_ms_per_step\": {:.4}}}{}\n",
                 r.workers,
+                r.policy.label(),
                 r.host_ms_per_step,
                 r.emulated_ms_per_step,
                 if i + 1 < results.len() { "," } else { "" }
             ));
         }
         json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"spawn_overhead\": {{\"workers\": {overhead_workers}, \"spawn_us_per_dispatch\": {spawn_us:.1}, \"pool_us_per_dispatch\": {pool_us:.1}, \"phase_dispatches_per_step\": {PHASE_DISPATCHES_PER_STEP}, \"est_saved_ms_per_step\": {saved_ms_per_step:.3}}},\n"
+        ));
         json.push_str(&format!(
             "  \"speedup_{max_workers}_workers_vs_1\": {speedup_max:.3},\n  \"speedup_1_worker_vs_pre_pr\": {vs_pre_pr:.3},\n"
         ));
@@ -327,7 +432,7 @@ fn main() {
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     } else {
-        println!("custom worker list: skipping BENCH_step.json write");
+        println!("custom worker list / scheduler restriction: skipping BENCH_step.json write");
     }
 
     if !deterministic || !baseline_parity {

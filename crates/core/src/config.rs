@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use mpic_deposit::{KernelConfig, ShapeOrder};
-use mpic_machine::MachineConfig;
+use mpic_machine::{MachineConfig, SchedulerPolicy};
 use mpic_solver::{AbsorbingLayer, BoundaryKind, LaserAntenna, SolverKind};
 
 /// Full configuration of one simulation run (the analogue of a WarpX
@@ -38,10 +38,19 @@ pub struct SimConfig {
     pub seed: u64,
     /// Host worker threads sharding every phase of the step loop:
     /// gather+push tiles, the global counting sort, both deposit kernel
-    /// families (rhocell and direct-scatter), and the Z-slab Maxwell
-    /// solve. Results and emulated cycle totals are bit-identical for
-    /// any value; only host wall-clock changes.
+    /// families (rhocell and direct-scatter), the Z-slab Maxwell solve,
+    /// the guard exchange and the moving-window shift. The threads live
+    /// in one persistent [`mpic_machine::WorkerPool`] owned by the
+    /// simulation, parked between phases. Results and emulated cycle
+    /// totals are bit-identical for any value; only host wall-clock
+    /// changes.
     pub num_workers: usize,
+    /// How the worker pool distributes items within a phase:
+    /// [`SchedulerPolicy::Static`] contiguous chunks, or
+    /// [`SchedulerPolicy::Stealing`] atomic-cursor claiming for
+    /// load-imbalanced workloads (LWFA's mostly-empty tiles). Results
+    /// are bit-identical for either policy.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl SimConfig {
@@ -63,6 +72,7 @@ impl SimConfig {
             machine: MachineConfig::lx2(),
             seed: 0x5eed,
             num_workers: 1,
+            scheduler: SchedulerPolicy::Static,
         }
     }
 }

@@ -4,8 +4,10 @@
 use mpic_deposit::{canonical_flops_per_particle, Depositor, ShapeOrder, SortStrategy};
 use mpic_grid::constants::C;
 use mpic_grid::{FieldArrays, GridGeometry, TileLayout};
-use mpic_machine::{Machine, Phase, VAddr};
-use mpic_particles::{ParticleContainer, ParticleTile, RankSortStats, INVALID_PARTICLE_ID};
+use mpic_machine::{Machine, Phase, VAddr, WorkerPool};
+use mpic_particles::{
+    Departure, ParticleContainer, ParticleTile, RankSortStats, INVALID_PARTICLE_ID,
+};
 use mpic_push::boris::{boris_push, charge_push, BorisCoeffs};
 use mpic_push::gather::{charge_gather, gather_fields_with_cell, GatherCost};
 use mpic_push::PushScratch;
@@ -57,6 +59,16 @@ pub struct Simulation {
     report: RunReport,
     /// Per-worker reusable gather/push buffers (index = worker id).
     push_scratch: Vec<PushScratch>,
+    /// Per-tile departure buckets reused by every moving-window
+    /// injection (index = tile id; capacity retained across advances so
+    /// the recurring LWFA injection path stays allocation-free).
+    window_buckets: Vec<Vec<Departure>>,
+    /// The persistent execution pool every sharded phase dispatches to:
+    /// threads are spawned once (sized by `cfg.num_workers`, rebuilt
+    /// lazily if that changes between steps) and parked between phases
+    /// and steps, replacing the per-phase `thread::scope` spawns the
+    /// pipeline used to pay ~6x per step.
+    pool: WorkerPool,
 }
 
 impl Simulation {
@@ -79,6 +91,7 @@ impl Simulation {
         let field_addrs = std::array::from_fn(|_| machine.mem().alloc_f64(len));
         let boris = BorisCoeffs::new(electrons.charge, electrons.mass, dt);
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0xabcd_ef01);
+        let pool = WorkerPool::new(cfg.num_workers.max(1));
         Self {
             cfg,
             geom,
@@ -100,6 +113,20 @@ impl Simulation {
             rng,
             report: RunReport::default(),
             push_scratch: Vec::new(),
+            window_buckets: Vec::new(),
+            pool,
+        }
+    }
+
+    /// Rebuilds the persistent pool if `cfg.num_workers` changed since
+    /// the last step (tests and probes retarget the worker count between
+    /// steps); otherwise the parked threads are reused as-is. Call once
+    /// at the top of `step`, then borrow `self.pool.exec(...)` per
+    /// phase.
+    fn sync_pool(&mut self) {
+        let workers = self.cfg.num_workers.max(1);
+        if self.pool.workers() != workers {
+            self.pool = WorkerPool::new(workers);
         }
     }
 
@@ -178,6 +205,7 @@ impl Simulation {
     /// Advances the simulation one step, returning the step's timings.
     pub fn step(&mut self) -> StepTimings {
         let before = self.machine.counters().clone();
+        self.sync_pool();
 
         // --- Gather + push + particle boundaries -----------------------
         self.push_particles();
@@ -190,7 +218,7 @@ impl Simulation {
             &self.layout,
             &mut self.electrons,
             force,
-            self.cfg.num_workers,
+            self.pool.exec(self.cfg.scheduler),
         );
         if sort_report.policy_triggered {
             self.sort_stats.reset();
@@ -210,7 +238,7 @@ impl Simulation {
             &self.layout,
             &self.electrons,
             &mut self.fields,
-            self.cfg.num_workers,
+            self.pool.exec(self.cfg.scheduler),
         );
         // Credit canonical useful work (section 5.2.2).
         let n = self.num_particles();
@@ -218,14 +246,15 @@ impl Simulation {
             canonical_flops_per_particle(self.cfg.shape) * n as f64;
 
         // --- Field solve + sources + boundaries ------------------------
-        // Z-slab sharded stencil sweeps; laser injection and the
-        // absorbing layer below stay on this thread in fixed order.
+        // Z-slab sharded stencil sweeps + pooled guard exchange; laser
+        // injection and the absorbing layer below stay on this thread in
+        // fixed order.
         self.solver.step_sharded(
             &mut self.machine,
             &self.geom,
             &mut self.fields,
             self.dt,
-            self.cfg.num_workers,
+            self.pool.exec(self.cfg.scheduler),
         );
         if let Some(laser) = &self.cfg.laser {
             laser.inject(&self.geom, &mut self.fields, self.time);
@@ -259,21 +288,21 @@ impl Simulation {
     }
 
     /// Gather + Boris push + position boundaries for every particle,
-    /// sharded across `cfg.num_workers` scoped threads (tiles are
+    /// sharded across the persistent worker pool (tiles are
     /// independent: each worker mutates only its own tiles and reads the
     /// shared immutable field state).
     ///
     /// Each tile is charged on a forked worker machine with a per-tile
     /// cold private cache, and counter deltas merge back in tile order —
     /// so positions, momenta and emulated cycles are bit-identical for
-    /// any worker count.
+    /// any worker count or scheduler policy.
     fn push_particles(&mut self) {
         let order = self.cfg.shape;
         let nodes = order.nodes_3d();
         let absorbing = self.cfg.boundary == BoundaryKind::AbsorbingZ;
         let zlo = self.geom.lo[2];
         let zhi = self.geom.hi()[2];
-        let workers = self.cfg.num_workers.max(1);
+        let workers = self.pool.workers();
         if self.push_scratch.len() < workers {
             self.push_scratch.resize_with(workers, PushScratch::default);
         }
@@ -281,11 +310,10 @@ impl Simulation {
         let fields = &self.fields;
         let boris = self.boris;
         let field_addrs = self.field_addrs;
-        let counters = mpic_machine::run_sharded(
+        let counters = self.pool.exec(self.cfg.scheduler).run_counted(
             &self.machine,
             &mut self.electrons.tiles,
             &mut self.push_scratch,
-            workers,
             |wm, _t, tile, scratch| {
                 push_tile(
                     wm,
@@ -309,7 +337,11 @@ impl Simulation {
         }
     }
 
-    /// Shifts the moving window when it has advanced one cell.
+    /// Shifts the moving window when it has advanced one cell: the
+    /// field shift (independent component arrays), the per-tile
+    /// particle shift with its trailing-edge removal (independent
+    /// tiles) and the per-tile half of the fresh-plasma injection all
+    /// run on the worker pool.
     fn advance_window(&mut self) {
         self.window_accum += C * self.dt;
         let dz = self.geom.dx[2];
@@ -318,28 +350,15 @@ impl Simulation {
             self.machine.in_phase(Phase::Other, |m| {
                 m.s_ops(self.geom.total_cells() / 8);
             });
-            self.fields.shift_window_z();
+            let exec = self.pool.exec(self.cfg.scheduler);
+            self.fields.shift_window_z_exec(exec);
             // Shift particles into window coordinates, dropping those
-            // that fall off the trailing edge.
+            // that fall off the trailing edge. Tiles are independent, so
+            // per-tile outcomes cannot depend on worker count or policy.
             let zlo = self.geom.lo[2];
-            for tile in &mut self.electrons.tiles {
-                let live: Vec<usize> = tile.soa.live_indices().collect();
-                let mut removals: Vec<(usize, usize)> = Vec::new();
-                for p in live {
-                    tile.soa.z[p] -= dz;
-                    if tile.soa.z[p] < zlo {
-                        removals.push((p, tile.cells[p]));
-                    }
-                }
-                for &(p, bin) in &removals {
-                    tile.gpma.queue_remove(p, bin);
-                    tile.cells[p] = INVALID_PARTICLE_ID;
-                    tile.soa.remove(p);
-                }
-                if !removals.is_empty() {
-                    tile.gpma.apply_pending_moves(&tile.cells);
-                }
-            }
+            exec.for_each(&mut self.electrons.tiles, |_, tile| {
+                shift_tile_window(tile, dz, zlo);
+            });
             // Inject fresh plasma in the leading z plane.
             if let Some(spec) = self.window_plasma {
                 self.inject_front_plane(spec);
@@ -348,17 +367,33 @@ impl Simulation {
     }
 
     /// Fills the last z-plane of cells with fresh plasma.
+    ///
+    /// Split in two halves so the RNG stream — and with it every
+    /// particle's data *and* insertion order — is bit-identical for any
+    /// worker count: particles are *generated* sequentially on the
+    /// calling thread (consuming the RNG in the fixed j, i, ppc order)
+    /// and bucketed by owning tile, then the per-tile *insertions* run
+    /// on the worker pool. A tile's GPMA/SoA state depends only on its
+    /// own insertion subsequence, which equals the sequential
+    /// interleaving restricted to that tile.
     fn inject_front_plane(&mut self, spec: PlasmaSpec) {
         let n = self.geom.n_cells;
         let k = n[2] - 1;
         let w = spec.density * self.geom.cell_volume() / spec.ppc as f64;
+        let n_tiles = self.electrons.tiles.len();
+        if self.window_buckets.len() < n_tiles {
+            self.window_buckets.resize_with(n_tiles, Vec::new);
+        }
+        for b in &mut self.window_buckets {
+            b.clear();
+        }
         for j in 0..n[1] {
             for i in 0..n[0] {
                 for _ in 0..spec.ppc {
                     let x = self.geom.lo[0] + (i as f64 + self.rng.gen::<f64>()) * self.geom.dx[0];
                     let y = self.geom.lo[1] + (j as f64 + self.rng.gen::<f64>()) * self.geom.dx[1];
                     let z = self.geom.lo[2] + (k as f64 + self.rng.gen::<f64>()) * self.geom.dx[2];
-                    let d = mpic_particles::Departure {
+                    let d = Departure {
                         x,
                         y,
                         z,
@@ -367,10 +402,44 @@ impl Simulation {
                         uz: spec.u_th * self.rng.gen_range(-1.0..1.0),
                         w,
                     };
-                    self.electrons.inject(&self.layout, &self.geom, d);
+                    let (cell, _) = self.geom.locate(d.x, d.y, d.z);
+                    let cell = self.geom.wrap_cell(cell);
+                    self.window_buckets[self.layout.tile_of_cell(cell)].push(d);
                 }
             }
         }
+        // Small injections run inline past the shared threshold, like
+        // every other small-input phase: the front plane of the test
+        // workloads holds a few hundred particles — not worth a pool
+        // wake. Either path inserts each tile's bucket in generation
+        // order, so the resulting state is identical.
+        let total = n[0] * n[1] * spec.ppc;
+        if self.pool.workers() == 1 || total < mpic_machine::INLINE_ITEM_THRESHOLD {
+            for (t, bucket) in self.window_buckets.iter_mut().enumerate() {
+                for d in bucket.drain(..) {
+                    let _ = self.electrons.tiles[t].insert(d, self.layout.tile(t), &self.geom);
+                }
+            }
+            return;
+        }
+        let geom = &self.geom;
+        let layout = &self.layout;
+        let mut items: Vec<(usize, &mut ParticleTile, &mut Vec<Departure>)> = self
+            .electrons
+            .tiles
+            .iter_mut()
+            .enumerate()
+            .zip(self.window_buckets.iter_mut())
+            .filter(|(_, b)| !b.is_empty())
+            .map(|((t, tile), b)| (t, tile, b))
+            .collect();
+        self.pool
+            .exec(self.cfg.scheduler)
+            .for_each(&mut items, |_, (t, tile, bucket)| {
+                for d in bucket.drain(..) {
+                    let _ = tile.insert(d, layout.tile(*t), geom);
+                }
+            });
     }
 
     /// Updates [`RankSortStats`] and evaluates the five-trigger policy
@@ -394,6 +463,31 @@ impl Simulation {
         if policy.should_sort(&self.sort_stats).is_some() {
             self.pending_global_sort = true;
         }
+    }
+}
+
+/// One tile's share of the moving-window shift: translate every live
+/// particle by one cell towards -z and remove those that fell off the
+/// trailing edge. All mutation is tile-local, so the result is a pure
+/// function of the tile regardless of which pool worker runs it.
+fn shift_tile_window(tile: &mut ParticleTile, dz: f64, zlo: f64) {
+    let mut removals: Vec<(usize, usize)> = Vec::new();
+    for p in 0..tile.soa.slots() {
+        if !tile.soa.alive[p] {
+            continue;
+        }
+        tile.soa.z[p] -= dz;
+        if tile.soa.z[p] < zlo {
+            removals.push((p, tile.cells[p]));
+        }
+    }
+    for &(p, bin) in &removals {
+        tile.gpma.queue_remove(p, bin);
+        tile.cells[p] = INVALID_PARTICLE_ID;
+        tile.soa.remove(p);
+    }
+    if !removals.is_empty() {
+        tile.gpma.apply_pending_moves(&tile.cells);
     }
 }
 

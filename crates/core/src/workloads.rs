@@ -131,6 +131,7 @@ pub fn uniform_plasma_config(
         machine: mpic_machine::MachineConfig::lx2(),
         seed,
         num_workers: 1,
+        scheduler: mpic_machine::SchedulerPolicy::Static,
     }
 }
 
@@ -181,6 +182,7 @@ pub fn lwfa_config(
         machine: mpic_machine::MachineConfig::lx2(),
         seed,
         num_workers: 1,
+        scheduler: mpic_machine::SchedulerPolicy::Static,
     }
 }
 
@@ -196,6 +198,47 @@ pub fn lwfa_sim(
     let geom = GridGeometry::new(cfg.n_cells, [0.0; 3], cfg.dx, cfg.guard);
     let layout = TileLayout::new(&geom, cfg.tile_size);
     let electrons = load_uniform_plasma(&geom, &layout, LWFA_DENSITY, ppc, 0.0, seed);
+    let spec = PlasmaSpec {
+        density: LWFA_DENSITY,
+        ppc,
+        u_th: 0.0,
+    };
+    Simulation::from_parts(cfg, geom, layout, electrons, Some(spec))
+}
+
+/// Builds an adversarially load-imbalanced LWFA simulation: every
+/// particle is loaded into the cells of tile 0 (the "hot" tile) at
+/// `ppc` per cell, leaving every other tile empty. This is the
+/// worst-case input for static contiguous tile chunks — the chunk that
+/// owns tile 0 carries the whole particle workload — and therefore the
+/// stress test for the work-stealing scheduler's claim/merge
+/// determinism (`tests/parallel_determinism.rs`).
+pub fn imbalanced_lwfa_sim(n_cells: [usize; 3], ppc: usize, seed: u64) -> Simulation {
+    let cfg = lwfa_config(n_cells, ShapeOrder::Cic, KernelConfig::FullOpt, seed);
+    let geom = GridGeometry::new(cfg.n_cells, [0.0; 3], cfg.dx, cfg.guard);
+    let layout = TileLayout::new(&geom, cfg.tile_size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut electrons = ParticleContainer::new(&layout, -Q_E, M_E);
+    let w = LWFA_DENSITY * geom.cell_volume() / ppc as f64;
+    let ts = cfg.tile_size;
+    for k in 0..ts[2].min(n_cells[2]) {
+        for j in 0..ts[1].min(n_cells[1]) {
+            for i in 0..ts[0].min(n_cells[0]) {
+                for _ in 0..ppc {
+                    let d = Departure {
+                        x: geom.lo[0] + (i as f64 + rng.gen::<f64>()) * geom.dx[0],
+                        y: geom.lo[1] + (j as f64 + rng.gen::<f64>()) * geom.dx[1],
+                        z: geom.lo[2] + (k as f64 + rng.gen::<f64>()) * geom.dx[2],
+                        ux: 0.0,
+                        uy: 0.0,
+                        uz: 0.0,
+                        w,
+                    };
+                    electrons.inject(&layout, &geom, d);
+                }
+            }
+        }
+    }
     let spec = PlasmaSpec {
         density: LWFA_DENSITY,
         ppc,

@@ -8,7 +8,7 @@
 //! Algorithm 1's phases, charging each to its [`Phase`] bucket.
 
 use mpic_grid::{Array3, FieldArrays, GridGeometry, Tile, TileLayout};
-use mpic_machine::{Machine, Phase, VAddr};
+use mpic_machine::{Exec, Machine, Phase, SchedulerPolicy, VAddr, WorkerPool};
 use mpic_particles::{MoveStats, ParticleContainer, SortPolicy, SortStats};
 
 use crate::common::{
@@ -203,15 +203,24 @@ impl Depositor {
         container: &mut ParticleContainer,
         force_global: bool,
     ) -> StepSortReport {
-        self.sort_step_parallel(m, geom, layout, container, force_global, 1)
+        let pool = WorkerPool::sequential();
+        self.sort_step_parallel(
+            m,
+            geom,
+            layout,
+            container,
+            force_global,
+            pool.exec(SchedulerPolicy::Static),
+        )
     }
 
     /// [`Depositor::sort_step`] with any global counting sort sharded
-    /// across `num_workers` host threads. The particle order, the
+    /// across the persistent worker pool. The particle order, the
     /// [`StepSortReport`] and the emulated [`Phase::Sort`] charge are
-    /// identical for every worker count: the sharded sort reproduces the
-    /// sequential permutation exactly and the cost model is driven by
-    /// the workload-shaped [`SortStats`], not by host threading.
+    /// identical for every worker count and scheduler policy: the
+    /// sharded sort reproduces the sequential permutation exactly and
+    /// the cost model is driven by the workload-shaped [`SortStats`],
+    /// not by host threading.
     pub fn sort_step_parallel(
         &mut self,
         m: &mut Machine,
@@ -219,7 +228,7 @@ impl Depositor {
         layout: &TileLayout,
         container: &mut ParticleContainer,
         force_global: bool,
-        num_workers: usize,
+        exec: Exec<'_>,
     ) -> StepSortReport {
         let mut report = StepSortReport::default();
         match &self.strategy {
@@ -234,7 +243,7 @@ impl Depositor {
                 m.in_phase(Phase::Other, |m| charge_gpma(m, &stats));
             }
             SortStrategy::GlobalEveryStep => {
-                let stats = container.global_sort_parallel(layout, geom, num_workers);
+                let stats = container.global_sort_parallel(layout, geom, exec);
                 m.in_phase(Phase::Sort, |m| charge_global_sort(m, &stats));
                 report.global = Some(stats);
             }
@@ -260,7 +269,7 @@ impl Depositor {
                 report.gpma = stats;
                 report.scanned = scanned;
                 if force_global {
-                    let gstats = container.global_sort_parallel(layout, geom, num_workers);
+                    let gstats = container.global_sort_parallel(layout, geom, exec);
                     m.in_phase(Phase::Sort, |m| charge_global_sort(m, &gstats));
                     report.global = Some(gstats);
                     report.policy_triggered = true;
@@ -282,11 +291,19 @@ impl Depositor {
         container: &ParticleContainer,
         fields: &mut FieldArrays,
     ) {
-        self.deposit_step_parallel(m, geom, layout, container, fields, 1);
+        let pool = WorkerPool::sequential();
+        self.deposit_step_parallel(
+            m,
+            geom,
+            layout,
+            container,
+            fields,
+            pool.exec(SchedulerPolicy::Static),
+        );
     }
 
-    /// The parallel tile pipeline: shards tiles across `num_workers`
-    /// scoped threads for staging, the kernel sweep and the reduction
+    /// The parallel tile pipeline: shards tiles across the persistent
+    /// worker pool for staging, the kernel sweep and the reduction
     /// *cost* charging, then applies every tile's output onto the grid
     /// sequentially in tile order.
     ///
@@ -295,7 +312,7 @@ impl Depositor {
     /// a private, initially cold cache — and its counter deltas are
     /// drained per tile and merged back in tile order. Both the grid
     /// currents and the emulated per-phase cycle totals are therefore
-    /// bit-identical for any worker count (see
+    /// bit-identical for any worker count or scheduler policy (see
     /// `tests/parallel_determinism.rs`).
     ///
     /// Rhocell kernels (`uses_rhocell() == true`) accumulate into the
@@ -311,14 +328,14 @@ impl Depositor {
         layout: &TileLayout,
         container: &ParticleContainer,
         fields: &mut FieldArrays,
-        num_workers: usize,
+        exec: Exec<'_>,
     ) {
         fields.clear_currents();
         let addrs = self.addrs.as_ref().expect("prepare() not called");
         let sorted = self.strategy.provides_sorted_order();
         let j_addr = [addrs.jx, addrs.jy, addrs.jz];
         let n_tiles = container.tiles.len();
-        let workers = num_workers.clamp(1, n_tiles.max(1));
+        let workers = exec.workers().clamp(1, n_tiles.max(1));
         if self.scratch.len() < workers {
             self.scratch.resize_with(workers, TileScratch::default);
         }
@@ -326,11 +343,10 @@ impl Depositor {
         let kernel: &dyn DepositionKernel = &*self.kernel;
 
         if kernel.uses_rhocell() {
-            let counters = mpic_machine::run_sharded(
+            let counters = exec.run_counted(
                 m,
                 &mut self.rhocells,
                 &mut self.scratch,
-                workers,
                 |wm, t, rho, scratch| {
                     deposit_tile_worker(
                         wm, kernel, order, sorted, geom, layout, container, addrs, j_addr, t, rho,
@@ -362,11 +378,10 @@ impl Depositor {
                 self.tile_currents
                     .resize_with(n_tiles, TileCurrents::default);
             }
-            let counters = mpic_machine::run_sharded(
+            let counters = exec.run_counted(
                 m,
                 &mut self.tile_currents[..n_tiles],
                 &mut self.scratch,
-                workers,
                 |wm, t, tj, scratch| {
                     scatter_tile_worker(
                         wm, kernel, order, sorted, geom, layout, container, addrs, j_addr, t, tj,

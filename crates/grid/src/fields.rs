@@ -10,6 +10,7 @@
 
 use crate::array3::Array3;
 use crate::geometry::GridGeometry;
+use mpic_machine::{Exec, INLINE_ITEM_THRESHOLD};
 
 /// Identifies one of the nine field arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,36 +155,64 @@ impl FieldArrays {
 
     /// Copies interior values into guard cells periodically for the six
     /// E/B components. Call after every field solve.
+    ///
+    /// The guard shell is walked as six disjoint face slabs (whole z
+    /// guard planes, then y guard rows of interior planes, then x guard
+    /// columns), so only guard cells are visited — the interior is never
+    /// scanned. [`FieldArrays::fill_guards_periodic_exec`] distributes
+    /// the same component x face items over the worker pool.
     pub fn fill_guards_periodic(&mut self) {
-        for c in [
-            FieldComponent::Ex,
-            FieldComponent::Ey,
-            FieldComponent::Ez,
-            FieldComponent::Bx,
-            FieldComponent::By,
-            FieldComponent::Bz,
-        ] {
-            let g = self.guard;
-            let n = self.n_cells;
-            let arr = self.get_mut(c);
-            let [dx, dy, dz] = arr.shape();
-            for k in 0..dz {
-                for j in 0..dy {
-                    for i in 0..dx {
-                        let inside = |v: usize, g: usize, n: usize| v >= g && v < g + n;
-                        if inside(i, g, n[0]) && inside(j, g, n[1]) && inside(k, g, n[2]) {
-                            continue;
-                        }
-                        let wrap = |v: usize, g: usize, n: usize| {
-                            ((v as i64 - g as i64).rem_euclid(n as i64)) as usize + g
-                        };
-                        let (wi, wj, wk) = (wrap(i, g, n[0]), wrap(j, g, n[1]), wrap(k, g, n[2]));
-                        let v = arr.get(wi, wj, wk);
-                        arr.set(i, j, k, v);
-                    }
-                }
+        let g = self.guard;
+        let n = self.n_cells;
+        let faces = guard_faces(g, n, self.ex.shape());
+        for arr in self.eb_components_mut() {
+            let raw = RawGrid::new(arr);
+            for face in faces {
+                fill_guard_face(raw, g, n, face);
             }
         }
+    }
+
+    /// [`FieldArrays::fill_guards_periodic`] with the 6 components x 6
+    /// guard faces sharded across the persistent worker pool.
+    ///
+    /// Bit-identical to the sequential fill for any worker count or
+    /// scheduler policy: every guard cell belongs to exactly one face
+    /// item and is *copied* (not accumulated) from an interior cell that
+    /// no item writes, so there is no ordering to preserve. Small shells
+    /// (fewer total guard cells than the shared
+    /// [`INLINE_ITEM_THRESHOLD`]) run inline, like the sharded sort's
+    /// small-input path.
+    pub fn fill_guards_periodic_exec(&mut self, exec: Exec<'_>) {
+        let g = self.guard;
+        let n = self.n_cells;
+        let [dx, dy, dz] = self.ex.shape();
+        let shell = dx * dy * dz - n[0] * n[1] * n[2];
+        if exec.workers() == 1 || 6 * shell < INLINE_ITEM_THRESHOLD {
+            self.fill_guards_periodic();
+            return;
+        }
+        let faces = guard_faces(g, n, [dx, dy, dz]);
+        let mut items: Vec<(RawGrid, GuardFace)> = Vec::with_capacity(36);
+        for arr in self.eb_components_mut() {
+            let raw = RawGrid::new(arr);
+            items.extend(faces.iter().map(|&f| (raw, f)));
+        }
+        exec.for_each(&mut items, |_, (raw, face)| {
+            fill_guard_face(*raw, g, n, *face);
+        });
+    }
+
+    /// The six E/B component arrays, in canonical order.
+    fn eb_components_mut(&mut self) -> [&mut Array3; 6] {
+        [
+            &mut self.ex,
+            &mut self.ey,
+            &mut self.ez,
+            &mut self.bx,
+            &mut self.by,
+            &mut self.bz,
+        ]
     }
 
     /// Total electromagnetic field energy, using `eps0/2 E^2 + 1/(2 mu0)
@@ -223,6 +252,141 @@ impl FieldArrays {
             FieldComponent::Jz,
         ] {
             self.get_mut(c).shift_down_z();
+        }
+    }
+
+    /// [`FieldArrays::shift_window_z`] with the nine independent
+    /// component shifts sharded across the persistent worker pool.
+    /// Trivially bit-identical: each array's shift touches only that
+    /// array.
+    pub fn shift_window_z_exec(&mut self, exec: Exec<'_>) {
+        let mut comps: [&mut Array3; 9] = [
+            &mut self.ex,
+            &mut self.ey,
+            &mut self.ez,
+            &mut self.bx,
+            &mut self.by,
+            &mut self.bz,
+            &mut self.jx,
+            &mut self.jy,
+            &mut self.jz,
+        ];
+        exec.for_each(&mut comps, |_, arr| arr.shift_down_z());
+    }
+}
+
+/// One face slab of the guard shell: half-open index ranges per axis.
+///
+/// The six faces *partition* the shell — z faces take whole guard
+/// planes, y faces take the guard rows of interior planes, x faces take
+/// the guard columns of interior rows — so every guard cell belongs to
+/// exactly one face and parallel face workers never write the same cell.
+#[derive(Debug, Clone, Copy)]
+struct GuardFace {
+    i: (usize, usize),
+    j: (usize, usize),
+    k: (usize, usize),
+}
+
+/// The six disjoint guard faces of a `dims`-shaped array with `n`
+/// interior cells behind `g` guard layers.
+fn guard_faces(g: usize, n: [usize; 3], dims: [usize; 3]) -> [GuardFace; 6] {
+    let full = |d: usize| (0, dims[d]);
+    let interior = |d: usize| (g, g + n[d]);
+    [
+        // z-low / z-high slabs: whole guard planes.
+        GuardFace {
+            i: full(0),
+            j: full(1),
+            k: (0, g),
+        },
+        GuardFace {
+            i: full(0),
+            j: full(1),
+            k: (g + n[2], dims[2]),
+        },
+        // y-low / y-high rows of the interior-z planes.
+        GuardFace {
+            i: full(0),
+            j: (0, g),
+            k: interior(2),
+        },
+        GuardFace {
+            i: full(0),
+            j: (g + n[1], dims[1]),
+            k: interior(2),
+        },
+        // x-low / x-high columns of the interior-z/y rows.
+        GuardFace {
+            i: (0, g),
+            j: interior(1),
+            k: interior(2),
+        },
+        GuardFace {
+            i: (g + n[0], dims[0]),
+            j: interior(1),
+            k: interior(2),
+        },
+    ]
+}
+
+/// Raw view of one field component shared across guard-face workers.
+///
+/// Kept as a raw pointer rather than aliased `&mut Array3` references so
+/// that no two `&mut` to the same allocation ever exist; soundness then
+/// rests only on the access pattern: guard faces partition the write
+/// set, and every read is of an interior cell, which no face writes.
+#[derive(Clone, Copy)]
+struct RawGrid {
+    ptr: *mut f64,
+    nx: usize,
+    ny: usize,
+}
+
+// SAFETY: see the type docs — concurrent workers access disjoint
+// elements (face-local writes, interior-only reads).
+#[allow(unsafe_code)]
+unsafe impl Send for RawGrid {}
+// SAFETY: as above.
+#[allow(unsafe_code)]
+unsafe impl Sync for RawGrid {}
+
+impl RawGrid {
+    fn new(arr: &mut Array3) -> Self {
+        let [nx, ny, _] = arr.shape();
+        Self {
+            ptr: arr.as_mut_slice().as_mut_ptr(),
+            nx,
+            ny,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (k * self.ny + j) * self.nx + i
+    }
+}
+
+/// Fills one guard face of one component: each guard cell copies the
+/// periodically wrapped interior cell.
+#[allow(unsafe_code)]
+fn fill_guard_face(raw: RawGrid, g: usize, n: [usize; 3], face: GuardFace) {
+    let wrap =
+        |v: usize, g: usize, n: usize| ((v as i64 - g as i64).rem_euclid(n as i64)) as usize + g;
+    for k in face.k.0..face.k.1 {
+        let wk = wrap(k, g, n[2]);
+        for j in face.j.0..face.j.1 {
+            let wj = wrap(j, g, n[1]);
+            for i in face.i.0..face.i.1 {
+                let wi = wrap(i, g, n[0]);
+                // SAFETY: indices are in bounds by face construction;
+                // the source is interior (never written by any face) and
+                // the destination belongs to this face alone.
+                unsafe {
+                    let v = *raw.ptr.add(raw.idx(wi, wj, wk));
+                    *raw.ptr.add(raw.idx(i, j, k)) = v;
+                }
+            }
         }
     }
 }

@@ -1,0 +1,745 @@
+//! The unified execution layer: a persistent worker pool plus pluggable
+//! tile schedulers.
+//!
+//! Before this module existed, every sharded phase of the step loop
+//! (gather+push, both deposit kernel families, the counting sort, the
+//! Z-slab field solve, guard exchange, window shift) paid a fresh
+//! `std::thread::scope` spawn — roughly six spawn/join cycles per step —
+//! and distributed work by static contiguous chunks only. The execution
+//! layer lifts both decisions out of the call sites:
+//!
+//! * [`WorkerPool`] owns `workers - 1` long-lived threads that **park**
+//!   between dispatches (the calling thread acts as worker 0), so a
+//!   phase dispatch costs a mutex/condvar wake instead of thread spawns;
+//! * [`SchedulerPolicy`] selects how items are claimed: [`Static`]
+//!   reproduces the contiguous [`shard_bounds`] chunks, [`Stealing`]
+//!   lets workers claim items one at a time from a shared atomic cursor
+//!   — the right scheme for load-imbalanced LWFA tiles where one hot
+//!   tile would otherwise serialise its whole static chunk.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical across worker counts *and* scheduler
+//! policies by construction, not by scheduling luck: per-item work is a
+//! pure function of the item (each worker charges a private
+//! [`Machine::fork_worker`] fork whose cache the item handler flushes at
+//! the item boundary), per-item outputs land in per-item slots, and the
+//! caller applies/merges them **in global item order** no matter which
+//! worker executed what. The scheduler only decides *who* runs an item,
+//! never *what the item computes* or *how results are combined*.
+//!
+//! [`Static`]: SchedulerPolicy::Static
+//! [`Stealing`]: SchedulerPolicy::Stealing
+
+// The execution layer is the one place in the workspace that needs
+// `unsafe`: erasing the borrow lifetime of a dispatched closure (bounded
+// by the pool's completion barrier) and handing disjoint `&mut` slice
+// elements to the workers that claimed them. Every unsafe block carries
+// its invariant; everything built on top stays safe Rust.
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::counters::MachineCounters;
+use crate::machine::Machine;
+use crate::shard::shard_bounds;
+
+/// Minimum items (keys, SoA slots, ...) per potential worker before a
+/// sharded phase is worth threading at all: below this the dispatch wake
+/// costs more than the work, so callers fall back to the 1-worker inline
+/// path. One shared constant — used by the counting sort, the attribute
+/// permutation and the guard exchange — so no two phases can ever
+/// disagree about when threads are worth waking.
+pub const INLINE_ITEM_THRESHOLD: usize = 4096;
+
+/// How a dispatch distributes items over pool workers.
+///
+/// Either policy produces bit-identical results (see the module docs);
+/// the choice is purely a host-performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Contiguous [`shard_bounds`] chunks, one per worker — minimal
+    /// claim overhead, best for uniform per-item cost.
+    #[default]
+    Static,
+    /// Workers claim items one at a time from a shared atomic cursor —
+    /// work-stealing-style load balancing for skewed per-item cost
+    /// (e.g. LWFA particle tiles: mostly empty, a few hot).
+    Stealing,
+}
+
+impl SchedulerPolicy {
+    /// Parses a CLI-style name (`static` / `stealing`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "static" => Some(Self::Static),
+            "stealing" => Some(Self::Stealing),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (CLI, JSON records).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Static => "static",
+            Self::Stealing => "stealing",
+        }
+    }
+}
+
+/// A dispatched job: a borrowed `Fn(worker_id)` with its lifetime erased.
+/// [`WorkerPool::broadcast`] guarantees (even under unwinding) that no
+/// worker still holds the pointer when the dispatch returns, which is
+/// what makes the erasure sound.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared execution is the point) and the
+// pool's completion barrier bounds its use to the broadcast call.
+unsafe impl Send for Job {}
+
+/// State shared between the dispatching thread and the parked workers.
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The dispatcher parks here until `active` drains to zero.
+    done_cv: Condvar,
+}
+
+#[derive(Default)]
+struct State {
+    /// Incremented once per dispatch; workers detect new work by epoch.
+    epoch: u64,
+    job: Option<Job>,
+    /// Background workers still executing the current epoch.
+    active: usize,
+    shutdown: bool,
+    /// First panic payload captured from a background worker.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Shared {
+    /// Locks the state, recovering from poisoning: the pool's own
+    /// critical sections never panic, so a poisoned lock only means a
+    /// *job* panicked on another thread — the state itself is sound, and
+    /// panicking here (e.g. inside a Drop during unwinding) would abort.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A persistent pool of `workers - 1` parked threads plus the calling
+/// thread (worker 0).
+///
+/// The pool is created once (e.g. owned by a `Simulation` for its whole
+/// lifetime) and reused by every phase of every step; between dispatches
+/// the threads block on a condvar, so an idle pool consumes no CPU. A
+/// pool of size 1 owns no threads at all and dispatches inline — the
+/// sequential configuration has zero synchronisation overhead.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` (clamped to at least 1). The calling
+    /// thread participates as worker 0, so only `workers - 1` threads
+    /// are created.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let threads = (1..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mpic-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// A single-worker pool: no threads, every dispatch runs inline on
+    /// the calling thread. Used by the sequential convenience wrappers.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of workers (including the calling thread).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Binds this pool to a scheduling policy, yielding the lightweight
+    /// [`Exec`] handle the sharded phases take.
+    pub fn exec(&self, policy: SchedulerPolicy) -> Exec<'_> {
+        Exec { pool: self, policy }
+    }
+
+    /// Runs `f(worker_id)` once on every worker (ids `0..workers()`,
+    /// worker 0 being the calling thread) and returns when all have
+    /// finished. Panics from any worker are propagated to the caller
+    /// after the barrier.
+    ///
+    /// This is the one primitive every scheduler builds on; phases
+    /// normally use [`Exec::for_each`] / [`Exec::run_counted`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dispatch is already in flight on this pool —
+    /// re-entrant use (dispatching from inside a dispatched closure) or
+    /// concurrent use from two threads. One job at a time is the
+    /// invariant that keeps the lifetime-erased closure pointer alive
+    /// exactly as long as workers can see it, so overlap is refused
+    /// outright (checked under the state lock, never a data race).
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.threads.is_empty() {
+            f(0);
+            return;
+        }
+        // Erase the borrow lifetime. Sound because this function does
+        // not return (or unwind past `guard`) until every worker has
+        // finished with the pointer, and the in-flight check below
+        // rejects any second job that could outlive its own borrow.
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        {
+            let mut st = self.shared.lock();
+            assert!(
+                st.active == 0 && st.job.is_none(),
+                "broadcast while a dispatch is in flight (re-entrant or \
+                 concurrent WorkerPool use)"
+            );
+            st.job = Some(Job(f_static as *const _));
+            st.epoch += 1;
+            st.active = self.threads.len();
+            st.panic = None;
+            self.shared.work_cv.notify_all();
+        }
+        /// Blocks until all background workers finish the current job —
+        /// including while unwinding out of worker 0's share, so the
+        /// borrowed closure can never dangle.
+        struct WaitGuard<'a>(&'a Shared);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                let mut st = self.0.lock();
+                while st.active > 0 {
+                    st = self.0.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                st.job = None;
+            }
+        }
+        let guard = WaitGuard(&self.shared);
+        f(0);
+        // Happy path: do the guard's wait inline so the job teardown
+        // and the worker-panic pickup happen in one critical section
+        // (the guard itself then has nothing left to do).
+        std::mem::forget(guard);
+        let panic = {
+            let mut st = self.shared.lock();
+            while st.active > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("epoch advanced without a job");
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: the dispatcher keeps the closure alive until `active`
+        // drains to zero, which happens strictly after this call.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (&*job.0)(id) }));
+        let mut st = shared.lock();
+        if let Err(p) = result {
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Hands out disjoint `&mut` elements of one slice to multiple workers.
+/// The scheduler guarantees each index is claimed by exactly one worker,
+/// which is what makes the aliasing sound.
+struct DisjointSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is partitioned by index; `T: Send` lets elements be
+// mutated from whichever worker claims them.
+unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    fn new(s: &'a mut [T]) -> Self {
+        Self {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `i` must be in bounds and accessed by at most one worker at a
+    /// time (guaranteed when `i` comes from a scheduler claim).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// A pool bound to a scheduling policy: the handle every sharded phase
+/// receives. `Copy`, so it threads through call stacks like a plain
+/// configuration value.
+#[derive(Clone, Copy)]
+pub struct Exec<'a> {
+    pool: &'a WorkerPool,
+    policy: SchedulerPolicy,
+}
+
+impl<'a> Exec<'a> {
+    /// Builds a handle (equivalent to [`WorkerPool::exec`]).
+    pub fn new(pool: &'a WorkerPool, policy: SchedulerPolicy) -> Self {
+        Self { pool, policy }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &'a WorkerPool {
+        self.pool
+    }
+
+    /// The scheduling policy in force.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Worker count of the underlying pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Runs `f(index, &mut item)` once per item, distributed over the
+    /// pool per the scheduler policy. Items must be independent: `f`
+    /// may not assume anything about which worker runs an item or in
+    /// what order items execute. With a 1-worker pool (or a single
+    /// item) this runs inline with zero synchronisation.
+    pub fn for_each<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let len = items.len();
+        let workers = self.workers().min(len);
+        if workers <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let slots = DisjointSlice::new(items);
+        match self.policy {
+            SchedulerPolicy::Static => {
+                let bounds = shard_bounds(len, workers);
+                self.pool.broadcast(&|w| {
+                    if let Some(&(lo, hi)) = bounds.get(w) {
+                        for i in lo..hi {
+                            // SAFETY: static chunks are disjoint.
+                            f(i, unsafe { slots.get(i) });
+                        }
+                    }
+                });
+            }
+            SchedulerPolicy::Stealing => {
+                let cursor = AtomicUsize::new(0);
+                self.pool.broadcast(&|_w| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    // SAFETY: fetch_add hands each index to one worker.
+                    f(i, unsafe { slots.get(i) });
+                });
+            }
+        }
+    }
+
+    /// Runs `f` once per item on a forked worker [`Machine`] and returns
+    /// the per-item [`MachineCounters`] deltas **indexed by item** — the
+    /// cost-charged variant of [`Exec::for_each`] used by the emulated
+    /// pipeline phases.
+    ///
+    /// Each participating worker forks `main` once per dispatch
+    /// ([`Machine::fork_worker`]: private counters, flushed cache) and
+    /// drains the fork after every item, so each delta is a pure
+    /// function of the item provided `f` flushes the worker cache at the
+    /// item boundary (both pipeline phases do, via
+    /// `wm.mem().flush_cache()`). Because deltas land in per-item slots,
+    /// the caller's sequential absorb loop sums them in item order
+    /// regardless of worker count or policy — cycle totals and any
+    /// caller-side fixed-order value reduction stay bit-identical.
+    ///
+    /// `f` receives `(worker_machine, item_index, item, worker
+    /// scratch)`; `scratch[w]` is private to worker `w` for the whole
+    /// dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` holds fewer entries than the number of
+    /// workers that may participate (`min(workers(), items.len())`), or
+    /// propagates the panic of any item handler.
+    pub fn run_counted<T, S, F>(
+        &self,
+        main: &Machine,
+        items: &mut [T],
+        scratch: &mut [S],
+        f: F,
+    ) -> Vec<MachineCounters>
+    where
+        T: Send,
+        S: Send,
+        F: Fn(&mut Machine, usize, &mut T, &mut S) + Sync,
+    {
+        let len = items.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers().min(len);
+        assert!(
+            scratch.len() >= workers,
+            "scratch ({}) must cover every participating worker ({workers})",
+            scratch.len(),
+        );
+        let mut out = vec![MachineCounters::default(); len];
+        let items_sl = DisjointSlice::new(items);
+        let out_sl = DisjointSlice::new(&mut out);
+        let scratch_sl = DisjointSlice::new(scratch);
+        let run_item = |wm: &mut Machine, scr: &mut S, i: usize| {
+            // SAFETY: each index is claimed by exactly one worker.
+            f(wm, i, unsafe { items_sl.get(i) }, scr);
+            *unsafe { out_sl.get(i) } = wm.drain_counters();
+        };
+        if workers == 1 {
+            // Inline, but still on a fork: the per-item deltas must be
+            // the same ones a multi-worker run produces.
+            let mut wm = main.fork_worker();
+            // SAFETY: single worker, single scratch slot.
+            let scr = unsafe { scratch_sl.get(0) };
+            for i in 0..len {
+                run_item(&mut wm, scr, i);
+            }
+            return out;
+        }
+        match self.policy {
+            SchedulerPolicy::Static => {
+                let bounds = shard_bounds(len, workers);
+                self.pool.broadcast(&|w| {
+                    let Some(&(lo, hi)) = bounds.get(w) else {
+                        return;
+                    };
+                    let mut wm = main.fork_worker();
+                    // SAFETY: one scratch slot per worker id.
+                    let scr = unsafe { scratch_sl.get(w) };
+                    for i in lo..hi {
+                        run_item(&mut wm, scr, i);
+                    }
+                });
+            }
+            SchedulerPolicy::Stealing => {
+                let cursor = AtomicUsize::new(0);
+                self.pool.broadcast(&|w| {
+                    if w >= workers {
+                        return;
+                    }
+                    // Fork lazily: a worker that never claims an item
+                    // (all stolen before it woke) skips the fork cost.
+                    let mut wm: Option<Machine> = None;
+                    // SAFETY: one scratch slot per worker id.
+                    let scr = unsafe { scratch_sl.get(w) };
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let wm = wm.get_or_insert_with(|| main.fork_worker());
+                        run_item(wm, scr, i);
+                    }
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::MachineConfig;
+    use crate::counters::Phase;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    fn charge_item(wm: &mut Machine, t: usize, item: &mut f64, scratch: &mut Vec<u64>) {
+        wm.mem().flush_cache();
+        scratch.push(t as u64);
+        wm.set_phase(Phase::Compute);
+        // Cost depends only on the item: deterministic per tile.
+        wm.s_ops(t + 1);
+        *item = t as f64;
+    }
+
+    #[test]
+    fn counters_indexed_by_item_for_any_worker_count_and_policy() {
+        let main = Machine::new(MachineConfig::lx2());
+        let mut totals: Vec<Vec<f64>> = Vec::new();
+        for &w in &[1usize, 3, 5, 11] {
+            for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+                let pool = WorkerPool::new(w);
+                let mut items = vec![0.0; 11];
+                let mut scratch = vec![Vec::new(); w];
+                let counters =
+                    pool.exec(policy)
+                        .run_counted(&main, &mut items, &mut scratch, charge_item);
+                assert_eq!(counters.len(), 11);
+                assert!(items.iter().enumerate().all(|(t, &v)| v == t as f64));
+                totals.push(
+                    counters
+                        .iter()
+                        .map(|c| c.perf.cycles(Phase::Compute))
+                        .collect(),
+                );
+            }
+        }
+        for later in &totals[1..] {
+            assert_eq!(
+                &totals[0], later,
+                "per-item deltas must not depend on sharding or policy"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_items_yield_no_counters() {
+        let main = Machine::new(MachineConfig::lx2());
+        let pool = WorkerPool::new(4);
+        let mut items: Vec<f64> = Vec::new();
+        let mut scratch = vec![Vec::new(); 4];
+        let counters = pool.exec(SchedulerPolicy::Static).run_counted(
+            &main,
+            &mut items,
+            &mut scratch,
+            charge_item,
+        );
+        assert!(counters.is_empty());
+    }
+
+    #[test]
+    fn workers_exceeding_items_are_clamped() {
+        let main = Machine::new(MachineConfig::lx2());
+        let pool = WorkerPool::new(8);
+        let mut items = vec![0.0; 2];
+        let mut scratch = vec![Vec::new(); 8];
+        let counters = pool.exec(SchedulerPolicy::Stealing).run_counted(
+            &main,
+            &mut items,
+            &mut scratch,
+            charge_item,
+        );
+        assert_eq!(counters.len(), 2);
+        assert_eq!(items, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every participating worker")]
+    fn undersized_scratch_is_rejected() {
+        let main = Machine::new(MachineConfig::lx2());
+        let pool = WorkerPool::new(4);
+        let mut items = vec![0.0; 16];
+        let mut scratch = vec![Vec::new(); 2];
+        let _ = pool.exec(SchedulerPolicy::Static).run_counted(
+            &main,
+            &mut items,
+            &mut scratch,
+            charge_item,
+        );
+    }
+
+    #[test]
+    fn broadcast_runs_every_worker_exactly_once() {
+        let pool = WorkerPool::new(5);
+        let seen = Mutex::new(Vec::new());
+        pool.broadcast(&|w| seen.lock().unwrap().push(w));
+        let mut ids = seen.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = WorkerPool::new(3);
+        let hits = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.broadcast(&|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate worker panic")]
+    fn worker_panic_propagates_to_dispatcher() {
+        let pool = WorkerPool::new(4);
+        pool.broadcast(&|w| {
+            if w == 2 {
+                panic!("deliberate worker panic");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch is in flight")]
+    fn reentrant_broadcast_is_refused() {
+        // Dispatching from inside a dispatched closure must be refused
+        // loudly (the lifetime-erasure invariant is one job at a time),
+        // not corrupt the pool state.
+        let pool = WorkerPool::new(2);
+        pool.broadcast(&|w| {
+            if w == 0 {
+                pool.broadcast(&|_| {});
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_propagated_panic() {
+        let pool = WorkerPool::new(3);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool must still dispatch cleanly afterwards.
+        let hits = AtomicU64::new(0);
+        pool.broadcast(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once_under_both_policies() {
+        for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            for workers in [1usize, 2, 4, 7] {
+                let pool = WorkerPool::new(workers);
+                let mut items: Vec<usize> = vec![0; 97];
+                pool.exec(policy).for_each(&mut items, |i, item| {
+                    *item += i + 1;
+                });
+                for (i, &v) in items.iter().enumerate() {
+                    assert_eq!(v, i + 1, "policy {policy:?} workers {workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_claims_partition_the_index_space() {
+        let pool = WorkerPool::new(4);
+        let claimed = Mutex::new(HashSet::new());
+        pool.exec(SchedulerPolicy::Stealing)
+            .for_each(&mut [(); 64], |i, _| {
+                assert!(claimed.lock().unwrap().insert(i), "index {i} claimed twice");
+            });
+        assert_eq!(claimed.into_inner().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            assert_eq!(SchedulerPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(SchedulerPolicy::parse("greedy"), None);
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::Static);
+    }
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let pool = WorkerPool::sequential();
+        assert_eq!(pool.workers(), 1);
+        let main_thread = std::thread::current().id();
+        pool.broadcast(&|w| {
+            assert_eq!(w, 0);
+            assert_eq!(std::thread::current().id(), main_thread);
+        });
+    }
+}

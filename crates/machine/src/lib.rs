@@ -40,6 +40,7 @@
 pub mod cache;
 pub mod cost;
 pub mod counters;
+pub mod exec;
 pub mod gpu;
 pub mod machine;
 pub mod mem;
@@ -49,8 +50,9 @@ pub mod vreg;
 pub use cache::{CacheLevelConfig, CacheSim, CacheStats};
 pub use cost::MachineConfig;
 pub use counters::{MachineCounters, PerfCounters, Phase};
+pub use exec::{Exec, SchedulerPolicy, WorkerPool, INLINE_ITEM_THRESHOLD};
 pub use gpu::{GpuConfig, GpuDepositionReport, GpuModel};
 pub use machine::{Machine, TileId};
 pub use mem::{MemSystem, VAddr};
-pub use shard::{run_sharded, shard_bounds};
+pub use shard::shard_bounds;
 pub use vreg::{VMask, VReg, VLANES};

@@ -1,27 +1,24 @@
-//! Deterministic tile sharding for parallel emulation.
+//! Deterministic contiguous chunk decomposition for parallel emulation.
 //!
 //! The parallel pipeline's bit-identity guarantee rests on one
 //! invariant: per-tile work must be chargeable as a pure function of the
 //! tile (worker machines fork with a private cold cache), and per-tile
-//! counter deltas must merge back in **global tile order** no matter how
-//! tiles were distributed over threads. This module owns that invariant
-//! so every sharded phase (gather+push, sort, both deposit kernels, and
-//! the Z-slab field solve) uses the identical scheme instead of
-//! re-implementing it: [`run_sharded`] for phases that charge per-item
-//! [`MachineCounters`], and [`shard_bounds`] for phases (counting sort,
-//! Maxwell slabs) that only need the contiguous chunk decomposition.
-
-use crate::counters::MachineCounters;
-use crate::machine::Machine;
+//! outputs must merge back in **global tile order** no matter how tiles
+//! were distributed over threads. The execution layer ([`crate::exec`])
+//! owns the distribution and merge; this module owns the one chunk
+//! scheme the [`SchedulerPolicy::Static`] policy and every
+//! chunk-granular phase (counting-sort histograms, Maxwell Z slabs) use,
+//! so no phase can disagree with the scheduler about which worker owns
+//! which items.
+//!
+//! [`SchedulerPolicy::Static`]: crate::exec::SchedulerPolicy::Static
 
 /// Contiguous chunk decomposition of `len` items over at most `workers`
 /// shards: `ceil(len / workers)` items per shard, last shard ragged.
 ///
-/// This is the single chunk scheme every sharded phase uses — keeping it
-/// in one place means a phase can never disagree with [`run_sharded`]
-/// about which worker owns which items. Returns `(start, end)`
-/// half-open ranges covering `0..len` exactly, in ascending order; empty
-/// when `len == 0`.
+/// This is the single chunk scheme every statically sharded phase uses.
+/// Returns `(start, end)` half-open ranges covering `0..len` exactly, in
+/// ascending order; empty when `len == 0`.
 pub fn shard_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
     if len == 0 {
         return Vec::new();
@@ -33,125 +30,9 @@ pub fn shard_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Runs `f` once per item, sharded across `workers` scoped threads, and
-/// returns the per-item [`MachineCounters`] deltas **in item order**.
-///
-/// Sharding is contiguous (`chunks_mut` of `ceil(len / workers)`), each
-/// worker executes its chunk in ascending item order on a private
-/// [`Machine::fork_worker`] fork, and results are concatenated in worker
-/// order — which, for contiguous chunks, *is* item order. Callers absorb
-/// the returned deltas sequentially, making both cycle totals and any
-/// caller-side fixed-order value reduction independent of `workers`.
-///
-/// `f` receives `(worker_machine, global_item_index, item, worker
-/// scratch)`. It is the callee's job to flush the worker cache at the
-/// item boundary if its cost model is per-item (both pipeline phases
-/// do, via `wm.mem().flush_cache()`), keeping each delta a pure
-/// function of the item.
-///
-/// `scratch` provides one reusable per-worker state; it must hold at
-/// least `min(workers, ceil(len / per))` entries (callers size it to
-/// `workers`).
-///
-/// # Panics
-///
-/// Panics if `scratch` holds fewer entries than the number of chunks
-/// (which would silently skip trailing items), or if a worker thread
-/// panics (the panic is propagated).
-pub fn run_sharded<T, S, F>(
-    main: &Machine,
-    items: &mut [T],
-    scratch: &mut [S],
-    workers: usize,
-    f: F,
-) -> Vec<MachineCounters>
-where
-    T: Send,
-    S: Send,
-    F: Fn(&mut Machine, usize, &mut T, &mut S) + Sync,
-{
-    let bounds = shard_bounds(items.len(), workers);
-    let per = bounds.first().map_or(1, |&(s, e)| e - s);
-    assert!(
-        scratch.len() >= bounds.len(),
-        "scratch ({}) must cover every chunk ({}): trailing items would be silently dropped",
-        scratch.len(),
-        bounds.len()
-    );
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks_mut(per)
-            .zip(scratch.iter_mut())
-            .enumerate()
-            .map(|(w, (chunk, scr))| {
-                let proto = main.fork_worker();
-                let f = &f;
-                s.spawn(move || {
-                    let mut wm = proto;
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for (i, item) in chunk.iter_mut().enumerate() {
-                        f(&mut wm, w * per + i, item, scr);
-                        out.push(wm.drain_counters());
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sharded tile worker panicked"))
-            .collect()
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::MachineConfig;
-    use crate::counters::Phase;
-
-    fn charge_item(wm: &mut Machine, t: usize, item: &mut f64, scratch: &mut Vec<u64>) {
-        wm.mem().flush_cache();
-        scratch.push(t as u64);
-        wm.set_phase(Phase::Compute);
-        // Cost depends only on the item: deterministic per tile.
-        wm.s_ops(t + 1);
-        *item = t as f64;
-    }
-
-    #[test]
-    fn counters_return_in_item_order_for_any_worker_count() {
-        let main = Machine::new(MachineConfig::lx2());
-        let totals: Vec<Vec<f64>> = [1usize, 3, 5, 11]
-            .iter()
-            .map(|&w| {
-                let mut items = vec![0.0; 11];
-                let mut scratch = vec![Vec::new(); w];
-                let counters = run_sharded(&main, &mut items, &mut scratch, w, charge_item);
-                assert_eq!(counters.len(), 11);
-                assert!(items.iter().enumerate().all(|(t, &v)| v == t as f64));
-                counters
-                    .iter()
-                    .map(|c| c.perf.cycles(Phase::Compute))
-                    .collect()
-            })
-            .collect();
-        for later in &totals[1..] {
-            assert_eq!(
-                &totals[0], later,
-                "per-item deltas must not depend on sharding"
-            );
-        }
-    }
-
-    #[test]
-    fn empty_items_yield_no_counters() {
-        let main = Machine::new(MachineConfig::lx2());
-        let mut items: Vec<f64> = Vec::new();
-        let mut scratch = vec![Vec::new(); 4];
-        let counters = run_sharded(&main, &mut items, &mut scratch, 4, charge_item);
-        assert!(counters.is_empty());
-    }
 
     #[test]
     fn shard_bounds_cover_exactly_in_order() {
@@ -168,15 +49,5 @@ mod tests {
                 assert!(b.len() <= workers.max(1));
             }
         }
-    }
-
-    #[test]
-    fn workers_exceeding_items_are_clamped() {
-        let main = Machine::new(MachineConfig::lx2());
-        let mut items = vec![0.0; 2];
-        let mut scratch = vec![Vec::new(); 8];
-        let counters = run_sharded(&main, &mut items, &mut scratch, 8, charge_item);
-        assert_eq!(counters.len(), 2);
-        assert_eq!(items, vec![0.0, 1.0]);
     }
 }

@@ -6,6 +6,7 @@ use crate::gpma::{Gpma, MoveStats, INVALID_PARTICLE_ID};
 use crate::soa::ParticleSoA;
 use crate::sort::{counting_sort_keys_sharded, SortScratch, SortStats};
 use mpic_grid::{GridGeometry, Tile, TileLayout};
+use mpic_machine::{Exec, SchedulerPolicy, WorkerPool};
 
 /// Default fractional gap headroom used when (re)building tile GPMAs.
 pub const DEFAULT_GAP_RATIO: f64 = 0.5;
@@ -68,17 +69,17 @@ impl ParticleTile {
     /// sort itself allocation-free (the GPMA rebuild still allocates, but
     /// global sorts are rare policy events rather than per-step work).
     ///
-    /// `workers` shards the counting-sort histogram and the attribute
-    /// permutation across host threads; the resulting SoA order, bin map
-    /// and [`SortStats`] are identical for any value (see
-    /// `counting_sort_keys_sharded`).
+    /// `exec` shards the counting-sort histogram and the attribute
+    /// permutation across the persistent worker pool; the resulting SoA
+    /// order, bin map and [`SortStats`] are identical for any worker
+    /// count or scheduler policy (see `counting_sort_keys_sharded`).
     pub fn global_sort(
         &mut self,
         tile: &Tile,
         geom: &GridGeometry,
         gap_ratio: f64,
         scratch: &mut SortScratch,
-        workers: usize,
+        exec: Exec<'_>,
     ) -> SortStats {
         let n_bins = tile.num_cells();
         // Gather live slots and their bins.
@@ -93,7 +94,7 @@ impl ParticleTile {
         }
         let keys = std::mem::take(&mut scratch.keys);
         let mut perm = std::mem::take(&mut scratch.perm);
-        let stats = counting_sort_keys_sharded(&keys, n_bins, workers, &mut perm, scratch);
+        let stats = counting_sort_keys_sharded(&keys, n_bins, exec, &mut perm, scratch);
         scratch.keys = keys;
         scratch.perm = perm;
         // Compose: new slot s holds old slot live[perm[s]].
@@ -102,7 +103,7 @@ impl ParticleTile {
             .gathered
             .extend(scratch.perm.iter().map(|&p| scratch.live[p]));
         self.soa
-            .permute_sharded(&scratch.gathered, &mut scratch.attr_bufs, workers);
+            .permute_sharded(&scratch.gathered, &mut scratch.attr_bufs, exec);
         self.cells.clear();
         self.cells
             .extend(scratch.perm.iter().map(|&p| scratch.keys[p]));
@@ -236,14 +237,16 @@ impl ParticleContainer {
     /// convenience wrapper around
     /// [`ParticleContainer::global_sort_parallel`].
     pub fn global_sort(&mut self, layout: &TileLayout, geom: &GridGeometry) -> SortStats {
-        self.global_sort_parallel(layout, geom, 1)
+        let pool = WorkerPool::sequential();
+        self.global_sort_parallel(layout, geom, pool.exec(SchedulerPolicy::Static))
     }
 
     /// Global sort of every tile with the per-tile counting sort and
-    /// attribute permutation sharded across `workers` host threads; the
-    /// resulting particle order and merged stats are identical for any
-    /// worker count (tiles are visited in tile order, and the sharded
-    /// sort reproduces the sequential permutation exactly).
+    /// attribute permutation sharded across the persistent worker pool;
+    /// the resulting particle order and merged stats are identical for
+    /// any worker count or scheduler policy (tiles are visited in tile
+    /// order, and the sharded sort reproduces the sequential permutation
+    /// exactly).
     ///
     /// Particles that crossed a tile boundary since the last maintenance
     /// pass are re-homed first (tile-local counting sort requires every
@@ -252,14 +255,14 @@ impl ParticleContainer {
         &mut self,
         layout: &TileLayout,
         geom: &GridGeometry,
-        workers: usize,
+        exec: Exec<'_>,
     ) -> SortStats {
         self.incremental_sort(layout, geom);
         let mut total = SortStats::default();
         let gap_ratio = self.gap_ratio;
         let Self { tiles, scratch, .. } = self;
         for (t, tile) in tiles.iter_mut().enumerate() {
-            let s = tile.global_sort(layout.tile(t), geom, gap_ratio, scratch, workers);
+            let s = tile.global_sort(layout.tile(t), geom, gap_ratio, scratch, exec);
             total.n += s.n;
             total.buckets += s.buckets;
             total.moves += s.moves;
@@ -434,14 +437,17 @@ mod tests {
         let (geom, layout, mut want) = build();
         want.global_sort(&layout, &geom);
         for workers in [2usize, 3, 7] {
-            let (geom2, layout2, mut got) = build();
-            let s = got.global_sort_parallel(&layout2, &geom2, workers);
-            assert_eq!(s.n, 40);
-            got.check_invariants();
-            for (tw, tg) in want.tiles.iter().zip(&got.tiles) {
-                assert_eq!(tw.soa.x, tg.soa.x, "workers {workers}");
-                assert_eq!(tw.soa.w, tg.soa.w, "workers {workers}");
-                assert_eq!(tw.cells, tg.cells, "workers {workers}");
+            let pool = WorkerPool::new(workers);
+            for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+                let (geom2, layout2, mut got) = build();
+                let s = got.global_sort_parallel(&layout2, &geom2, pool.exec(policy));
+                assert_eq!(s.n, 40);
+                got.check_invariants();
+                for (tw, tg) in want.tiles.iter().zip(&got.tiles) {
+                    assert_eq!(tw.soa.x, tg.soa.x, "workers {workers} {policy:?}");
+                    assert_eq!(tw.soa.w, tg.soa.w, "workers {workers} {policy:?}");
+                    assert_eq!(tw.cells, tg.cells, "workers {workers} {policy:?}");
+                }
             }
         }
     }

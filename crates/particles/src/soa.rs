@@ -152,23 +152,26 @@ impl ParticleSoA {
     }
 
     /// [`ParticleSoA::permute_with`] with the seven attribute gathers
-    /// sharded across up to `workers` scoped threads (each attribute
-    /// array is independent, so attribute-parallel gathers produce the
-    /// identical result for any worker count). `bufs` provides one pooled
-    /// gather buffer per attribute, resized in place; a warm set keeps
-    /// the permutation allocation-free.
-    pub fn permute_sharded(&mut self, perm: &[usize], bufs: &mut Vec<Vec<f64>>, workers: usize) {
+    /// sharded across the persistent worker pool (each attribute array
+    /// is independent, so attribute-parallel gathers produce the
+    /// identical result for any worker count or scheduler policy).
+    /// `bufs` provides one pooled gather buffer per attribute, resized
+    /// in place; a warm set keeps the permutation allocation-free.
+    ///
+    /// Permutations below
+    /// [`INLINE_ITEM_THRESHOLD`](mpic_machine::INLINE_ITEM_THRESHOLD)
+    /// run inline — the same small-input constant the sharded counting
+    /// sort uses, so the two halves of a global sort can never disagree
+    /// about when threads are worth waking.
+    pub fn permute_sharded(
+        &mut self,
+        perm: &[usize],
+        bufs: &mut Vec<Vec<f64>>,
+        exec: mpic_machine::Exec<'_>,
+    ) {
         const ATTRS: usize = 7;
-        /// Minimum permutation length before gathers go multi-threaded;
-        /// small tiles run inline (identical result, no spawn cost).
-        const MIN_PAR_LEN: usize = 4096;
-        let workers = if perm.len() < MIN_PAR_LEN {
-            1
-        } else {
-            workers.clamp(1, ATTRS)
-        };
-        if workers == 1 {
-            // Single worker: gather inline, no thread-scope overhead
+        if perm.len() < mpic_machine::INLINE_ITEM_THRESHOLD || exec.workers() == 1 {
+            // Single worker: gather inline, no pool-dispatch overhead
             // (cycling one pooled buffer through the attributes).
             if bufs.is_empty() {
                 bufs.push(Vec::new());
@@ -181,25 +184,10 @@ impl ParticleSoA {
         }
         let mut pairs: Vec<(&mut Vec<f64>, &mut Vec<f64>)> =
             self.attrs_mut().into_iter().zip(bufs.iter_mut()).collect();
-        let per = ATTRS.div_ceil(workers);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = pairs
-                .chunks_mut(per)
-                .map(|chunk| {
-                    s.spawn(move || {
-                        for (attr, buf) in chunk {
-                            buf.clear();
-                            buf.extend(perm.iter().map(|&p| attr[p]));
-                            std::mem::swap(*attr, *buf);
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                if let Err(p) = h.join() {
-                    std::panic::resume_unwind(p);
-                }
-            }
+        exec.for_each(&mut pairs, |_, (attr, buf)| {
+            buf.clear();
+            buf.extend(perm.iter().map(|&p| attr[p]));
+            std::mem::swap::<Vec<f64>>(attr, buf);
         });
         self.compact_alive(perm.len());
     }
@@ -267,6 +255,7 @@ mod tests {
 
     #[test]
     fn permute_sharded_matches_sequential() {
+        use mpic_machine::{SchedulerPolicy, WorkerPool};
         // Above the parallel threshold so the threaded path runs.
         let n = 5_000;
         let build = || {
@@ -286,13 +275,16 @@ mod tests {
         let mut want = build();
         want.permute(&perm);
         for workers in [1usize, 2, 3, 7, 50] {
-            let mut got = build();
-            let mut bufs = Vec::new();
-            got.permute_sharded(&perm, &mut bufs, workers);
-            assert_eq!(got.x, want.x, "workers {workers}");
-            assert_eq!(got.w, want.w, "workers {workers}");
-            assert_eq!(got.len(), want.len());
-            assert!(got.alive.iter().all(|&a| a));
+            let pool = WorkerPool::new(workers);
+            for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+                let mut got = build();
+                let mut bufs = Vec::new();
+                got.permute_sharded(&perm, &mut bufs, pool.exec(policy));
+                assert_eq!(got.x, want.x, "workers {workers} {policy:?}");
+                assert_eq!(got.w, want.w, "workers {workers} {policy:?}");
+                assert_eq!(got.len(), want.len());
+                assert!(got.alive.iter().all(|&a| a));
+            }
         }
     }
 

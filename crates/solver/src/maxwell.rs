@@ -17,7 +17,7 @@
 
 use mpic_grid::constants::{C, EPS0};
 use mpic_grid::{Array3, FieldArrays, GridGeometry};
-use mpic_machine::{Machine, Phase};
+use mpic_machine::{Exec, Machine, Phase, SchedulerPolicy, WorkerPool};
 
 /// Which curl discretisation the E update uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,34 +79,36 @@ impl MaxwellSolver {
     /// the sweep to [`Phase::FieldSolve`]. Single-worker convenience
     /// wrapper around [`MaxwellSolver::step_sharded`].
     pub fn step(&self, m: &mut Machine, geom: &GridGeometry, f: &mut FieldArrays, dt: f64) {
-        self.step_sharded(m, geom, f, dt, 1);
+        let pool = WorkerPool::sequential();
+        self.step_sharded(m, geom, f, dt, pool.exec(SchedulerPolicy::Static));
     }
 
     /// [`MaxwellSolver::step`] with each of the three stencil sweeps
-    /// sharded across `workers` scoped threads by Z-slab decomposition.
+    /// sharded across the persistent worker pool by Z-slab
+    /// decomposition, and each guard exchange sharded by component/face.
     ///
     /// Every cell update reads only the *previous* half-step's arrays and
     /// writes its own cell exactly once, so slab workers touch disjoint
     /// output planes and the fields are bit-identical for any worker
-    /// count. The guard exchanges between sweeps and the emulated cost
-    /// charge run on the calling thread in fixed order (the caller's
-    /// laser/absorber pass stays fixed-order too), so the per-phase
-    /// cycle totals are worker-count independent as well.
+    /// count or scheduler policy. The emulated cost charge runs on the
+    /// calling thread in fixed order (the caller's laser/absorber pass
+    /// stays fixed-order too), so the per-phase cycle totals are
+    /// worker-count independent as well.
     pub fn step_sharded(
         &self,
         m: &mut Machine,
         geom: &GridGeometry,
         f: &mut FieldArrays,
         dt: f64,
-        workers: usize,
+        exec: Exec<'_>,
     ) {
         m.in_phase(Phase::FieldSolve, |m| {
-            self.push_b(geom, f, 0.5 * dt, workers);
-            f.fill_guards_periodic();
-            self.push_e(geom, f, dt, workers);
-            f.fill_guards_periodic();
-            self.push_b(geom, f, 0.5 * dt, workers);
-            f.fill_guards_periodic();
+            self.push_b(geom, f, 0.5 * dt, exec);
+            f.fill_guards_periodic_exec(exec);
+            self.push_e(geom, f, dt, exec);
+            f.fill_guards_periodic_exec(exec);
+            self.push_b(geom, f, 0.5 * dt, exec);
+            f.fill_guards_periodic_exec(exec);
             // Cost: ~36 FLOPs/cell/update x 2.5 sweeps, vectorised and
             // streaming (memory-bound stencil).
             let cells = geom.total_cells();
@@ -116,7 +118,7 @@ impl MaxwellSolver {
     }
 
     /// B update: `B -= dt curl E` (Faraday), sharded over Z slabs.
-    fn push_b(&self, geom: &GridGeometry, f: &mut FieldArrays, dt: f64, workers: usize) {
+    fn push_b(&self, geom: &GridGeometry, f: &mut FieldArrays, dt: f64, exec: Exec<'_>) {
         let g = geom.guard;
         let n = geom.n_cells;
         let [dx, dy, dz] = geom.dx;
@@ -132,7 +134,7 @@ impl MaxwellSolver {
         let (ex, ey, ez) = (&*ex, &*ey, &*ez);
         for_each_z_slab(
             geom,
-            workers,
+            exec,
             [bx, by, bz],
             move |(k0, k1), [sbx, sby, sbz]| {
                 let plane = plane_len(ex);
@@ -200,7 +202,7 @@ impl MaxwellSolver {
     /// E update: `E += dt (c^2 curl B - J / eps0)` (Ampere-Maxwell),
     /// sharded over Z slabs. Curls read B, current reads J, writes go to
     /// E — slab-disjoint.
-    fn push_e(&self, geom: &GridGeometry, f: &mut FieldArrays, dt: f64, workers: usize) {
+    fn push_e(&self, geom: &GridGeometry, f: &mut FieldArrays, dt: f64, exec: Exec<'_>) {
         let g = geom.guard;
         let n = geom.n_cells;
         let [dx, dy, dz] = geom.dx;
@@ -222,7 +224,7 @@ impl MaxwellSolver {
         let (jx, jy, jz) = (&*jx, &*jy, &*jz);
         for_each_z_slab(
             geom,
-            workers,
+            exec,
             [ex, ey, ez],
             move |(k0, k1), [sex, sey, sez]| {
                 let plane = plane_len(bx);
@@ -254,27 +256,33 @@ fn plane_len(arr: &Array3) -> usize {
     sx * sy
 }
 
+/// One Z-slab work item: the slab's guarded-k bounds plus the three
+/// output arrays' mutable plane slices for exactly those planes.
+type SlabItem<'a> = ((usize, usize), [&'a mut [f64]; 3]);
+
 /// Runs `body` once per Z slab of the *physical* cell range, handing each
 /// invocation the slab's guarded-k bounds `(k0, k1)` and the three output
 /// arrays' mutable plane slices for exactly those planes.
 ///
 /// Slab bounds come from [`mpic_machine::shard_bounds`] — the same
-/// contiguous chunk scheme as every other sharded phase — offset by the
-/// guard. Because each output cell is written by exactly one slab and all
-/// stencil reads go to shared immutable arrays, results are bit-identical
-/// for any worker count.
-fn for_each_z_slab<F>(geom: &GridGeometry, workers: usize, out: [&mut Array3; 3], body: F)
+/// contiguous chunk scheme as every other statically sharded phase —
+/// offset by the guard; the slab items are dispatched onto the
+/// persistent worker pool per the scheduler policy. Because each output
+/// cell is written by exactly one slab and all stencil reads go to
+/// shared immutable arrays, results are bit-identical for any worker
+/// count or policy.
+fn for_each_z_slab<F>(geom: &GridGeometry, exec: Exec<'_>, out: [&mut Array3; 3], body: F)
 where
     F: Fn((usize, usize), [&mut [f64]; 3]) + Sync,
 {
     let g = geom.guard;
     let nz = geom.n_cells[2];
     let plane = plane_len(out[0]);
-    let bounds = mpic_machine::shard_bounds(nz, workers);
+    let bounds = mpic_machine::shard_bounds(nz, exec.workers());
     let [a0, a1, a2] = out;
     if bounds.len() <= 1 {
         // Single slab (workers == 1, the default config): run inline
-        // with no thread-scope overhead. Identical arithmetic — the
+        // with no pool-dispatch overhead. Identical arithmetic — the
         // sharded path is bit-exact per cell regardless.
         if let Some(&(z0, z1)) = bounds.first() {
             let (k0, k1) = (g + z0, g + z1);
@@ -285,31 +293,26 @@ where
         }
         return;
     }
-    std::thread::scope(|s| {
-        // Peel each array into per-slab mutable plane slices, in order.
-        let mut rest = [a0.as_mut_slice(), a1.as_mut_slice(), a2.as_mut_slice()];
-        let mut consumed = 0;
-        let mut handles = Vec::with_capacity(bounds.len());
-        for &(z0, z1) in &bounds {
-            let (k0, k1) = (g + z0, g + z1);
-            let mut slabs = Vec::with_capacity(3);
-            for r in &mut rest {
-                let taken = std::mem::take(r);
-                let (_, tail) = taken.split_at_mut(k0 * plane - consumed);
-                let (slab, tail) = tail.split_at_mut((k1 - k0) * plane);
-                *r = tail;
-                slabs.push(slab);
-            }
-            consumed = k1 * plane;
-            let body = &body;
-            let [s0, s1, s2]: [&mut [f64]; 3] = slabs.try_into().expect("three slabs");
-            handles.push(s.spawn(move || body((k0, k1), [s0, s1, s2])));
+    // Peel each array into per-slab mutable plane slices, in order.
+    let mut rest = [a0.as_mut_slice(), a1.as_mut_slice(), a2.as_mut_slice()];
+    let mut consumed = 0;
+    let mut items: Vec<SlabItem<'_>> = Vec::with_capacity(bounds.len());
+    for &(z0, z1) in &bounds {
+        let (k0, k1) = (g + z0, g + z1);
+        let mut slabs = Vec::with_capacity(3);
+        for r in &mut rest {
+            let taken = std::mem::take(r);
+            let (_, tail) = taken.split_at_mut(k0 * plane - consumed);
+            let (slab, tail) = tail.split_at_mut((k1 - k0) * plane);
+            *r = tail;
+            slabs.push(slab);
         }
-        for h in handles {
-            if let Err(p) = h.join() {
-                std::panic::resume_unwind(p);
-            }
-        }
+        consumed = k1 * plane;
+        let slabs: [&mut [f64]; 3] = slabs.try_into().expect("three slabs");
+        items.push(((k0, k1), slabs));
+    }
+    exec.for_each(&mut items, |_, (range, [s0, s1, s2])| {
+        body(*range, [&mut **s0, &mut **s1, &mut **s2]);
     });
 }
 
@@ -421,40 +424,47 @@ mod tests {
     }
 
     #[test]
-    fn sharded_step_is_bit_identical_for_any_worker_count() {
+    fn sharded_step_is_bit_identical_for_any_worker_count_and_policy() {
         for kind in [SolverKind::Yee, SolverKind::Ckc] {
             let (geom, mut base, solver, dt) = setup(kind, 16, 0.5);
             seed_plane_wave(&geom, &mut base);
             base.jx.set(5, 6, 7, 3.0e3); // Current source in the mix.
             base.jz.set(9, 3, 12, -1.0e3);
-            let run = |workers: usize| {
+            let run = |workers: usize, policy: SchedulerPolicy| {
                 let mut f = base.clone();
                 let mut m = Machine::new(MachineConfig::lx2());
+                let pool = WorkerPool::new(workers);
                 for _ in 0..5 {
-                    solver.step_sharded(&mut m, &geom, &mut f, dt, workers);
+                    solver.step_sharded(&mut m, &geom, &mut f, dt, pool.exec(policy));
                 }
                 (f, m.counters().cycles(Phase::FieldSolve))
             };
-            let (f1, c1) = run(1);
+            let (f1, c1) = run(1, SchedulerPolicy::Static);
             for workers in [2usize, 4, 7, 16] {
-                let (fw, cw) = run(workers);
-                for (name, a, b) in [
-                    ("ex", &f1.ex, &fw.ex),
-                    ("ey", &f1.ey, &fw.ey),
-                    ("ez", &f1.ez, &fw.ez),
-                    ("bx", &f1.bx, &fw.bx),
-                    ("by", &f1.by, &fw.by),
-                    ("bz", &f1.bz, &fw.bz),
-                ] {
-                    assert!(
-                        a.as_slice()
-                            .iter()
-                            .zip(b.as_slice())
-                            .all(|(u, v)| u.to_bits() == v.to_bits()),
-                        "{kind:?} {name}: {workers}-worker solve diverged from sequential"
+                for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+                    let (fw, cw) = run(workers, policy);
+                    for (name, a, b) in [
+                        ("ex", &f1.ex, &fw.ex),
+                        ("ey", &f1.ey, &fw.ey),
+                        ("ez", &f1.ez, &fw.ez),
+                        ("bx", &f1.bx, &fw.bx),
+                        ("by", &f1.by, &fw.by),
+                        ("bz", &f1.bz, &fw.bz),
+                    ] {
+                        assert!(
+                            a.as_slice()
+                                .iter()
+                                .zip(b.as_slice())
+                                .all(|(u, v)| u.to_bits() == v.to_bits()),
+                            "{kind:?} {name}: {workers}-worker {policy:?} solve diverged from sequential"
+                        );
+                    }
+                    assert_eq!(
+                        c1.to_bits(),
+                        cw.to_bits(),
+                        "{kind:?} cycles diverged ({workers} workers, {policy:?})"
                     );
                 }
-                assert_eq!(c1.to_bits(), cw.to_bits(), "{kind:?} cycles diverged");
             }
         }
     }

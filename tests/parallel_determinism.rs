@@ -1,6 +1,7 @@
-//! Worker-count invariance: the parallel tile pipeline must produce
-//! bit-identical physics *and* bit-identical emulated cycle accounting
-//! for any `num_workers`, on both evaluation workloads.
+//! Worker-count and scheduler-policy invariance: the unified execution
+//! layer must produce bit-identical physics *and* bit-identical emulated
+//! cycle accounting for any `num_workers` x `SchedulerPolicy`, on both
+//! evaluation workloads.
 //!
 //! This pins the deterministic fixed-order reductions of the pipeline:
 //! per-worker rhocell and direct-scatter outputs are applied to the grid
@@ -8,23 +9,35 @@
 //! sharded counting sort reproduces the sequential permutation exactly,
 //! and the Z-slab field solve writes disjoint planes — so neither the
 //! fields nor the per-phase cycle totals can depend on how work was
-//! sharded across threads.
+//! distributed across the persistent worker pool, whether by static
+//! chunks or by work-stealing claims.
 
 use matrix_pic::core::{workloads, Simulation};
 use matrix_pic::deposit::{KernelConfig, ShapeOrder};
 use matrix_pic::grid::{FieldArrays, GridGeometry, TileLayout};
-use matrix_pic::machine::Phase;
+use matrix_pic::machine::{Phase, SchedulerPolicy};
 use matrix_pic::solver::LaserAntenna;
 
 /// Runs `steps` and returns the final fields plus per-phase cycle totals.
-fn run(mut sim: Simulation, workers: usize, steps: usize) -> (FieldArrays, [f64; 8], usize) {
+fn run_sched(
+    mut sim: Simulation,
+    workers: usize,
+    policy: SchedulerPolicy,
+    steps: usize,
+) -> (FieldArrays, [f64; 8], usize) {
     sim.cfg.num_workers = workers;
+    sim.cfg.scheduler = policy;
     sim.run(steps);
     let mut cycles = [0.0; 8];
     for (i, p) in Phase::ALL.iter().enumerate() {
         cycles[i] = sim.machine.counters().cycles(*p);
     }
     (sim.fields.clone(), cycles, sim.num_particles())
+}
+
+/// [`run_sched`] with the default static scheduler.
+fn run(sim: Simulation, workers: usize, steps: usize) -> (FieldArrays, [f64; 8], usize) {
+    run_sched(sim, workers, SchedulerPolicy::Static, steps)
 }
 
 fn assert_bit_identical(
@@ -181,5 +194,119 @@ fn periodic_laser_field_solve_is_worker_count_invariant() {
         assert_bit_identical(&format!("periodic-laser/FullOpt 1v{workers}"), &one, &w);
         // The laser must actually be driving fields, or the pin is vacuous.
         assert!(w.0.ex.max_abs() > 0.0, "laser injected no Ex");
+    }
+}
+
+/// Static-vs-Stealing bit-identity on an adversarially imbalanced LWFA
+/// workload: every particle lives in one hot tile while the other tiles
+/// are empty, so under static chunks one worker carries the entire
+/// particle workload while stealing redistributes claim-by-claim — the
+/// maximal divergence in execution schedules. Fields, currents and
+/// per-phase cycles must nonetheless agree bit for bit, because per-tile
+/// outputs and counters merge in tile order regardless of who ran what.
+#[test]
+fn static_vs_stealing_bit_identical_on_imbalanced_lwfa() {
+    let build = || workloads::imbalanced_lwfa_sim([16, 16, 32], 4, 29);
+    {
+        // The imbalance must actually be adversarial, or this test
+        // pins nothing: exactly one non-empty tile among several.
+        let sim = build();
+        let occupied = sim.electrons.tiles.iter().filter(|t| !t.is_empty()).count();
+        assert_eq!(occupied, 1, "workload must concentrate in one hot tile");
+        assert!(sim.electrons.tiles.len() >= 8, "need empty tiles around it");
+        assert!(sim.num_particles() > 0);
+    }
+    let base = run_sched(build(), 1, SchedulerPolicy::Static, 3);
+    for workers in [2usize, 4, 7] {
+        for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            let r = run_sched(build(), workers, policy, 3);
+            assert_bit_identical(
+                &format!("imbalanced-lwfa 1/static v {workers}/{policy:?}"),
+                &base,
+                &r,
+            );
+        }
+    }
+}
+
+/// Moving-window injection through the pool: an empty-start LWFA whose
+/// front plane injects `16x16x16 = 4096` particles per window advance —
+/// at or above `INLINE_ITEM_THRESHOLD`, so multi-worker runs take the
+/// *parallel* bucketed-insertion path (sequential RNG generation,
+/// per-tile pool insertion) while the 1-worker reference runs inline.
+/// Fields, cycles and particle counts must agree bit for bit.
+#[test]
+fn parallel_window_injection_is_worker_count_invariant() {
+    use matrix_pic::core::PlasmaSpec;
+    use matrix_pic::grid::constants::{M_E, Q_E};
+    use matrix_pic::particles::ParticleContainer;
+
+    let build = || {
+        let cfg = workloads::lwfa_config([16, 16, 8], ShapeOrder::Cic, KernelConfig::FullOpt, 5);
+        let geom = GridGeometry::new(cfg.n_cells, [0.0; 3], cfg.dx, cfg.guard);
+        let layout = TileLayout::new(&geom, cfg.tile_size);
+        let electrons = ParticleContainer::new(&layout, -Q_E, M_E);
+        let spec = PlasmaSpec {
+            density: workloads::LWFA_DENSITY,
+            ppc: 16,
+            u_th: 0.01,
+        };
+        Simulation::from_parts(cfg, geom, layout, electrons, Some(spec))
+    };
+    let one = run(build(), 1, 3);
+    assert!(one.2 > 0, "window must have injected particles");
+    for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+        let w = run_sched(build(), 4, policy, 3);
+        assert_bit_identical(&format!("window-injection 1v4 {policy:?}"), &one, &w);
+    }
+}
+
+/// Pool-reuse determinism: one `Simulation` keeps its persistent
+/// `WorkerPool` across steps (threads parked between phases and steps),
+/// so this pins that *every* intermediate step — not just the final
+/// state — is bit-identical across worker counts 1/2/4/7, and that a
+/// run flipping the scheduler policy between steps still matches (the
+/// policy is a pure execution knob, switchable mid-run).
+#[test]
+fn pool_reuse_across_consecutive_steps_is_deterministic() {
+    let build = || {
+        workloads::uniform_plasma_sim([12, 12, 12], 2, ShapeOrder::Cic, KernelConfig::FullOpt, 11)
+    };
+    let snapshots = |workers: usize, flip_policy: bool| -> Vec<(FieldArrays, [f64; 8], usize)> {
+        let mut sim = build();
+        sim.cfg.num_workers = workers;
+        (0..3)
+            .map(|step| {
+                if flip_policy {
+                    sim.cfg.scheduler = if step % 2 == 0 {
+                        SchedulerPolicy::Stealing
+                    } else {
+                        SchedulerPolicy::Static
+                    };
+                }
+                sim.step();
+                let mut cycles = [0.0; 8];
+                for (i, p) in Phase::ALL.iter().enumerate() {
+                    cycles[i] = sim.machine.counters().cycles(*p);
+                }
+                (sim.fields.clone(), cycles, sim.num_particles())
+            })
+            .collect()
+    };
+    let reference = snapshots(1, false);
+    for workers in [1usize, 2, 4, 7] {
+        for flip in [false, true] {
+            if workers == 1 && !flip {
+                continue; // That is the reference itself.
+            }
+            let got = snapshots(workers, flip);
+            for (step, (want, have)) in reference.iter().zip(&got).enumerate() {
+                assert_bit_identical(
+                    &format!("pool-reuse step {step}, {workers} workers, flip {flip}"),
+                    want,
+                    have,
+                );
+            }
+        }
     }
 }
