@@ -1,28 +1,37 @@
-//! Host-performance probe for the unified execution layer: runs the
-//! uniform-plasma FullOpt workload at several worker counts under each
-//! scheduler policy, verifies that fields and emulated cycle totals are
-//! bit-identical across all of them, and records host wall-clock numbers
-//! in `BENCH_step.json` so the perf trajectory of the step loop is
-//! tracked in-repo.
+//! Host-performance probe for the unified execution layer and the
+//! cell-run batched hot path: runs the uniform-plasma FullOpt workload
+//! at several worker counts under each scheduler policy — with the
+//! batched path ON and OFF — verifies the determinism contract, and
+//! records host wall-clock numbers in `BENCH_step.json` so the perf
+//! trajectory of the step loop is tracked in-repo.
 //!
-//! A second, smaller sweep runs the WarpX-baseline (direct-scatter)
-//! kernel and asserts the same parity — the counter-parity gate for the
-//! sharded direct-scatter path, whose per-tile `MachineCounters` drains
-//! must charge identically whether tiles run on one worker or many.
+//! Gates enforced (exit code nonzero on any failure, so every
+//! invocation doubles as a CI gate):
 //!
-//! The probe also measures the dispatch overhead the persistent
-//! `WorkerPool` saves over the per-phase thread-spawn scheme it
-//! replaced: one spawn/join cycle per phase (~6 per step) versus one
-//! condvar wake of already-parked threads.
-//!
-//! Exit code is nonzero if any determinism check fails, making this bin
-//! usable as a CI gate.
+//! * **Determinism** — within each batching mode, every (worker count,
+//!   scheduler) combination must reproduce the mode's first run bit for
+//!   bit: all nine field arrays AND per-phase emulated cycles.
+//! * **Cross-mode value parity** — FullOpt's batched path is value-exact
+//!   (the gather caches read-only node blocks; the matrix kernel is
+//!   run-based either way), so currents and fields must ALSO match the
+//!   per-particle path bitwise. Cycles are excluded: charging fewer of
+//!   them is the point.
+//! * **Baseline counter parity** — the WarpX direct-scatter kernel runs
+//!   the same within-mode sweep (its batched currents regroup FP adds,
+//!   so no cross-mode bit check there).
+//! * **Perf regression** — before overwriting `BENCH_step.json`, the
+//!   committed record is read back: if the host CPU count matches the
+//!   recorded run, a fresh single-thread ms/step more than 25% above
+//!   the committed value (per batching mode) fails the probe. A
+//!   differing CPU count skips the gate (numbers from a different host
+//!   class are not comparable).
 //!
 //! Usage: `probe_parallel [ppc] [steps] [workers-csv] [--scheduler
-//! static|stealing]` (defaults: 8, 3, `1,2,4,7`, both policies).
-//! Passing an explicit worker list (e.g. `3,7` to exercise ragged
-//! shards) or restricting the policy skips the `BENCH_step.json` write
-//! so auxiliary runs never clobber the tracked record.
+//! static|stealing] [--batching on|off]` (defaults: 8, 3, `1,2,4,7`,
+//! both policies, both batching modes). Passing an explicit worker
+//! list or restricting the policy/batching skips the `BENCH_step.json`
+//! write and the regression gate, so auxiliary runs never clobber the
+//! tracked record.
 
 use std::time::Instant;
 
@@ -45,16 +54,25 @@ const PRE_PR_SEQUENTIAL_MS_PER_STEP: f64 = 286.4;
 
 /// Spawn/join cycles per default-configuration step that the pre-pool
 /// scheme paid (and the pool replaces with condvar wakes): gather+push,
-/// deposit, and the field solve's three slab sweeps. The guard fills
-/// and window shift were sequential before the pool existed, and the
-/// per-tile sort runs inline below the small-input threshold, so none
-/// of those count towards the *saving*. Used to convert the measured
-/// per-dispatch delta into an estimated ms/step saving.
+/// deposit, and the field solve's three slab sweeps.
 const PHASE_DISPATCHES_PER_STEP: f64 = 5.0;
+
+/// Single-thread regression tolerance of the perf gate: a fresh
+/// ms/step more than this factor above the committed record fails.
+const GATE_TOLERANCE: f64 = 1.25;
+
+fn batching_label(on: bool) -> &'static str {
+    if on {
+        "on"
+    } else {
+        "off"
+    }
+}
 
 struct ProbeResult {
     workers: usize,
     policy: SchedulerPolicy,
+    batching: bool,
     host_ms_per_step: f64,
     emulated_ms_per_step: f64,
     /// Bit patterns of jx, jy, jz (worker-count invariance gate).
@@ -65,17 +83,20 @@ struct ProbeResult {
     particles: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_probe(
     cells: [usize; 3],
     kernel: KernelConfig,
     workers: usize,
     policy: SchedulerPolicy,
+    batching: bool,
     ppc: usize,
     steps: usize,
 ) -> ProbeResult {
     let mut sim = workloads::uniform_plasma_sim(cells, ppc, ShapeOrder::Cic, kernel, 42);
     sim.cfg.num_workers = workers;
     sim.cfg.scheduler = policy;
+    sim.cfg.batching = batching;
     sim.step(); // Warm-up: first-touch, pool growth, cold host caches.
     let skip = sim.report().len();
     let t0 = Instant::now();
@@ -96,6 +117,7 @@ fn run_probe(
     ProbeResult {
         workers,
         policy,
+        batching,
         host_ms_per_step,
         emulated_ms_per_step,
         currents: [&sim.fields.jx, &sim.fields.jy, &sim.fields.jz]
@@ -114,56 +136,108 @@ fn run_probe(
     }
 }
 
-/// Compares every run against the first: currents, fields and per-phase
-/// cycles must be bit-identical across worker counts *and* scheduler
-/// policies. Returns whether the whole set is clean.
+/// Compares every run against the first **of its batching mode**:
+/// currents, fields and per-phase cycles must be bit-identical across
+/// worker counts and scheduler policies. Returns whether the whole set
+/// is clean.
 fn check_parity(label: &str, results: &[ProbeResult]) -> bool {
-    let base = &results[0];
     let mut ok = true;
-    for r in &results[1..] {
-        let what = format!(
-            "{}w/{} and {}w/{}",
-            base.workers,
-            base.policy.label(),
-            r.workers,
-            r.policy.label()
-        );
-        for (name, i) in [("jx", 0), ("jy", 1), ("jz", 2)] {
-            if r.currents[i] != base.currents[i] {
-                eprintln!("FAIL [{label}]: {name} differs between {what}");
-                ok = false;
+    for batching in [false, true] {
+        let group: Vec<&ProbeResult> = results.iter().filter(|r| r.batching == batching).collect();
+        let Some(base) = group.first() else {
+            continue;
+        };
+        for r in &group[1..] {
+            let what = format!(
+                "{}w/{} and {}w/{} (batching {})",
+                base.workers,
+                base.policy.label(),
+                r.workers,
+                r.policy.label(),
+                batching_label(batching),
+            );
+            for (name, i) in [("jx", 0), ("jy", 1), ("jz", 2)] {
+                if r.currents[i] != base.currents[i] {
+                    eprintln!("FAIL [{label}]: {name} differs between {what}");
+                    ok = false;
+                }
             }
-        }
-        for (name, i) in [
-            ("ex", 0),
-            ("ey", 1),
-            ("ez", 2),
-            ("bx", 3),
-            ("by", 4),
-            ("bz", 5),
-        ] {
-            if r.fields[i] != base.fields[i] {
-                eprintln!("FAIL [{label}]: {name} differs between {what}");
-                ok = false;
+            for (name, i) in [
+                ("ex", 0),
+                ("ey", 1),
+                ("ez", 2),
+                ("bx", 3),
+                ("by", 4),
+                ("bz", 5),
+            ] {
+                if r.fields[i] != base.fields[i] {
+                    eprintln!("FAIL [{label}]: {name} differs between {what}");
+                    ok = false;
+                }
             }
-        }
-        for (i, p) in Phase::ALL.iter().enumerate() {
-            if r.cycles[i].to_bits() != base.cycles[i].to_bits() {
-                eprintln!(
-                    "FAIL [{label}]: {p:?} cycles differ between {what}: {} vs {}",
-                    base.cycles[i], r.cycles[i]
-                );
-                ok = false;
+            for (i, p) in Phase::ALL.iter().enumerate() {
+                if r.cycles[i].to_bits() != base.cycles[i].to_bits() {
+                    eprintln!(
+                        "FAIL [{label}]: {p:?} cycles differ between {what}: {} vs {}",
+                        base.cycles[i], r.cycles[i]
+                    );
+                    ok = false;
+                }
             }
         }
     }
     ok
 }
 
+/// Whether the cross-mode bit gate is sound for a run of `steps`
+/// measured steps (plus one warm-up): the adaptive sort policy's
+/// perf trigger consumes *emulated deposition cycles*, which the
+/// batched cost model intentionally lowers — so once the policy can
+/// fire (`min_sort_interval` steps in), the two modes may global-sort
+/// on different steps, reorder particles within cells and legitimately
+/// diverge bitwise even though each mode is individually correct. The
+/// gate therefore only applies while no trigger can possibly have
+/// fired in either mode.
+fn cross_mode_gate_sound(steps: usize) -> bool {
+    let min_interval = mpic_particles::SortPolicy::default().min_sort_interval as usize;
+    1 + steps < min_interval
+}
+
+/// Cross-mode value parity: batched vs per-particle FullOpt must agree
+/// bitwise in currents AND fields (cycles excluded by design). Only
+/// meaningful when both modes were swept.
+fn check_cross_mode_values(label: &str, results: &[ProbeResult]) -> bool {
+    let off = results.iter().find(|r| !r.batching);
+    let on = results.iter().find(|r| r.batching);
+    let (Some(off), Some(on)) = (off, on) else {
+        return true;
+    };
+    let mut ok = true;
+    for (name, i) in [("jx", 0), ("jy", 1), ("jz", 2)] {
+        if off.currents[i] != on.currents[i] {
+            eprintln!("FAIL [{label}]: {name} differs between batching off and on");
+            ok = false;
+        }
+    }
+    for (name, i) in [
+        ("ex", 0),
+        ("ey", 1),
+        ("ez", 2),
+        ("bx", 3),
+        ("by", 4),
+        ("bz", 5),
+    ] {
+        if off.fields[i] != on.fields[i] {
+            eprintln!("FAIL [{label}]: {name} differs between batching off and on");
+            ok = false;
+        }
+    }
+    ok
+}
+
 /// Measures the per-dispatch cost of (a) the pre-pool scheme — spawning
-/// and joining `workers - 1` fresh threads, which is what one
-/// `thread::scope` phase paid — and (b) waking the persistent pool.
-/// Returns `(spawn_us, pool_us)` per dispatch.
+/// and joining `workers - 1` fresh threads — and (b) waking the
+/// persistent pool. Returns `(spawn_us, pool_us)` per dispatch.
 fn measure_dispatch_overhead(workers: usize) -> (f64, f64) {
     const REPS: u32 = 100;
     let spawn_us = {
@@ -190,8 +264,48 @@ fn measure_dispatch_overhead(workers: usize) -> (f64, f64) {
     (spawn_us, pool_us)
 }
 
+/// First number following `"key":` in a JSON text (no string escapes —
+/// adequate for the file this bin writes itself).
+fn json_number_after(text: &str, key: &str) -> Option<f64> {
+    let pos = text.find(key)?;
+    let rest = text[pos + key.len()..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Reads the committed BENCH_step.json and extracts the gate inputs:
+/// the recorded host CPU count plus each single-thread (workers == 1)
+/// result as `(batching_label, host_ms_per_step)`. Records written
+/// before the batching sweep existed carry no `batching` field and are
+/// treated as per-particle ("off").
+fn read_committed_gate(path: &str) -> Option<(usize, Vec<(String, f64)>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let cpus = json_number_after(&text, "\"host_cpus\"")? as usize;
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        // The trailing comma pins exactly 1 (not 10, 16, ...).
+        if line.contains("\"workers\": 1,") && line.contains("\"host_ms_per_step\"") {
+            let mode = if line.contains("\"batching\": \"on\"") {
+                "on"
+            } else {
+                "off"
+            };
+            if let Some(ms) = json_number_after(line, "\"host_ms_per_step\"") {
+                entries.push((mode.to_string(), ms));
+            }
+        }
+    }
+    if entries.is_empty() {
+        return None;
+    }
+    Some((cpus, entries))
+}
+
 fn main() {
     let mut policy_flag: Option<SchedulerPolicy> = None;
+    let mut batching_flag: Option<bool> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -201,6 +315,13 @@ fn main() {
                 Some(SchedulerPolicy::parse(&v).unwrap_or_else(|| {
                     panic!("unknown scheduler {v:?} (expected static|stealing)")
                 }));
+        } else if a == "--batching" {
+            let v = args.next().expect("--batching needs on|off");
+            batching_flag = Some(match v.as_str() {
+                "on" => true,
+                "off" => false,
+                other => panic!("unknown batching {other:?} (expected on|off)"),
+            });
         } else {
             positional.push(a);
         }
@@ -216,58 +337,73 @@ fn main() {
             })
             .collect()
     });
-    let write_bench = custom_workers.is_none() && policy_flag.is_none();
+    let write_bench = custom_workers.is_none() && policy_flag.is_none() && batching_flag.is_none();
     let policies: Vec<SchedulerPolicy> = match policy_flag {
         Some(p) => vec![p],
         None => vec![SchedulerPolicy::Static, SchedulerPolicy::Stealing],
     };
+    let batching_modes: Vec<bool> = match batching_flag {
+        Some(b) => vec![b],
+        None => vec![false, true],
+    };
     let mut worker_counts = custom_workers.unwrap_or_else(|| vec![1, 2, 4, 7]);
     // Always carry the sequential reference: parity against a 1-worker
-    // run is the point of the gate (a bug shared by every multi-worker
-    // path would otherwise slip through a custom list like `3,7`).
+    // run is the point of the gate.
     if !worker_counts.contains(&1) {
         worker_counts.insert(0, 1);
     }
-    // Read once; every scaling decision below derives from this value.
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // Read the committed record BEFORE measurements overwrite it: the
+    // regression gate compares fresh numbers against it at the end.
+    let committed = read_committed_gate("BENCH_step.json");
 
     let policy_labels: Vec<&str> = policies.iter().map(|p| p.label()).collect();
+    let mode_labels: Vec<&str> = batching_modes.iter().map(|&b| batching_label(b)).collect();
     println!(
-        "== probe_parallel: uniform {CELLS:?} ppc {ppc}, FullOpt/CIC, {steps} steps, workers {worker_counts:?}, schedulers {policy_labels:?} =="
+        "== probe_parallel: uniform {CELLS:?} ppc {ppc}, FullOpt/CIC, {steps} steps, workers {worker_counts:?}, schedulers {policy_labels:?}, batching {mode_labels:?} =="
     );
     println!("host CPUs available: {host_cpus}");
     println!(
-        "{:>8} {:>10} {:>14} {:>16} {:>12}",
-        "workers", "scheduler", "host ms/step", "emulated ms/step", "particles"
+        "{:>8} {:>10} {:>9} {:>14} {:>16} {:>12}",
+        "workers", "scheduler", "batching", "host ms/step", "emulated ms/step", "particles"
     );
 
     // The 1-worker run is policy-independent (inline dispatch), so run
-    // it once; multi-worker counts sweep every policy.
+    // it once per batching mode; multi-worker counts sweep every policy.
     let mut results: Vec<ProbeResult> = Vec::new();
-    for &w in &worker_counts {
-        let run_policies: &[SchedulerPolicy] = if w == 1 { &policies[..1] } else { &policies };
-        for &policy in run_policies {
-            let r = run_probe(CELLS, KernelConfig::FullOpt, w, policy, ppc, steps);
-            println!(
-                "{:>8} {:>10} {:>14.1} {:>16.3} {:>12}",
-                r.workers,
-                r.policy.label(),
-                r.host_ms_per_step,
-                r.emulated_ms_per_step,
-                r.particles
-            );
-            results.push(r);
+    for &batching in &batching_modes {
+        for &w in &worker_counts {
+            let run_policies: &[SchedulerPolicy] = if w == 1 { &policies[..1] } else { &policies };
+            for &policy in run_policies {
+                let r = run_probe(
+                    CELLS,
+                    KernelConfig::FullOpt,
+                    w,
+                    policy,
+                    batching,
+                    ppc,
+                    steps,
+                );
+                println!(
+                    "{:>8} {:>10} {:>9} {:>14.1} {:>16.3} {:>12}",
+                    r.workers,
+                    r.policy.label(),
+                    batching_label(r.batching),
+                    r.host_ms_per_step,
+                    r.emulated_ms_per_step,
+                    r.particles
+                );
+                results.push(r);
+            }
         }
     }
 
-    // Determinism gate: every (worker count, policy) combination must
-    // reproduce the first run bit for bit, in fields and per-phase
-    // cycle totals.
+    // Determinism gate, per batching mode.
     let deterministic = check_parity("FullOpt", &results);
     println!(
-        "determinism (fields + per-phase cycles, workers {worker_counts:?} x {policy_labels:?}): {}",
+        "determinism (fields + per-phase cycles, workers {worker_counts:?} x {policy_labels:?} x batching {mode_labels:?}): {}",
         if deterministic {
             "BIT-IDENTICAL"
         } else {
@@ -275,29 +411,48 @@ fn main() {
         }
     );
 
-    // Direct-scatter counter-parity gate: the WarpX-baseline kernel runs
-    // through the same pooled per-tile drain scheme; its currents AND
-    // MachineCounters must match the sequential run exactly. The sweep
-    // follows the invocation's worker list and policies (plus a
-    // 1-worker reference), so the ragged CI run adds coverage instead
-    // of repeating the default sweep.
+    // Cross-mode value parity: FullOpt batched is value-exact — as long
+    // as both modes took the same global-sort schedule, which is only
+    // guaranteed while the adaptive policy cannot have fired.
+    let cross_mode = if cross_mode_gate_sound(steps) {
+        let ok = check_cross_mode_values("FullOpt", &results);
+        if batching_modes.len() == 2 {
+            println!(
+                "batched vs per-particle values (currents + fields): {}",
+                if ok { "BIT-IDENTICAL" } else { "FAILED" }
+            );
+        }
+        ok
+    } else {
+        println!(
+            "batched vs per-particle values: skipped ({steps} steps reaches the adaptive \
+             sort policy's min interval — sort schedules may legitimately diverge across \
+             cost models)"
+        );
+        true
+    };
+
+    // Direct-scatter counter-parity gate (within each batching mode).
     let mut baseline_results: Vec<ProbeResult> = Vec::new();
-    for &w in &worker_counts {
-        let run_policies: &[SchedulerPolicy] = if w == 1 { &policies[..1] } else { &policies };
-        for &policy in run_policies {
-            baseline_results.push(run_probe(
-                BASELINE_CELLS,
-                KernelConfig::Baseline,
-                w,
-                policy,
-                ppc.min(4),
-                2,
-            ));
+    for &batching in &batching_modes {
+        for &w in &worker_counts {
+            let run_policies: &[SchedulerPolicy] = if w == 1 { &policies[..1] } else { &policies };
+            for &policy in run_policies {
+                baseline_results.push(run_probe(
+                    BASELINE_CELLS,
+                    KernelConfig::Baseline,
+                    w,
+                    policy,
+                    batching,
+                    ppc.min(4),
+                    2,
+                ));
+            }
         }
     }
     let baseline_parity = check_parity("Baseline", &baseline_results);
     println!(
-        "baseline direct-scatter counter parity (workers {worker_counts:?} x {policy_labels:?}): {}",
+        "baseline direct-scatter counter parity (workers {worker_counts:?} x {policy_labels:?} x batching {mode_labels:?}): {}",
         if baseline_parity {
             "BIT-IDENTICAL"
         } else {
@@ -307,29 +462,51 @@ fn main() {
 
     let base = &results[0];
     let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
-    let s1 = base.host_ms_per_step;
-    let best_at = |w: usize| -> f64 {
+    let single_thread = |batching: bool| -> Option<&ProbeResult> {
         results
             .iter()
-            .filter(|r| r.workers == w)
+            .find(|r| r.workers == 1 && r.batching == batching)
+    };
+    let s1 = base.host_ms_per_step;
+    let best_at = |w: usize, batching: bool| -> f64 {
+        results
+            .iter()
+            .filter(|r| r.workers == w && r.batching == batching)
             .map(|r| r.host_ms_per_step)
             .fold(f64::INFINITY, f64::min)
     };
-    let s_max = best_at(max_workers);
+    let s_max = best_at(max_workers, base.batching);
     let speedup_max = s1 / s_max;
     let vs_pre_pr = PRE_PR_SEQUENTIAL_MS_PER_STEP / s1;
     println!(
-        "{max_workers}-worker speedup over {}-worker (this host, best policy): {speedup_max:.2}x",
-        base.workers
+        "{max_workers}-worker speedup over 1-worker (batching {}, best policy): {speedup_max:.2}x",
+        batching_label(base.batching)
     );
     println!(
-        "{}-worker speedup over pre-PR sequential baseline ({PRE_PR_SEQUENTIAL_MS_PER_STEP} ms/step): {vs_pre_pr:.2}x",
-        base.workers
+        "1-worker speedup over pre-PR sequential baseline ({PRE_PR_SEQUENTIAL_MS_PER_STEP} ms/step): {vs_pre_pr:.2}x"
     );
 
+    // The headline of the batching sweep: single-thread batched vs
+    // per-particle, host and emulated.
+    let mut batched_host_speedup = None;
+    let mut batched_emulated_speedup = None;
+    if let (Some(off), Some(on)) = (single_thread(false), single_thread(true)) {
+        let host = off.host_ms_per_step / on.host_ms_per_step;
+        let emulated = off.emulated_ms_per_step / on.emulated_ms_per_step;
+        println!(
+            "single-thread batched vs per-particle: host {host:.2}x, emulated {emulated:.2}x \
+             ({:.1} -> {:.1} host ms/step, {:.3} -> {:.3} emulated ms/step)",
+            off.host_ms_per_step,
+            on.host_ms_per_step,
+            off.emulated_ms_per_step,
+            on.emulated_ms_per_step
+        );
+        batched_host_speedup = Some(host);
+        batched_emulated_speedup = Some(emulated);
+    }
+
     // Dispatch-overhead saving of the persistent pool vs the per-phase
-    // spawn scheme it replaced (measured at the largest swept worker
-    // count; a 1-worker pool dispatches inline, nothing to save).
+    // spawn scheme it replaced.
     let overhead_workers = max_workers.max(2);
     let (spawn_us, pool_us) = measure_dispatch_overhead(overhead_workers);
     let saved_ms_per_step = (spawn_us - pool_us) * PHASE_DISPATCHES_PER_STEP / 1e3;
@@ -338,18 +515,13 @@ fn main() {
          => ~{saved_ms_per_step:.2} ms/step saved at {PHASE_DISPATCHES_PER_STEP} phase dispatches/step"
     );
 
-    // Serialization canary: assess the *largest measured worker count
-    // the host can actually run in parallel* (workers <= CPUs), so a
-    // 4-core host still checks its 4-worker run even when the sweep
-    // goes to 7. When no measured count fits (single-CPU CI), the
-    // canary is *skipped* outright — no warning, no noise — because
-    // thread-level speedup there is bounded by the host, not by the
-    // pipeline. On capable hosts it reports loudly (warn-only until
-    // calibrated on a multi-core runner) if the sharded phases look
-    // re-serialized.
+    // Serialization canary (unchanged from PR 4): skipped outright when
+    // the host cannot run any measured worker count in parallel.
     let canary = results
         .iter()
-        .filter(|r| r.workers > base.workers && r.workers <= host_cpus)
+        .filter(|r| {
+            r.batching == base.batching && r.workers > base.workers && r.workers <= host_cpus
+        })
         .max_by_key(|r| r.workers)
         .map(|r| r.workers);
     let scaling_ok = match canary {
@@ -360,7 +532,7 @@ fn main() {
             true
         }
         Some(w) => {
-            let speedup = s1 / best_at(w);
+            let speedup = s1 / best_at(w, base.batching);
             if speedup < 1.3 {
                 eprintln!(
                     "WARN: {host_cpus}-CPU host but {w}-worker speedup is only {speedup:.2}x (<1.3x): the tile pipeline may be serialized"
@@ -373,9 +545,37 @@ fn main() {
     };
     let canary_assessable = canary.is_some();
 
-    // BENCH_step.json: the tracked perf record for this step loop
-    // (default worker list + both policies only; auxiliary runs don't
-    // clobber it).
+    // Perf-regression gate against the committed record (only for the
+    // canonical invocation, which is about to overwrite it).
+    let mut gate_failed = false;
+    if write_bench {
+        match &committed {
+            None => println!("perf gate: no committed BENCH_step.json single-thread record — skipped"),
+            Some((cpus, _)) if *cpus != host_cpus => println!(
+                "perf gate: skipped (committed host_cpus {cpus} != current {host_cpus}; numbers not comparable)"
+            ),
+            Some((_, entries)) => {
+                for (mode, old_ms) in entries {
+                    let fresh = single_thread(mode == "on").map(|r| r.host_ms_per_step);
+                    let Some(fresh) = fresh else { continue };
+                    if fresh > old_ms * GATE_TOLERANCE {
+                        eprintln!(
+                            "FAIL [perf gate]: single-thread batching={mode} regressed >{:.0}%: {fresh:.1} ms/step vs committed {old_ms:.1}",
+                            (GATE_TOLERANCE - 1.0) * 100.0
+                        );
+                        gate_failed = true;
+                    } else {
+                        println!(
+                            "perf gate: single-thread batching={mode} ok ({fresh:.1} ms/step vs committed {old_ms:.1}, tolerance {:.0}%)",
+                            (GATE_TOLERANCE - 1.0) * 100.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // BENCH_step.json: the tracked perf record for this step loop.
     if write_bench {
         let mut json = String::new();
         json.push_str("{\n");
@@ -391,9 +591,10 @@ fn main() {
         json.push_str("  \"results\": [\n");
         for (i, r) in results.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"workers\": {}, \"scheduler\": \"{}\", \"host_ms_per_step\": {:.2}, \"emulated_ms_per_step\": {:.4}}}{}\n",
+                "    {{\"workers\": {}, \"scheduler\": \"{}\", \"batching\": \"{}\", \"host_ms_per_step\": {:.2}, \"emulated_ms_per_step\": {:.4}}}{}\n",
                 r.workers,
                 r.policy.label(),
+                batching_label(r.batching),
                 r.host_ms_per_step,
                 r.emulated_ms_per_step,
                 if i + 1 < results.len() { "," } else { "" }
@@ -403,12 +604,24 @@ fn main() {
         json.push_str(&format!(
             "  \"spawn_overhead\": {{\"workers\": {overhead_workers}, \"spawn_us_per_dispatch\": {spawn_us:.1}, \"pool_us_per_dispatch\": {pool_us:.1}, \"phase_dispatches_per_step\": {PHASE_DISPATCHES_PER_STEP}, \"est_saved_ms_per_step\": {saved_ms_per_step:.3}}},\n"
         ));
+        if let (Some(h), Some(e)) = (batched_host_speedup, batched_emulated_speedup) {
+            json.push_str(&format!(
+                "  \"speedup_batched_vs_per_particle_1w\": {{\"host\": {h:.3}, \"emulated\": {e:.3}}},\n"
+            ));
+        }
         json.push_str(&format!(
             "  \"speedup_{max_workers}_workers_vs_1\": {speedup_max:.3},\n  \"speedup_1_worker_vs_pre_pr\": {vs_pre_pr:.3},\n"
         ));
         json.push_str(&format!(
-            "  \"determinism\": \"{}\",\n  \"baseline_counter_parity\": \"{}\",\n  \"thread_scaling\": \"{}\"\n}}\n",
+            "  \"determinism\": \"{}\",\n  \"cross_mode_value_parity\": \"{}\",\n  \"baseline_counter_parity\": \"{}\",\n  \"perf_gate\": \"{}\",\n  \"thread_scaling\": \"{}\"\n}}\n",
             if deterministic {
+                "bit-identical"
+            } else {
+                "FAILED"
+            },
+            if !cross_mode_gate_sound(steps) {
+                "skipped-sort-schedule"
+            } else if cross_mode {
                 "bit-identical"
             } else {
                 "FAILED"
@@ -417,6 +630,13 @@ fn main() {
                 "bit-identical"
             } else {
                 "FAILED"
+            },
+            if gate_failed {
+                "FAILED"
+            } else if committed.as_ref().is_some_and(|(c, _)| *c == host_cpus) {
+                "ok"
+            } else {
+                "skipped"
             },
             if !canary_assessable {
                 "skipped-insufficient-cores"
@@ -432,10 +652,12 @@ fn main() {
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     } else {
-        println!("custom worker list / scheduler restriction: skipping BENCH_step.json write");
+        println!(
+            "custom worker list / scheduler / batching restriction: skipping BENCH_step.json write and perf gate"
+        );
     }
 
-    if !deterministic || !baseline_parity {
+    if !deterministic || !cross_mode || !baseline_parity || gate_failed {
         std::process::exit(1);
     }
 }

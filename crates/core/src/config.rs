@@ -51,6 +51,20 @@ pub struct SimConfig {
     /// load-imbalanced workloads (LWFA's mostly-empty tiles). Results
     /// are bit-identical for either policy.
     pub scheduler: SchedulerPolicy,
+    /// Selects the cell-run batched hot path: the gather loads each
+    /// cell's stencil node block once per same-cell particle run
+    /// (value-exact — gathers are read-only), and the deposition kernels
+    /// accumulate each run into a stack-resident stencil block applied
+    /// to the tile accumulator once per run. Requires a sorting strategy
+    /// that provides cell-grouped order; unsorted configurations fall
+    /// back to the per-particle reference sweep regardless of this flag.
+    /// `false` (the default) keeps the per-particle reference paths and
+    /// the paper-figure cost model exactly as before; the batched path
+    /// is bit-identical across worker counts and scheduler policies, and
+    /// its gather/push values are bit-identical to the reference
+    /// (deposit regroups FP adds within a tight ULP bound on the
+    /// direct-scatter kernel only).
+    pub batching: bool,
 }
 
 impl SimConfig {
@@ -73,6 +87,7 @@ impl SimConfig {
             seed: 0x5eed,
             num_workers: 1,
             scheduler: SchedulerPolicy::Static,
+            batching: false,
         }
     }
 }

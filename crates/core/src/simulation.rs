@@ -9,7 +9,10 @@ use mpic_particles::{
     Departure, ParticleContainer, ParticleTile, RankSortStats, INVALID_PARTICLE_ID,
 };
 use mpic_push::boris::{boris_push, charge_push, BorisCoeffs};
-use mpic_push::gather::{charge_gather, gather_fields_with_cell, GatherCost};
+use mpic_push::gather::{
+    charge_gather, charge_gather_run, gather_fields_with_cell, gather_from_block, load_node_block,
+    GatherCost, NodeBlock,
+};
 use mpic_push::PushScratch;
 use mpic_solver::{BoundaryKind, MaxwellSolver};
 use rand::rngs::StdRng;
@@ -206,6 +209,10 @@ impl Simulation {
     pub fn step(&mut self) -> StepTimings {
         let before = self.machine.counters().clone();
         self.sync_pool();
+        // The batching knob is read from cfg each step (probes retarget
+        // it between steps); the depositor ANDs it with its sorting
+        // strategy, so unsorted configurations keep the reference sweep.
+        self.depositor.set_batching(self.cfg.batching);
 
         // --- Gather + push + particle boundaries -----------------------
         self.push_particles();
@@ -296,12 +303,26 @@ impl Simulation {
     /// cold private cache, and counter deltas merge back in tile order —
     /// so positions, momenta and emulated cycles are bit-identical for
     /// any worker count or scheduler policy.
+    ///
+    /// With [`SimConfig::batching`] set (and a sorting strategy that
+    /// keeps the GPMA cell-accurate), each tile runs the cell-run
+    /// batched sweep instead: particles are visited in GPMA-sorted
+    /// order, each same-cell run loads its stencil node block once and
+    /// every particle interpolates from the cached block — bit-identical
+    /// E/B values (gathers are read-only), ~ppc x fewer modelled node
+    /// loads.
     fn push_particles(&mut self) {
         let order = self.cfg.shape;
         let nodes = order.nodes_3d();
         let absorbing = self.cfg.boundary == BoundaryKind::AbsorbingZ;
         let zlo = self.geom.lo[2];
         let zhi = self.geom.hi()[2];
+        // The GPMA bins are position-accurate at push time only when a
+        // sorting strategy maintains them for kernel consumption; the
+        // unsorted baseline keeps the per-particle reference sweep
+        // (whose sampled address stream is the paper's unsorted-gather
+        // cost signal) regardless of the knob.
+        let batched = self.cfg.batching && self.depositor.strategy().provides_sorted_order();
         let workers = self.pool.workers();
         if self.push_scratch.len() < workers {
             self.push_scratch.resize_with(workers, PushScratch::default);
@@ -315,20 +336,36 @@ impl Simulation {
             &mut self.electrons.tiles,
             &mut self.push_scratch,
             |wm, _t, tile, scratch| {
-                push_tile(
-                    wm,
-                    geom,
-                    order,
-                    nodes,
-                    fields,
-                    &field_addrs,
-                    &boris,
-                    absorbing,
-                    zlo,
-                    zhi,
-                    tile,
-                    scratch,
-                );
+                if batched {
+                    push_tile_batched(
+                        wm,
+                        geom,
+                        order,
+                        fields,
+                        &field_addrs,
+                        &boris,
+                        absorbing,
+                        zlo,
+                        zhi,
+                        tile,
+                        scratch,
+                    );
+                } else {
+                    push_tile(
+                        wm,
+                        geom,
+                        order,
+                        nodes,
+                        fields,
+                        &field_addrs,
+                        &boris,
+                        absorbing,
+                        zlo,
+                        zhi,
+                        tile,
+                        scratch,
+                    );
+                }
             },
         );
         // Deterministic fixed-order counter merge (tile order).
@@ -568,6 +605,114 @@ fn push_tile(
         field_addrs,
         &scratch.sample_idx,
     );
+    charge_push(wm, scratch.live.len());
+}
+
+/// The cell-run batched variant of [`push_tile`]: particles are visited
+/// in GPMA-sorted order (the grouping heuristic — same-bin particles
+/// are adjacent), each same-cell run loads its stencil node block once,
+/// and every particle of the run interpolates from the cached block.
+///
+/// Run boundaries come from each particle's **actual located cell**,
+/// not from its GPMA bin: the moving-window shift translates positions
+/// after the last maintenance pass, so bins can be one cell stale at
+/// push time — the located cell never is, and it is computed anyway for
+/// the interpolation weights. A uniformly stale order still groups
+/// perfectly, so the amortisation is unaffected.
+///
+/// Value-exact versus the per-particle gather — same node values, same
+/// weights, same accumulation order (gathers are read-only, so the
+/// cached block cannot go stale within a run) — while the cost model
+/// charges one run-scoped block gather per field array instead of a
+/// per-particle node sweep. Still a pure function of the tile: the
+/// iteration order, removals (queued in GPMA order rather than raw slot
+/// order) and all charges depend only on tile state, so worker-count
+/// and scheduler bit-identity hold exactly as for the reference path.
+#[allow(clippy::too_many_arguments)]
+fn push_tile_batched(
+    wm: &mut Machine,
+    geom: &GridGeometry,
+    order: ShapeOrder,
+    fields: &FieldArrays,
+    field_addrs: &[VAddr; 6],
+    boris: &BorisCoeffs,
+    absorbing: bool,
+    zlo: f64,
+    zhi: f64,
+    tile: &mut ParticleTile,
+    scratch: &mut PushScratch,
+) {
+    scratch.clear();
+    scratch.live.extend(tile.gpma.iter_sorted().map(|(_, p)| p));
+    if scratch.live.is_empty() {
+        return;
+    }
+    wm.mem().flush_cache();
+    let mut block = NodeBlock::new();
+    // No cell has this value after wrapping, so the first particle
+    // always opens a run.
+    let mut run_cell = [usize::MAX; 3];
+    let mut run_len = 0usize;
+    for &p in &scratch.live {
+        let (mut x, mut y, mut z) = (tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
+        let (located, frac) = geom.locate(x, y, z);
+        let cell = geom.wrap_cell(located);
+        if cell != run_cell {
+            // Close the previous run's charge, then cache the new
+            // cell's stencil block (indices + six field node sets).
+            if run_len > 0 {
+                charge_gather_run(
+                    wm,
+                    GatherCost::default(),
+                    run_len,
+                    field_addrs,
+                    &block.idx[..block.nodes],
+                );
+            }
+            load_node_block(geom, order, fields, cell, &mut block);
+            run_cell = cell;
+            run_len = 0;
+        }
+        run_len += 1;
+        let (e, b) = gather_from_block(order, &block, frac);
+        let (mut ux, mut uy, mut uz) = (tile.soa.ux[p], tile.soa.uy[p], tile.soa.uz[p]);
+        boris_push(
+            boris, e, b, &mut ux, &mut uy, &mut uz, &mut x, &mut y, &mut z,
+        );
+        let wrapped = geom.wrap_position([x, y, z]);
+        x = wrapped[0];
+        y = wrapped[1];
+        if absorbing {
+            if z < zlo || z >= zhi {
+                scratch.removals.push((p, tile.cells[p]));
+            }
+        } else {
+            z = wrapped[2];
+        }
+        tile.soa.x[p] = x;
+        tile.soa.y[p] = y;
+        tile.soa.z[p] = z;
+        tile.soa.ux[p] = ux;
+        tile.soa.uy[p] = uy;
+        tile.soa.uz[p] = uz;
+    }
+    if run_len > 0 {
+        charge_gather_run(
+            wm,
+            GatherCost::default(),
+            run_len,
+            field_addrs,
+            &block.idx[..block.nodes],
+        );
+    }
+    for &(p, bin) in &scratch.removals {
+        tile.gpma.queue_remove(p, bin);
+        tile.cells[p] = INVALID_PARTICLE_ID;
+        tile.soa.remove(p);
+    }
+    if !scratch.removals.is_empty() {
+        tile.gpma.apply_pending_moves(&tile.cells);
+    }
     charge_push(wm, scratch.live.len());
 }
 

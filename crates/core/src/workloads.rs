@@ -132,6 +132,7 @@ pub fn uniform_plasma_config(
         seed,
         num_workers: 1,
         scheduler: mpic_machine::SchedulerPolicy::Static,
+        batching: false,
     }
 }
 
@@ -183,6 +184,7 @@ pub fn lwfa_config(
         seed,
         num_workers: 1,
         scheduler: mpic_machine::SchedulerPolicy::Static,
+        batching: false,
     }
 }
 

@@ -55,6 +55,13 @@ pub struct TileCtx<'a> {
     pub order: ShapeOrder,
     /// Staging scratch base address.
     pub staging_addr: VAddr,
+    /// Whether the kernel should take its cell-run batched path:
+    /// accumulate each same-cell particle run into a stack-resident
+    /// stencil block and touch the tile accumulator once per run. Only
+    /// set when the sorting strategy guarantees cell-grouped staging
+    /// order (unsorted input falls back to the per-particle reference
+    /// sweep — run batching cannot amortise length-1 runs).
+    pub batched: bool,
 }
 
 /// A current-deposition kernel variant.
@@ -117,6 +124,9 @@ pub struct Depositor {
     addrs: Option<AddrMap>,
     rhocells: Vec<Rhocell>,
     order: ShapeOrder,
+    /// Whether kernels run their cell-run batched hot path (see
+    /// [`Depositor::set_batching`]).
+    batching: bool,
     /// Per-worker reusable tile buffers (index = worker id).
     scratch: Vec<TileScratch>,
     /// Per-tile sparse outputs of direct-scatter kernels (index = tile).
@@ -136,6 +146,7 @@ impl Depositor {
             addrs: None,
             rhocells: Vec::new(),
             order,
+            batching: false,
             scratch: Vec::new(),
             tile_currents: Vec::new(),
         }
@@ -144,6 +155,22 @@ impl Depositor {
     /// Kernel configuration name.
     pub fn name(&self) -> &'static str {
         self.kernel.name()
+    }
+
+    /// Selects the cell-run batched kernel paths (`SimConfig::batching`).
+    ///
+    /// Batching only engages when the sorting strategy provides
+    /// cell-grouped iteration order; with an unsorted strategy the
+    /// per-particle reference sweep runs regardless of this flag, so
+    /// enabling batching on an unsorted configuration is a no-op rather
+    /// than a correctness hazard.
+    pub fn set_batching(&mut self, batching: bool) {
+        self.batching = batching;
+    }
+
+    /// Whether the batched kernel paths are selected.
+    pub fn batching(&self) -> bool {
+        self.batching
     }
 
     /// Shape order in use.
@@ -333,6 +360,9 @@ impl Depositor {
         fields.clear_currents();
         let addrs = self.addrs.as_ref().expect("prepare() not called");
         let sorted = self.strategy.provides_sorted_order();
+        // Unsorted-input fallback: run batching needs cell-grouped
+        // staging order, so the knob only engages on sorted strategies.
+        let batched = self.batching && sorted;
         let j_addr = [addrs.jx, addrs.jy, addrs.jz];
         let n_tiles = container.tiles.len();
         let workers = exec.workers().clamp(1, n_tiles.max(1));
@@ -349,8 +379,8 @@ impl Depositor {
                 &mut self.scratch,
                 |wm, t, rho, scratch| {
                     deposit_tile_worker(
-                        wm, kernel, order, sorted, geom, layout, container, addrs, j_addr, t, rho,
-                        scratch,
+                        wm, kernel, order, sorted, batched, geom, layout, container, addrs, j_addr,
+                        t, rho, scratch,
                     );
                 },
             );
@@ -384,8 +414,8 @@ impl Depositor {
                 &mut self.scratch,
                 |wm, t, tj, scratch| {
                     scatter_tile_worker(
-                        wm, kernel, order, sorted, geom, layout, container, addrs, j_addr, t, tj,
-                        scratch,
+                        wm, kernel, order, sorted, batched, geom, layout, container, addrs, j_addr,
+                        t, tj, scratch,
                     );
                 },
             );
@@ -449,6 +479,7 @@ fn deposit_tile_worker(
     kernel: &dyn DepositionKernel,
     order: ShapeOrder,
     sorted: bool,
+    batched: bool,
     geom: &GridGeometry,
     layout: &TileLayout,
     container: &ParticleContainer,
@@ -471,6 +502,7 @@ fn deposit_tile_worker(
         tile,
         order,
         staging_addr: addrs.staging,
+        batched,
     };
     rho.clear();
     {
@@ -496,6 +528,7 @@ fn scatter_tile_worker(
     kernel: &dyn DepositionKernel,
     order: ShapeOrder,
     sorted: bool,
+    batched: bool,
     geom: &GridGeometry,
     layout: &TileLayout,
     container: &ParticleContainer,
@@ -519,6 +552,7 @@ fn scatter_tile_worker(
         tile,
         order,
         staging_addr: addrs.staging,
+        batched,
     };
     let dims = geom.dims_with_guard();
     // Disjoint field borrows: the kernel reads `staging` while writing

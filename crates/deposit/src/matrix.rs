@@ -33,6 +33,7 @@
 //! the ablation study (Figure 10).
 
 use mpic_machine::{Machine, Phase, TileId, VReg};
+use mpic_particles::cell_runs;
 
 use crate::common::{PrepStyle, Staging};
 use crate::kernel::{DepositionKernel, TileCtx, TileOutput};
@@ -88,27 +89,25 @@ impl DepositionKernel for MatrixKernel {
             panic!("matrix kernel requires a rhocell output");
         };
         m.in_phase(Phase::Compute, |m| {
-            // Process runs of identical cell id (sorted input => one run
-            // per occupied cell; unsorted input => short runs).
-            let mut run_start = 0;
-            while run_start < st.n {
-                let cell = st.cell_local[run_start];
-                let mut run_end = run_start + 1;
-                while run_end < st.n && st.cell_local[run_end] == cell {
-                    run_end += 1;
-                }
+            // Process maximal runs of identical cell id via the shared
+            // run iterator (sorted input => one run per occupied cell;
+            // unsorted input => short runs). MPU tile registers stay
+            // resident across a run and are extracted once per run — the
+            // kernel was run-batched by design; `cell_runs` makes its
+            // run boundaries the same ones the rest of the batched hot
+            // path uses.
+            for run in cell_runs(&st.cell_local[..st.n]) {
                 match ctx.order {
                     ShapeOrder::Cic => {
-                        deposit_run_cic(m, ctx, st, run_start, run_end, cell, *rho_addr, rho);
+                        deposit_run_cic(m, ctx, st, run.start, run.end, run.cell, *rho_addr, rho);
                     }
                     ShapeOrder::Qsp => {
-                        deposit_run_qsp(m, ctx, st, run_start, run_end, cell, *rho_addr, rho);
+                        deposit_run_qsp(m, ctx, st, run.start, run.end, run.cell, *rho_addr, rho);
                     }
                     ShapeOrder::Tsc => {
-                        deposit_run_tsc(m, ctx, st, run_start, run_end, cell, *rho_addr, rho);
+                        deposit_run_tsc(m, ctx, st, run.start, run.end, run.cell, *rho_addr, rho);
                     }
                 }
-                run_start = run_end;
             }
         });
     }

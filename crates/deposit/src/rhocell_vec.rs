@@ -16,11 +16,13 @@
 //! iteration the rhocell working set stays cache-resident, which is the
 //! paper's `Rhocell+IncrSort` observation.
 
-use mpic_machine::{Machine, Phase, VReg, VLANES};
+use mpic_machine::{Machine, Phase, VAddr, VReg, VLANES};
+use mpic_particles::cell_runs;
 
 use crate::common::{PrepStyle, Staging};
 use crate::kernel::{DepositionKernel, TileCtx, TileOutput};
-use crate::shape::MAX_SUPPORT;
+use crate::rhocell::Rhocell;
+use crate::shape::{MAX_NODES_3D, MAX_SUPPORT};
 
 /// VPU rhocell kernel (auto-vectorised or hand-tuned).
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +58,10 @@ impl DepositionKernel for RhocellKernel {
             panic!("rhocell kernel requires a rhocell output");
         };
         let _ = ctx.staging_addr;
+        if ctx.batched {
+            deposit_tile_batched(m, ctx, st, *rho_addr, rho, self.hand_tuned);
+            return;
+        }
         let s = ctx.order.support();
         let nodes = ctx.order.nodes_3d();
         m.in_phase(Phase::Compute, |m| {
@@ -120,6 +126,87 @@ impl DepositionKernel for RhocellKernel {
             m.use_intrinsics_model();
         });
     }
+}
+
+/// The cell-run batched rhocell sweep: each same-cell run accumulates
+/// into a stack-resident stencil block (per-particle adds in particle
+/// order, products identical to the per-particle kernel's lane
+/// arithmetic) and the block is folded into the tile rhocell **once per
+/// run** — one load/add/store pass per cell instead of one per particle.
+/// Because a sorted tile has exactly one run per occupied cell and the
+/// rhocell slice starts at +0.0, regrouping through the block reproduces
+/// the per-particle accumulation bit for bit (the `batched_*`
+/// equivalence tests pin this).
+fn deposit_tile_batched(
+    m: &mut Machine,
+    ctx: &TileCtx,
+    st: &Staging,
+    rho_addr: VAddr,
+    rho: &mut Rhocell,
+    hand_tuned: bool,
+) {
+    let s = ctx.order.support();
+    let nodes = ctx.order.nodes_3d();
+    m.in_phase(Phase::Compute, |m| {
+        if !hand_tuned {
+            m.use_autovec_model();
+        }
+        let mut block = [[0.0f64; MAX_NODES_3D]; 3];
+        for run in cell_runs(&st.cell_local[..st.n]) {
+            let cell = run.cell;
+            for comp in block.iter_mut() {
+                comp[..nodes].fill(0.0);
+            }
+            for p in run.range() {
+                m.v_issue(2); // Staged term loads (cache-blocked).
+
+                // The s*s x-y products, as in the per-particle kernel.
+                let mut sxy = [0.0; MAX_SUPPORT * MAX_SUPPORT];
+                for b in 0..s {
+                    for a in 0..s {
+                        sxy[b * s + a] = st.s(0, a, p) * st.s(1, b, p);
+                    }
+                }
+                m.v_ops((s * s).div_ceil(VLANES).max(1));
+                m.v_issue(3); // The three wq broadcasts (no FLOPs).
+
+                let wq = [st.wq[0][p], st.wq[1][p], st.wq[2][p]];
+                let mut node = 0;
+                while node < nodes {
+                    let w = (nodes - node).min(VLANES);
+                    m.v_ops(1); // Fold sz into the chunk.
+                    for comp in 0..3 {
+                        m.v_ops(1); // Effective-current multiply.
+                        m.v_issue(1); // Block accumulate (L1-resident).
+                        for l in 0..w {
+                            let nd = node + l;
+                            let ab = nd % (s * s);
+                            let c = nd / (s * s);
+                            let sval = sxy[ab] * st.s(2, c, p);
+                            block[comp][nd] += sval * wq[comp];
+                        }
+                    }
+                    node += w;
+                }
+            }
+            // One load/add/store pass over the cell's rhocell slice per
+            // run — the per-particle path pays this per particle.
+            for comp in 0..3 {
+                let mut node = 0;
+                while node < nodes {
+                    let w = (nodes - node).min(VLANES);
+                    let base = rho.index(comp, cell, node);
+                    let addr = rho_addr.offset_f64(base);
+                    let cur = m.v_load(addr, &rho.cell_slice(comp, cell)[node..node + w]);
+                    let sum = m.v_add(cur, VReg::from_slice(&block[comp][node..node + w]));
+                    let slice = rho.cell_slice_mut(comp, cell);
+                    m.v_store(addr, sum, &mut slice[node..node + w], w);
+                    node += w;
+                }
+            }
+        }
+        m.use_intrinsics_model();
+    });
 }
 
 #[cfg(test)]
@@ -208,6 +295,7 @@ mod tests {
                 tile,
                 order: ShapeOrder::Cic,
                 staging_addr: staging,
+                batched: false,
             };
             let mut out = TileOutput::Rho {
                 rho_addr,

@@ -11,6 +11,10 @@
 /// Maximum support points of any implemented order.
 pub const MAX_SUPPORT: usize = 4;
 
+/// Maximum 3-D stencil nodes of any implemented order (QSP: 4^3), sizing
+/// the stack-resident run blocks of the batched kernels.
+pub const MAX_NODES_3D: usize = MAX_SUPPORT * MAX_SUPPORT * MAX_SUPPORT;
+
 /// Interpolation order of the deposition/gather shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShapeOrder {

@@ -84,6 +84,143 @@ fn check_config(cfg: KernelConfig, order: ShapeOrder, n_particles: usize) {
     );
 }
 
+/// Runs a configuration twice — per-particle reference path and the
+/// cell-run batched path — and returns the two current sets plus the
+/// per-run deposition cycle totals. Both runs must match the scalar
+/// reference to accumulation accuracy; how tightly batched must match
+/// per-particle is the caller's claim (bitwise for rhocell/matrix,
+/// tight-ULP for the regrouped direct scatter).
+fn run_both_paths(
+    cfg: KernelConfig,
+    order: ShapeOrder,
+    n_particles: usize,
+) -> ([FieldArrays; 2], [f64; 2]) {
+    let geom = GridGeometry::new([8, 8, 8], [0.0; 3], [0.5e-6; 3], 2);
+    let layout = TileLayout::new(&geom, [4, 4, 4]);
+    let reference = {
+        let container = random_container(&geom, &layout, n_particles, 42);
+        reference_deposit(&geom, order, &container)
+    };
+    let mut out: Vec<FieldArrays> = Vec::new();
+    let mut cycles = [0.0; 2];
+    for (slot, batching) in [false, true].into_iter().enumerate() {
+        let mut container = random_container(&geom, &layout, n_particles, 42);
+        let mut m = Machine::new(MachineConfig::lx2());
+        let mut fields = FieldArrays::new(&geom);
+        let mut dep = cfg.build(order);
+        dep.set_batching(batching);
+        assert_eq!(dep.batching(), batching);
+        dep.prepare(&mut m, &geom, &layout, &mut container);
+        dep.sort_step(&mut m, &geom, &layout, &mut container, false);
+        dep.deposit_step(&mut m, &geom, &layout, &container, &mut fields);
+        for (name, got, want) in [
+            ("jx", &fields.jx, &reference.0),
+            ("jy", &fields.jy, &reference.1),
+            ("jz", &fields.jz, &reference.2),
+        ] {
+            let err = max_rel_err(got, want);
+            assert!(
+                err < 1e-12,
+                "{} {order:?} batching={batching} {name}: max rel err {err}",
+                cfg.label(),
+            );
+        }
+        cycles[slot] = m.counters().deposition_cycles();
+        out.push(fields);
+    }
+    let b = out.pop().unwrap();
+    let a = out.pop().unwrap();
+    ([a, b], cycles)
+}
+
+fn assert_currents_bitwise_equal(a: &FieldArrays, b: &FieldArrays, what: &str) {
+    for (name, x, y) in [
+        ("jx", &a.jx, &b.jx),
+        ("jy", &a.jy, &b.jy),
+        ("jz", &a.jz, &b.jz),
+    ] {
+        let same = x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .all(|(u, v)| u.to_bits() == v.to_bits());
+        assert!(same, "{what}: {name} diverged bitwise");
+    }
+}
+
+#[test]
+fn batched_rhocell_is_bit_identical_to_per_particle() {
+    // The batched rhocell regroups through a block that starts at +0.0,
+    // exactly like the rhocell slice it folds into: the accumulation
+    // chain per node is the same sequence, so the result is bitwise
+    // equal, not merely close.
+    for order in [ShapeOrder::Cic, ShapeOrder::Tsc, ShapeOrder::Qsp] {
+        let ([a, b], _) = run_both_paths(KernelConfig::RhocellIncrSortVpu, order, 200);
+        assert_currents_bitwise_equal(&a, &b, "rhocell VPU");
+    }
+    let ([a, b], _) = run_both_paths(KernelConfig::RhocellIncrSort, ShapeOrder::Cic, 200);
+    assert_currents_bitwise_equal(&a, &b, "rhocell autovec");
+}
+
+#[test]
+fn batched_fullopt_is_bit_identical_to_per_particle() {
+    // The matrix kernel is run-batched by construction (MPU tiles stay
+    // resident per run), so the batching knob changes nothing in its
+    // values — a cross-check that the knob threads through cleanly.
+    let ([a, b], _) = run_both_paths(KernelConfig::FullOpt, ShapeOrder::Cic, 200);
+    assert_currents_bitwise_equal(&a, &b, "FullOpt");
+}
+
+#[test]
+fn batched_baseline_matches_within_ulp_and_charges_less() {
+    // The direct-scatter batched path regroups cross-run adds to shared
+    // stencil nodes (run subtotals instead of interleaved particles):
+    // values agree to a tight ULP bound — enforced against the scalar
+    // reference inside run_both_paths — and the batched sweep must
+    // charge fewer deposition cycles (one address computation and one
+    // scatter pass per run instead of per particle). 4000 particles in
+    // 512 cells give ~8-particle runs, the regime batching targets;
+    // near-empty cells (runs of length 1) are covered by the
+    // empty-tile/single-run test, where batching is a wash by design.
+    let (_, cycles) = run_both_paths(KernelConfig::BaselineIncrSort, ShapeOrder::Cic, 4000);
+    assert!(
+        cycles[1] < cycles[0],
+        "batched direct scatter ({}) must undercut per-particle ({})",
+        cycles[1],
+        cycles[0]
+    );
+}
+
+#[test]
+fn batched_kernels_handle_empty_tiles_and_single_particle_runs() {
+    // Five particles over sixteen tiles: most tiles empty, every run of
+    // length one — the degenerate regime must stay exact.
+    for cfg in [
+        KernelConfig::FullOpt,
+        KernelConfig::RhocellIncrSortVpu,
+        KernelConfig::BaselineIncrSort,
+    ] {
+        let _ = run_both_paths(cfg, ShapeOrder::Cic, 5);
+    }
+}
+
+#[test]
+fn batching_on_unsorted_strategy_falls_back_to_reference_path() {
+    // SortStrategy::None provides no cell-grouped order, so the batching
+    // knob must be a no-op: identical currents AND identical deposition
+    // cycles (the same per-particle sweep executed either way).
+    let ([a, b], cycles) = run_both_paths(KernelConfig::HybridNoSort, ShapeOrder::Cic, 200);
+    assert_currents_bitwise_equal(&a, &b, "HybridNoSort fallback");
+    assert_eq!(
+        cycles[0].to_bits(),
+        cycles[1].to_bits(),
+        "fallback must execute the identical per-particle sweep"
+    );
+    let ([a, b], cycles) = run_both_paths(KernelConfig::Rhocell, ShapeOrder::Cic, 200);
+    assert_currents_bitwise_equal(&a, &b, "Rhocell-noSort fallback");
+    assert_eq!(cycles[0].to_bits(), cycles[1].to_bits());
+}
+
 #[test]
 fn baseline_matches_reference_cic() {
     check_config(KernelConfig::Baseline, ShapeOrder::Cic, 200);

@@ -58,6 +58,9 @@ impl CacheStats {
     }
 }
 
+/// Sentinel slot marking the last-line memo as invalid.
+const MEMO_NONE: usize = usize::MAX;
+
 /// One set-associative level, tag-only with true LRU.
 #[derive(Debug, Clone)]
 struct CacheLevel {
@@ -70,6 +73,19 @@ struct CacheLevel {
     stamps: Vec<u64>,
     clock: u64,
     stats: CacheStats,
+    /// Last accessed line (fast-path key of the memo below).
+    memo_line: u64,
+    /// Tag slot (`set * ways + way`) holding `memo_line`, or
+    /// [`MEMO_NONE`]. A repeat access to the line last touched is a
+    /// guaranteed hit in *this* level (the previous access left the line
+    /// resident, and nothing can evict it without another access in
+    /// between), so the fast path skips the tag search and performs
+    /// exactly the slow path's side effects: clock tick, LRU stamp
+    /// refresh, hit count. Counters and future behaviour are
+    /// bit-identical to the memo-less walk by construction.
+    memo_slot: usize,
+    /// Disables the fast path (test hook proving the bit-identity claim).
+    memo_enabled: bool,
 }
 
 impl CacheLevel {
@@ -86,6 +102,9 @@ impl CacheLevel {
             stamps: vec![0; sets * cfg.ways],
             clock: 0,
             stats: CacheStats::default(),
+            memo_line: u64::MAX,
+            memo_slot: MEMO_NONE,
+            memo_enabled: true,
         }
     }
 
@@ -94,6 +113,15 @@ impl CacheLevel {
     fn access(&mut self, addr: u64) -> bool {
         self.clock += 1;
         let line = addr >> self.line_shift;
+        // Last-line memo: hot kernels touch the same line many times in a
+        // row (stencil node sweeps, staged attribute streams); the repeat
+        // is a guaranteed hit whose only effects are the ones applied
+        // here, so the way search is skipped entirely.
+        if self.memo_enabled && self.memo_slot != MEMO_NONE && line == self.memo_line {
+            self.stamps[self.memo_slot] = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
         let set = (line & self.set_mask) as usize;
         let base = set * self.cfg.ways;
         let ways = &mut self.tags[base..base + self.cfg.ways];
@@ -101,6 +129,8 @@ impl CacheLevel {
         if let Some(w) = ways.iter().position(|&t| t == line) {
             self.stamps[base + w] = self.clock;
             self.stats.hits += 1;
+            self.memo_line = line;
+            self.memo_slot = base + w;
             return true;
         }
         self.stats.misses += 1;
@@ -121,12 +151,16 @@ impl CacheLevel {
         };
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.clock;
+        self.memo_line = line;
+        self.memo_slot = base + victim;
         false
     }
 
     fn flush(&mut self) {
         self.tags.fill(u64::MAX);
         self.stamps.fill(0);
+        self.memo_line = u64::MAX;
+        self.memo_slot = MEMO_NONE;
     }
 }
 
@@ -277,6 +311,17 @@ impl CacheSim {
         )
     }
 
+    /// Enables or disables the last-line memo fast path of both levels.
+    ///
+    /// The memo is purely a host-speed shortcut — counters, latencies and
+    /// all future behaviour are bit-identical either way (the property
+    /// the `memo_*` tests pin); this hook exists so tests can run the
+    /// memo-less reference walk.
+    pub fn set_line_memo(&mut self, enabled: bool) {
+        self.l1.memo_enabled = enabled;
+        self.l2.memo_enabled = enabled;
+    }
+
     /// Adds externally accumulated statistics (a worker's) into this
     /// hierarchy's totals without touching behavioural state.
     pub fn absorb_stats(&mut self, l1: &CacheStats, l2: &CacheStats, streamed: u64, random: u64) {
@@ -408,5 +453,46 @@ mod tests {
     fn zero_byte_access_is_free() {
         let mut c = small_sim();
         assert_eq!(c.access(0, 0), 0.0);
+    }
+
+    /// Replays a pseudo-random access stream (heavy on consecutive
+    /// same-line repeats, the memo's fast path) with the memo on and
+    /// off: latencies, statistics and subsequent behaviour must be
+    /// bit-identical — the memo is an accelerator, not a model change.
+    #[test]
+    fn line_memo_is_bit_identical_to_slow_path() {
+        let mut fast = small_sim();
+        let mut slow = small_sim();
+        slow.set_line_memo(false);
+        let mut state = 0x9e37_79b9_u64;
+        let mut addr = 0u64;
+        for i in 0..10_000u64 {
+            // ~2/3 of accesses repeat the previous line; the rest jump.
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(i);
+            if state % 3 == 0 {
+                addr = (state >> 16) % 4096 * 8;
+            }
+            let (a, b) = (fast.access(addr, 8), slow.access(addr, 8));
+            assert_eq!(a.to_bits(), b.to_bits(), "latency diverged at access {i}");
+        }
+        let (f1, f2) = (fast.l1_stats(), fast.l2_stats());
+        let (s1, s2) = (slow.l1_stats(), slow.l2_stats());
+        assert_eq!((f1.hits, f1.misses), (s1.hits, s1.misses));
+        assert_eq!((f2.hits, f2.misses), (s2.hits, s2.misses));
+        assert_eq!(fast.streamed_misses, slow.streamed_misses);
+        assert_eq!(fast.random_misses, slow.random_misses);
+    }
+
+    #[test]
+    fn line_memo_survives_flush_correctly() {
+        let mut c = small_sim();
+        c.access(0, 8);
+        assert_eq!(c.access(0, 8), 1.0, "memo repeat is an L1 hit");
+        c.flush();
+        // The memo must be invalidated with the tags: post-flush the line
+        // is a cold miss again.
+        assert_eq!(c.access(0, 8), 100.0);
     }
 }

@@ -13,9 +13,11 @@
 //!   phase dispatch costs a mutex/condvar wake instead of thread spawns;
 //! * [`SchedulerPolicy`] selects how items are claimed: [`Static`]
 //!   reproduces the contiguous [`shard_bounds`] chunks, [`Stealing`]
-//!   lets workers claim items one at a time from a shared atomic cursor
-//!   — the right scheme for load-imbalanced LWFA tiles where one hot
-//!   tile would otherwise serialise its whole static chunk.
+//!   lets workers claim batches of K items from a shared atomic cursor
+//!   (K auto-sized from items and workers, overridable via
+//!   [`Exec::with_steal_chunk`]) — the right scheme for load-imbalanced
+//!   LWFA tiles where one hot tile would otherwise serialise its whole
+//!   static chunk.
 //!
 //! # Determinism
 //!
@@ -67,9 +69,11 @@ pub enum SchedulerPolicy {
     /// claim overhead, best for uniform per-item cost.
     #[default]
     Static,
-    /// Workers claim items one at a time from a shared atomic cursor —
+    /// Workers claim batches of items from a shared atomic cursor —
     /// work-stealing-style load balancing for skewed per-item cost
-    /// (e.g. LWFA particle tiles: mostly empty, a few hot).
+    /// (e.g. LWFA particle tiles: mostly empty, a few hot). The batch
+    /// size is auto-derived from items and workers; callers can pin it
+    /// with [`Exec::with_steal_chunk`].
     Stealing,
 }
 
@@ -197,7 +201,7 @@ impl WorkerPool {
     /// Binds this pool to a scheduling policy, yielding the lightweight
     /// [`Exec`] handle the sharded phases take.
     pub fn exec(&self, policy: SchedulerPolicy) -> Exec<'_> {
-        Exec { pool: self, policy }
+        Exec::new(self, policy)
     }
 
     /// Runs `f(worker_id)` once on every worker (ids `0..workers()`,
@@ -355,6 +359,23 @@ impl<'a, T> DisjointSlice<'a, T> {
     }
 }
 
+/// Target number of cursor claims per worker when the stealing chunk
+/// size is auto-derived: large enough to amortise cursor contention,
+/// small enough that a straggler chunk cannot serialise the tail.
+const STEAL_CLAIMS_PER_WORKER: usize = 4;
+
+/// Items claimed per [`SchedulerPolicy::Stealing`] cursor fetch:
+/// `override_k` when the caller pinned one, else auto-sized so each
+/// worker makes about [`STEAL_CLAIMS_PER_WORKER`] claims. Always at
+/// least 1; small item counts (tiles) degrade gracefully to the
+/// one-at-a-time claims of the original scheduler.
+fn steal_chunk(len: usize, workers: usize, override_k: Option<usize>) -> usize {
+    match override_k {
+        Some(k) => k.max(1),
+        None => (len / (workers * STEAL_CLAIMS_PER_WORKER).max(1)).max(1),
+    }
+}
+
 /// A pool bound to a scheduling policy: the handle every sharded phase
 /// receives. `Copy`, so it threads through call stacks like a plain
 /// configuration value.
@@ -362,12 +383,29 @@ impl<'a, T> DisjointSlice<'a, T> {
 pub struct Exec<'a> {
     pool: &'a WorkerPool,
     policy: SchedulerPolicy,
+    /// Explicit stealing chunk size; `None` auto-sizes from items and
+    /// workers (see [`steal_chunk`]).
+    steal_chunk: Option<usize>,
 }
 
 impl<'a> Exec<'a> {
     /// Builds a handle (equivalent to [`WorkerPool::exec`]).
     pub fn new(pool: &'a WorkerPool, policy: SchedulerPolicy) -> Self {
-        Self { pool, policy }
+        Self {
+            pool,
+            policy,
+            steal_chunk: None,
+        }
+    }
+
+    /// Overrides the stealing scheduler's claim-batch size (clamped to at
+    /// least 1). No effect under [`SchedulerPolicy::Static`]; results are
+    /// bit-identical for any value — the chunk size only changes which
+    /// worker runs which items, never what an item computes or how
+    /// results merge.
+    pub fn with_steal_chunk(mut self, k: usize) -> Self {
+        self.steal_chunk = Some(k.max(1));
+        self
     }
 
     /// The underlying pool.
@@ -417,14 +455,21 @@ impl<'a> Exec<'a> {
                 });
             }
             SchedulerPolicy::Stealing => {
+                // Chunked claims: one fetch_add hands out a batch of K
+                // consecutive indices, cutting cursor contention K-fold
+                // while the batch bound keeps the load balancing.
+                let k = steal_chunk(len, workers, self.steal_chunk);
                 let cursor = AtomicUsize::new(0);
                 self.pool.broadcast(&|_w| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= len {
+                    let lo = cursor.fetch_add(k, Ordering::Relaxed);
+                    if lo >= len {
                         break;
                     }
-                    // SAFETY: fetch_add hands each index to one worker.
-                    f(i, unsafe { slots.get(i) });
+                    for i in lo..(lo + k).min(len) {
+                        // SAFETY: fetch_add hands each chunk (and thus
+                        // each index) to exactly one worker.
+                        f(i, unsafe { slots.get(i) });
+                    }
                 });
             }
         }
@@ -512,6 +557,7 @@ impl<'a> Exec<'a> {
                 });
             }
             SchedulerPolicy::Stealing => {
+                let k = steal_chunk(len, workers, self.steal_chunk);
                 let cursor = AtomicUsize::new(0);
                 self.pool.broadcast(&|w| {
                     if w >= workers {
@@ -523,12 +569,14 @@ impl<'a> Exec<'a> {
                     // SAFETY: one scratch slot per worker id.
                     let scr = unsafe { scratch_sl.get(w) };
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= len {
+                        let lo = cursor.fetch_add(k, Ordering::Relaxed);
+                        if lo >= len {
                             break;
                         }
                         let wm = wm.get_or_insert_with(|| main.fork_worker());
-                        run_item(wm, scr, i);
+                        for i in lo..(lo + k).min(len) {
+                            run_item(wm, scr, i);
+                        }
                     }
                 });
             }
@@ -721,6 +769,78 @@ mod tests {
                 assert!(claimed.lock().unwrap().insert(i), "index {i} claimed twice");
             });
         assert_eq!(claimed.into_inner().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn steal_chunk_auto_sizing_and_override() {
+        // Auto: each worker should get about STEAL_CLAIMS_PER_WORKER
+        // claims; tiny item counts degrade to single-item claims.
+        assert_eq!(steal_chunk(8, 4, None), 1);
+        assert_eq!(steal_chunk(64, 4, None), 4);
+        assert_eq!(steal_chunk(4096, 8, None), 128);
+        assert_eq!(steal_chunk(0, 4, None), 1);
+        // Override wins verbatim (clamped to >= 1).
+        assert_eq!(steal_chunk(64, 4, Some(7)), 7);
+        assert_eq!(steal_chunk(64, 4, Some(0)), 1);
+    }
+
+    #[test]
+    fn chunked_stealing_visits_every_item_once_at_ragged_boundaries() {
+        // Chunk sizes that do not divide the item count exercise the
+        // trailing partial chunk; every index must still be claimed by
+        // exactly one worker.
+        for k in [1usize, 3, 5, 16, 97, 1000] {
+            let pool = WorkerPool::new(4);
+            let claimed = Mutex::new(HashSet::new());
+            pool.exec(SchedulerPolicy::Stealing)
+                .with_steal_chunk(k)
+                .for_each(&mut [(); 97], |i, _| {
+                    assert!(
+                        claimed.lock().unwrap().insert(i),
+                        "chunk {k}: index {i} claimed twice"
+                    );
+                });
+            assert_eq!(claimed.into_inner().unwrap().len(), 97, "chunk {k}");
+        }
+    }
+
+    #[test]
+    fn chunked_stealing_run_counted_is_bit_identical_to_static() {
+        // The chunk size changes only who runs an item; per-item counter
+        // deltas and item outputs must match the static schedule exactly,
+        // including when an item's chunk boundary splits a worker's
+        // natural share.
+        let main = Machine::new(MachineConfig::lx2());
+        let reference = {
+            let pool = WorkerPool::new(1);
+            let mut items = vec![0.0; 23];
+            let mut scratch = vec![Vec::new(); 1];
+            pool.exec(SchedulerPolicy::Static).run_counted(
+                &main,
+                &mut items,
+                &mut scratch,
+                charge_item,
+            )
+        };
+        for workers in [2usize, 4, 7] {
+            for k in [1usize, 2, 5, 23, 100] {
+                let pool = WorkerPool::new(workers);
+                let mut items = vec![0.0; 23];
+                let mut scratch = vec![Vec::new(); workers];
+                let counters = pool
+                    .exec(SchedulerPolicy::Stealing)
+                    .with_steal_chunk(k)
+                    .run_counted(&main, &mut items, &mut scratch, charge_item);
+                assert!(items.iter().enumerate().all(|(t, &v)| v == t as f64));
+                for (i, (a, b)) in reference.iter().zip(&counters).enumerate() {
+                    assert_eq!(
+                        a.perf.cycles(Phase::Compute).to_bits(),
+                        b.perf.cycles(Phase::Compute).to_bits(),
+                        "workers {workers} chunk {k}: item {i} delta diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -467,6 +467,52 @@ impl Machine {
         self.ctr.add_cycles(self.phase, cy);
     }
 
+    /// Maximum elements of one run-scoped block touch (a QSP stencil
+    /// block: 4^3 nodes).
+    pub const RUN_BLOCK_MAX: usize = 64;
+
+    /// Run-scoped gather touch: charges loading an index block of up to
+    /// [`Machine::RUN_BLOCK_MAX`] elements from `base` with **each
+    /// distinct cache line charged once** — the memory stream of a
+    /// kernel that loads a cell's stencil node block into registers once
+    /// per same-cell particle run and reuses it for every particle of
+    /// the run. Per-lane gather issue cost is still paid per element;
+    /// line misses overlap under the same memory-level parallelism as
+    /// [`Machine::v_touch_gather`], whose per-vector semantics this
+    /// generalises beyond [`VLANES`] lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() > RUN_BLOCK_MAX`.
+    pub fn v_touch_gather_block(&mut self, base: VAddr, idx: &[usize]) {
+        assert!(
+            idx.len() <= Self::RUN_BLOCK_MAX,
+            "block exceeds RUN_BLOCK_MAX"
+        );
+        if idx.is_empty() {
+            return;
+        }
+        self.ctr.vector_ops += idx.len().div_ceil(VLANES) as u64;
+        let line = self.mem.line_bytes();
+        // Stack-resident line dedup: collect, sort, visit distinct lines
+        // ascending (the order the coalescing unit would).
+        let mut lines = [0u64; Self::RUN_BLOCK_MAX];
+        for (slot, &i) in lines.iter_mut().zip(idx) {
+            *slot = base.offset_f64(i).0 / line;
+        }
+        let lines = &mut lines[..idx.len()];
+        lines.sort_unstable();
+        let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
+        let mut prev = u64::MAX;
+        for &l in lines.iter() {
+            if l != prev {
+                cy += Self::GATHER_MLP * self.mem.access(VAddr(l * line), 1);
+                prev = l;
+            }
+        }
+        self.ctr.add_cycles(self.phase, cy);
+    }
+
     /// Charges `n` generic vector ALU operations without data (companion
     /// of [`Machine::s_ops`] for modelled vector instruction streams).
     pub fn v_ops(&mut self, n: usize) {
@@ -736,6 +782,70 @@ mod tests {
         );
         assert_eq!(real.counters().flops_issued, touch.counters().flops_issued);
         assert_eq!(real.counters().vector_ops, touch.counters().vector_ops);
+    }
+
+    #[test]
+    fn touch_gather_block_matches_vector_gather_for_one_vector() {
+        // For <= VLANES indices the block touch charges the same formula
+        // as the per-vector gather (per-lane issue + one MLP-discounted
+        // access per distinct line), so the two are interchangeable at
+        // vector width.
+        let cfg = MachineConfig::lx2();
+        let mut vec = Machine::new(cfg.clone());
+        let mut block = Machine::new(cfg);
+        let b1 = vec.mem().alloc_f64(1024);
+        let b2 = block.mem().alloc_f64(1024);
+        let idx = [0usize, 1, 9, 64, 65, 200, 201, 3];
+        vec.v_touch_gather(b1, &idx);
+        block.v_touch_gather_block(b2, &idx);
+        assert_eq!(
+            vec.counters().total_cycles().to_bits(),
+            block.counters().total_cycles().to_bits()
+        );
+    }
+
+    #[test]
+    fn touch_gather_block_charges_each_line_once() {
+        // A 64-element block confined to two lines must cost exactly:
+        // 64 lane penalties + 2 MLP-discounted line accesses.
+        let cfg = MachineConfig::lx2();
+        let lane = cfg.gather_lane_cy;
+        let mut m = Machine::new(cfg);
+        let base = m.mem().alloc_f64(1024);
+        let idx: Vec<usize> = (0..64).map(|i| i % 16).collect(); // Lines 0 and 1.
+        m.set_phase(Phase::Compute);
+        m.v_touch_gather_block(base, &idx);
+        let mut expect = Machine::new(MachineConfig::lx2());
+        let eb = expect.mem().alloc_f64(1024);
+        let line_cost: f64 = (0..2)
+            .map(|l| expect.mem().access(eb.offset_f64(l * 8), 1))
+            .sum();
+        let want = lane * 64.0 + Machine::GATHER_MLP * line_cost;
+        assert!(
+            (m.counters().cycles(Phase::Compute) - want).abs() < 1e-12,
+            "got {} want {want}",
+            m.counters().cycles(Phase::Compute)
+        );
+        // 64 elements = 8 vector loads issued.
+        assert_eq!(m.counters().vector_ops, 8);
+    }
+
+    #[test]
+    fn touch_gather_block_empty_is_free() {
+        let mut m = machine();
+        let base = m.mem().alloc_f64(8);
+        m.v_touch_gather_block(base, &[]);
+        assert_eq!(m.counters().total_cycles(), 0.0);
+        assert_eq!(m.counters().vector_ops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RUN_BLOCK_MAX")]
+    fn touch_gather_block_rejects_oversized_blocks() {
+        let mut m = machine();
+        let base = m.mem().alloc_f64(128);
+        let idx = vec![0usize; Machine::RUN_BLOCK_MAX + 1];
+        m.v_touch_gather_block(base, &idx);
     }
 
     #[test]

@@ -30,12 +30,14 @@
 pub mod container;
 pub mod gpma;
 pub mod policy;
+pub mod runs;
 pub mod soa;
 pub mod sort;
 
 pub use container::{Departure, ParticleContainer, ParticleTile};
 pub use gpma::{Gpma, MoveStats, INVALID_PARTICLE_ID};
 pub use policy::{RankSortStats, SortPolicy, SortReason};
+pub use runs::{cell_runs, CellRun, CellRuns};
 pub use soa::ParticleSoA;
 pub use sort::{
     counting_sort_keys, counting_sort_keys_into, counting_sort_keys_sharded, SortScratch, SortStats,

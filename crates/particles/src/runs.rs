@@ -1,0 +1,135 @@
+//! Iterator over maximal same-cell runs of a cell-key sequence.
+//!
+//! The counting sort (global) and the GPMA maintenance (incremental)
+//! both guarantee that a tile's particles are visited grouped by cell.
+//! The batched hot path exploits that: the gather loads each cell's
+//! stencil node block once per run, and the deposition kernels
+//! accumulate a run into a stack-resident stencil block before touching
+//! the tile accumulator — amortising per-cell work over every particle
+//! of the run. This module is the one definition of what a "run" is, so
+//! the push, deposit and cost-model layers can never disagree about run
+//! boundaries.
+//!
+//! Runs are *maximal*: consecutive equal keys are merged greedily, so an
+//! unsorted key sequence simply degenerates to short (length-1) runs —
+//! batched kernels stay correct, they just stop amortising.
+
+use std::ops::Range;
+
+/// One maximal run of identical cell keys: `keys[start..end]` all equal
+/// `cell` and the neighbours (if any) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRun {
+    /// The shared cell key of the run.
+    pub cell: usize,
+    /// First index of the run (inclusive).
+    pub start: usize,
+    /// One past the last index of the run.
+    pub end: usize,
+}
+
+impl CellRun {
+    /// Number of particles in the run.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the run is empty (never yielded by [`cell_runs`]).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// The run's index range, for slicing particle buffers.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Iterator yielded by [`cell_runs`].
+#[derive(Debug, Clone)]
+pub struct CellRuns<'a> {
+    keys: &'a [usize],
+    pos: usize,
+}
+
+impl Iterator for CellRuns<'_> {
+    type Item = CellRun;
+
+    fn next(&mut self) -> Option<CellRun> {
+        let start = self.pos;
+        let cell = *self.keys.get(start)?;
+        let mut end = start + 1;
+        while self.keys.get(end) == Some(&cell) {
+            end += 1;
+        }
+        self.pos = end;
+        Some(CellRun { cell, start, end })
+    }
+}
+
+/// Decomposes `keys` into maximal same-key runs, in order. Empty input
+/// yields no runs; runs tile `0..keys.len()` exactly.
+pub fn cell_runs(keys: &[usize]) -> CellRuns<'_> {
+    CellRuns { keys, pos: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(keys: &[usize]) -> Vec<(usize, usize, usize)> {
+        cell_runs(keys).map(|r| (r.cell, r.start, r.end)).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_no_runs() {
+        assert!(collect(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_key_is_one_run() {
+        assert_eq!(collect(&[7]), vec![(7, 0, 1)]);
+    }
+
+    #[test]
+    fn sorted_keys_group_into_maximal_runs() {
+        assert_eq!(
+            collect(&[2, 2, 2, 5, 5, 9]),
+            vec![(2, 0, 3), (5, 3, 5), (9, 5, 6)]
+        );
+    }
+
+    #[test]
+    fn unsorted_keys_degenerate_to_short_runs() {
+        // Alternating keys: every run has length 1 — the fallback regime
+        // of a batched kernel fed unsorted input.
+        assert_eq!(
+            collect(&[1, 0, 1, 0]),
+            vec![(1, 0, 1), (0, 1, 2), (1, 2, 3), (0, 3, 4)]
+        );
+    }
+
+    #[test]
+    fn revisited_key_starts_a_new_run() {
+        // Non-adjacent repeats of a key are distinct runs (runs are
+        // maximal, not global groups).
+        assert_eq!(
+            collect(&[3, 3, 1, 3]),
+            vec![(3, 0, 2), (1, 2, 3), (3, 3, 4)]
+        );
+    }
+
+    #[test]
+    fn runs_tile_the_index_space() {
+        let keys: Vec<usize> = (0..257).map(|i| i / 3).collect();
+        let mut next = 0;
+        for r in cell_runs(&keys) {
+            assert_eq!(r.start, next, "gap or overlap at {next}");
+            assert!(!r.is_empty());
+            assert_eq!(r.len(), r.end - r.start);
+            assert!(keys[r.range()].iter().all(|&k| k == r.cell));
+            next = r.end;
+        }
+        assert_eq!(next, keys.len());
+    }
+}

@@ -97,6 +97,152 @@ pub fn gather_fields_with_cell(
     (e, b, st.cell)
 }
 
+/// Maximum stencil nodes of any shape order, sizing the stack-resident
+/// node blocks of the batched gather. Derived from the deposit side's
+/// [`mpic_deposit::shape::MAX_NODES_3D`] so a future higher-order shape
+/// grows both block families together.
+pub const MAX_STENCIL_NODES: usize = mpic_deposit::shape::MAX_NODES_3D;
+
+/// One cell's cached stencil: the linear guarded-grid index of every
+/// support node plus the six field-component values at those nodes, in
+/// node order `(c*s + b)*s + a` with `a` fastest — the same traversal
+/// [`gather_fields`] uses, so interpolating from the block is bit-exact.
+///
+/// Loaded once per same-cell particle run by the batched hot path and
+/// reused for every particle of the run (gathers are read-only, so the
+/// cached values cannot go stale within a run).
+#[derive(Debug, Clone)]
+pub struct NodeBlock {
+    /// Stencil nodes currently loaded (`support^3`).
+    pub nodes: usize,
+    /// Linear guarded-grid index per node.
+    pub idx: [usize; MAX_STENCIL_NODES],
+    /// Field values per node: `[ex, ey, ez, bx, by, bz]`.
+    pub vals: [[f64; MAX_STENCIL_NODES]; 6],
+}
+
+impl NodeBlock {
+    /// An empty block (no nodes loaded).
+    pub fn new() -> Self {
+        Self {
+            nodes: 0,
+            idx: [0; MAX_STENCIL_NODES],
+            vals: [[0.0; MAX_STENCIL_NODES]; 6],
+        }
+    }
+}
+
+impl Default for NodeBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fills `block` with the stencil node indices and field values of the
+/// given wrapped physical `cell` — the once-per-run half of the batched
+/// gather. Pure (no cost charging); the node wrap comes from the shared
+/// deposit-side [`mpic_deposit::common::node_coord`], so the block can
+/// never disagree with the per-particle gather about node targets.
+pub fn load_node_block(
+    geom: &GridGeometry,
+    order: ShapeOrder,
+    fields: &FieldArrays,
+    cell: [usize; 3],
+    block: &mut NodeBlock,
+) {
+    let s = order.support();
+    let mut ni = [[0usize; 4]; 3];
+    for d in 0..3 {
+        for (a, slot) in ni[d].iter_mut().enumerate().take(s) {
+            *slot = mpic_deposit::common::node_coord(geom, order, d, cell[d], a);
+        }
+    }
+    let dims = geom.dims_with_guard();
+    let arrays = [
+        fields.ex.as_slice(),
+        fields.ey.as_slice(),
+        fields.ez.as_slice(),
+        fields.bx.as_slice(),
+        fields.by.as_slice(),
+        fields.bz.as_slice(),
+    ];
+    block.nodes = s * s * s;
+    for c in 0..s {
+        for b in 0..s {
+            let row = (ni[2][c] * dims[1] + ni[1][b]) * dims[0];
+            for a in 0..s {
+                let nd = (c * s + b) * s + a;
+                let li = row + ni[0][a];
+                block.idx[nd] = li;
+                for (comp, arr) in arrays.iter().enumerate() {
+                    block.vals[comp][nd] = arr[li];
+                }
+            }
+        }
+    }
+}
+
+/// Interpolates `(E, B)` for one particle from a cached [`NodeBlock`],
+/// given the particle's intra-cell offsets `frac`. Bit-identical to
+/// [`gather_fields`] at the same position: the weights come from the
+/// same [`ShapeOrder::weights`] evaluation, the node values are the same
+/// loads, and the accumulation runs in the same `(c, b, a)` order with
+/// the same `(sx * sy) * sz` association.
+pub fn gather_from_block(
+    order: ShapeOrder,
+    block: &NodeBlock,
+    frac: [f64; 3],
+) -> ([f64; 3], [f64; 3]) {
+    let s = order.support();
+    let mut sx = [0.0; 4];
+    let mut sy = [0.0; 4];
+    let mut sz = [0.0; 4];
+    order.weights(frac[0], &mut sx);
+    order.weights(frac[1], &mut sy);
+    order.weights(frac[2], &mut sz);
+    let mut e = [0.0; 3];
+    let mut b = [0.0; 3];
+    for c in 0..s {
+        for bb in 0..s {
+            for a in 0..s {
+                let w = sx[a] * sy[bb] * sz[c];
+                let nd = (c * s + bb) * s + a;
+                e[0] += w * block.vals[0][nd];
+                e[1] += w * block.vals[1][nd];
+                e[2] += w * block.vals[2][nd];
+                b[0] += w * block.vals[3][nd];
+                b[1] += w * block.vals[4][nd];
+                b[2] += w * block.vals[5][nd];
+            }
+        }
+    }
+    (e, b)
+}
+
+/// Charges the gather cost of one same-cell run of `n` particles whose
+/// stencil block (node indices `node_idx`) was loaded **once** for the
+/// whole run: each field array pays one run-scoped block gather (every
+/// distinct cache line charged once, see
+/// [`Machine::v_touch_gather_block`]) instead of a per-particle node
+/// sweep, while the interpolation arithmetic is still charged per
+/// particle — batching amortises memory traffic, not FLOPs.
+pub fn charge_gather_run(
+    m: &mut Machine,
+    cost: GatherCost,
+    n: usize,
+    field_addrs: &[VAddr; 6],
+    node_idx: &[usize],
+) {
+    m.in_phase(Phase::Gather, |m| {
+        for addr in field_addrs {
+            m.v_touch_gather_block(*addr, node_idx);
+        }
+        let chunks = n.div_ceil(8);
+        m.v_ops(cost.v_ops_per_chunk * chunks);
+        m.record_flops((n * node_idx.len() * 6 * 2) as f64);
+    });
+}
+
 /// Charges the gather cost of `n` particles touching `nodes` grid nodes
 /// each across six field arrays whose bases are `field_addrs`; node
 /// addresses are sampled from the particles' first node (`sample_idx`)
@@ -172,6 +318,103 @@ mod tests {
         let (e, _) = gather_fields(&geom, ShapeOrder::Cic, &fields, 2.25e-6, 0.0, 0.0);
         // x = 2.25 cells -> guarded node coordinate 4.25.
         assert!((e[0] - 4.25).abs() < 1e-12, "got {}", e[0]);
+    }
+
+    #[test]
+    fn block_gather_is_bit_identical_to_per_particle_gather() {
+        // Fill the fields with an irregular pattern and compare the
+        // batched (block-cached) gather against the per-particle
+        // reference at many positions inside one cell: the tentpole's
+        // value-exactness claim, pinned bitwise.
+        let (geom, mut fields) = setup();
+        let [nx, ny, nz] = fields.ex.shape();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let v = (i * 31 + j * 7 + k) as f64 * 0.013 - 1.7;
+                    fields.ex.set(i, j, k, v);
+                    fields.ey.set(i, j, k, -v * 0.5);
+                    fields.ez.set(i, j, k, v * v * 1e-3);
+                    fields.bx.set(i, j, k, 2.0 - v);
+                    fields.by.set(i, j, k, v.sin());
+                    fields.bz.set(i, j, k, 0.25 * v);
+                }
+            }
+        }
+        for order in [ShapeOrder::Cic, ShapeOrder::Tsc, ShapeOrder::Qsp] {
+            let mut block = NodeBlock::new();
+            for t in 0..20 {
+                let f = t as f64 / 20.0;
+                let (x, y, z) = (
+                    (3.0 + f) * 1e-6,
+                    (4.0 + f * 0.77) * 1e-6,
+                    (1.0 + f * 0.31) * 1e-6,
+                );
+                let (cell, frac) = geom.locate(x, y, z);
+                let cell = geom.wrap_cell(cell);
+                load_node_block(&geom, order, &fields, cell, &mut block);
+                let (e_want, b_want) = gather_fields(&geom, order, &fields, x, y, z);
+                let (e_got, b_got) = gather_from_block(order, &block, frac);
+                for d in 0..3 {
+                    assert_eq!(e_got[d].to_bits(), e_want[d].to_bits(), "{order:?} E[{d}]");
+                    assert_eq!(b_got[d].to_bits(), b_want[d].to_bits(), "{order:?} B[{d}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_block_wraps_periodically() {
+        // A boundary cell's block must target the same wrapped nodes the
+        // per-particle gather touches (shared node_coord), so values
+        // gathered across the periodic seam stay exact.
+        let (geom, mut fields) = setup();
+        fields.ez.fill(3.25);
+        let mut block = NodeBlock::new();
+        load_node_block(&geom, ShapeOrder::Qsp, &fields, [0, 7, 0], &mut block);
+        assert_eq!(block.nodes, 64);
+        let (_, frac) = geom.locate(0.4e-6, 7.6e-6, 0.1e-6);
+        let (e, _) = gather_from_block(ShapeOrder::Qsp, &block, frac);
+        assert!(
+            (e[2] - 3.25).abs() < 1e-12,
+            "weights must sum to 1 over wrapped nodes"
+        );
+    }
+
+    #[test]
+    fn charge_gather_run_is_cheaper_than_per_particle_charge() {
+        // The whole point of the batched cost model: a ppc-sized run
+        // charges its stencil lines once, not once per particle.
+        let mut per_particle = Machine::new(mpic_machine::MachineConfig::lx2());
+        let mut batched = Machine::new(mpic_machine::MachineConfig::lx2());
+        let addrs_a: [VAddr; 6] = std::array::from_fn(|_| per_particle.mem().alloc_f64(4096));
+        let addrs_b: [VAddr; 6] = std::array::from_fn(|_| batched.mem().alloc_f64(4096));
+        // One 64-particle run over an 8-node CIC stencil: the reference
+        // path replays the node sweep for every 8-lane particle chunk,
+        // the batched path loads the block once for the whole run.
+        let node_idx: [usize; 8] = std::array::from_fn(|nd| 100 + nd);
+        charge_gather(
+            &mut per_particle,
+            GatherCost::default(),
+            64,
+            8,
+            &addrs_a,
+            &[100; 64],
+        );
+        charge_gather_run(&mut batched, GatherCost::default(), 64, &addrs_b, &node_idx);
+        let (pp, bt) = (
+            per_particle.counters().cycles(Phase::Gather),
+            batched.counters().cycles(Phase::Gather),
+        );
+        assert!(
+            bt < pp,
+            "batched run charge {bt} must undercut per-particle {pp}"
+        );
+        assert_eq!(
+            per_particle.counters().flops_issued,
+            batched.counters().flops_issued,
+            "batching amortises memory, not useful FLOPs"
+        );
     }
 
     #[test]

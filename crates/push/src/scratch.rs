@@ -8,7 +8,9 @@
 /// Reusable per-worker buffers for one tile's gather + push sweep.
 #[derive(Debug, Clone, Default)]
 pub struct PushScratch {
-    /// Live SoA slot indices of the tile being processed.
+    /// Live SoA slot indices of the tile being processed (raw liveness
+    /// order for the per-particle path; GPMA-sorted order for the
+    /// batched path).
     pub live: Vec<usize>,
     /// Per-particle sampled grid node index (drives the gather's emulated
     /// address stream).

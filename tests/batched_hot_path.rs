@@ -1,0 +1,323 @@
+//! The cell-run batched hot path versus the per-particle reference
+//! paths, end to end through `Simulation::step`.
+//!
+//! Contract under test (the PR 2-4 determinism contract extended to the
+//! batched path, plus the batched-vs-reference value claims):
+//!
+//! * batched runs are bit-identical across worker counts AND scheduler
+//!   policies — fields, currents, particle counts and per-phase
+//!   `MachineCounters`;
+//! * gather/push values are bit-identical between the batched and
+//!   per-particle paths (gathers are read-only, so caching a run's node
+//!   block is value-exact), and for rhocell/matrix kernels the currents
+//!   are bit-identical too;
+//! * the direct-scatter kernel's run-block regrouping reorders FP adds
+//!   on stencil nodes shared between cells, so its currents are pinned
+//!   to a tight relative bound instead;
+//! * unsorted configurations ignore the knob entirely (fallback to the
+//!   reference sweep, bitwise).
+
+use matrix_pic::core::{workloads, Simulation};
+use matrix_pic::deposit::{KernelConfig, ShapeOrder};
+use matrix_pic::grid::FieldArrays;
+use matrix_pic::machine::{Phase, SchedulerPolicy};
+
+fn uniform(kernel: KernelConfig, batching: bool) -> Simulation {
+    let mut sim = workloads::uniform_plasma_sim([16, 16, 16], 4, ShapeOrder::Cic, kernel, 9);
+    sim.cfg.batching = batching;
+    sim
+}
+
+/// Runs `steps` and snapshots fields + per-phase cycles + N.
+fn run(
+    mut sim: Simulation,
+    workers: usize,
+    policy: SchedulerPolicy,
+    steps: usize,
+) -> (FieldArrays, [f64; 8], usize) {
+    sim.cfg.num_workers = workers;
+    sim.cfg.scheduler = policy;
+    sim.run(steps);
+    let mut cycles = [0.0; 8];
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        cycles[i] = sim.machine.counters().cycles(*p);
+    }
+    (sim.fields.clone(), cycles, sim.num_particles())
+}
+
+fn field_list(f: &FieldArrays) -> [(&'static str, &matrix_pic::grid::Array3); 9] {
+    [
+        ("jx", &f.jx),
+        ("jy", &f.jy),
+        ("jz", &f.jz),
+        ("ex", &f.ex),
+        ("ey", &f.ey),
+        ("ez", &f.ez),
+        ("bx", &f.bx),
+        ("by", &f.by),
+        ("bz", &f.bz),
+    ]
+}
+
+fn assert_bitwise(
+    label: &str,
+    a: &(FieldArrays, [f64; 8], usize),
+    b: &(FieldArrays, [f64; 8], usize),
+) {
+    assert_eq!(a.2, b.2, "{label}: particle counts diverged");
+    for ((name, x), (_, y)) in field_list(&a.0).into_iter().zip(field_list(&b.0)) {
+        let diverged = x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .position(|(u, v)| u.to_bits() != v.to_bits());
+        assert!(
+            diverged.is_none(),
+            "{label}: {name} diverged at {diverged:?}"
+        );
+    }
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        assert_eq!(
+            a.1[i].to_bits(),
+            b.1[i].to_bits(),
+            "{label}: {p:?} cycles diverged ({} vs {})",
+            a.1[i],
+            b.1[i]
+        );
+    }
+}
+
+/// Bitwise comparison of values only (fields/currents), cycles ignored —
+/// the batched cost model intentionally charges fewer cycles.
+fn assert_values_bitwise(label: &str, a: &FieldArrays, b: &FieldArrays) {
+    for ((name, x), (_, y)) in field_list(a).into_iter().zip(field_list(b)) {
+        let diverged = x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .position(|(u, v)| u.to_bits() != v.to_bits());
+        assert!(
+            diverged.is_none(),
+            "{label}: {name} diverged at {diverged:?}"
+        );
+    }
+}
+
+#[test]
+fn batched_fullopt_values_match_per_particle_bitwise() {
+    // Gather batching is value-exact and the matrix kernel is run-based
+    // either way: three FullOpt steps must agree bit for bit in every
+    // field array, while the batched run charges strictly fewer
+    // gather-phase cycles (the modelled saving).
+    let (ref_f, ref_cy, n0) = run(
+        uniform(KernelConfig::FullOpt, false),
+        1,
+        SchedulerPolicy::Static,
+        3,
+    );
+    let (bat_f, bat_cy, n1) = run(
+        uniform(KernelConfig::FullOpt, true),
+        1,
+        SchedulerPolicy::Static,
+        3,
+    );
+    assert_eq!(n0, n1);
+    assert_values_bitwise("FullOpt batched vs per-particle", &ref_f, &bat_f);
+    let gather = Phase::ALL.iter().position(|p| *p == Phase::Gather).unwrap();
+    assert!(
+        bat_cy[gather] < ref_cy[gather],
+        "batched gather must charge fewer cycles: {} vs {}",
+        bat_cy[gather],
+        ref_cy[gather]
+    );
+}
+
+#[test]
+fn batched_rhocell_values_match_per_particle_bitwise() {
+    let (ref_f, _, _) = run(
+        uniform(KernelConfig::RhocellIncrSortVpu, false),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    let (bat_f, _, _) = run(
+        uniform(KernelConfig::RhocellIncrSortVpu, true),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    assert_values_bitwise("RhocellVPU batched vs per-particle", &ref_f, &bat_f);
+}
+
+#[test]
+fn batched_baseline_values_match_within_tight_bound() {
+    // Direct scatter regroups cross-run FP adds: currents agree to a
+    // tight relative bound (not bitwise); E/B evolve from currents, so
+    // they inherit the same bound.
+    let (ref_f, _, _) = run(
+        uniform(KernelConfig::BaselineIncrSort, false),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    let (bat_f, _, _) = run(
+        uniform(KernelConfig::BaselineIncrSort, true),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    for ((name, x), (_, y)) in field_list(&ref_f).into_iter().zip(field_list(&bat_f)) {
+        let scale = x
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-300);
+        let worst = x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(u, v)| (u - v).abs() / scale)
+            .fold(0.0, f64::max);
+        assert!(
+            worst < 1e-12,
+            "{name}: rel deviation {worst} exceeds ULP bound"
+        );
+    }
+}
+
+#[test]
+fn batched_path_is_bit_identical_across_workers_and_policies() {
+    // The acceptance gate of the tentpole: batching preserves the PR 2-4
+    // contract — any worker count, either scheduler, same bits
+    // everywhere including per-phase counters.
+    let reference = run(
+        uniform(KernelConfig::FullOpt, true),
+        1,
+        SchedulerPolicy::Static,
+        3,
+    );
+    for workers in [2usize, 4, 7] {
+        for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            let got = run(uniform(KernelConfig::FullOpt, true), workers, policy, 3);
+            assert_bitwise(
+                &format!("batched FullOpt {workers}w {}", policy.label()),
+                &reference,
+                &got,
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_unsorted_fallback_is_bitwise_noop() {
+    // HybridNoSort provides no cell-grouped order: the knob must change
+    // nothing at all — values AND cycles.
+    let a = run(
+        uniform(KernelConfig::HybridNoSort, false),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    let b = run(
+        uniform(KernelConfig::HybridNoSort, true),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    assert_bitwise("HybridNoSort fallback", &a, &b);
+}
+
+#[test]
+fn batched_imbalanced_lwfa_with_empty_tiles_stays_deterministic() {
+    // One hot tile, the rest empty, moving window + absorbing walls:
+    // empty tiles must charge nothing and the batched path must stay
+    // bit-identical across workers and policies on the skewed input.
+    let build = || {
+        let mut sim = workloads::imbalanced_lwfa_sim([16, 16, 32], 2, 33);
+        sim.cfg.batching = true;
+        sim
+    };
+    let occupied = build()
+        .electrons
+        .tiles
+        .iter()
+        .filter(|t| !t.is_empty())
+        .count();
+    assert!(
+        occupied < build().electrons.tiles.len(),
+        "workload must actually contain empty tiles"
+    );
+    let reference = run(build(), 1, SchedulerPolicy::Static, 2);
+    for workers in [3usize, 7] {
+        for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            let got = run(build(), workers, policy, 2);
+            assert_bitwise(
+                &format!("batched LWFA {workers}w {}", policy.label()),
+                &reference,
+                &got,
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_deposit_survives_stealing_chunk_boundaries() {
+    // Drive the batched deposit directly with pinned stealing chunk
+    // sizes so tile claims split at every batch boundary — including K
+    // that does not divide the tile count and K larger than it. The
+    // fixed-order apply/absorb must keep currents AND deposition cycles
+    // bit-identical to the sequential run regardless of chunking.
+    use matrix_pic::grid::{GridGeometry, TileLayout};
+    use matrix_pic::machine::{Machine, MachineConfig, WorkerPool};
+
+    let geom = GridGeometry::new([8, 8, 8], [0.0; 3], [1.0e-6; 3], 2);
+    let layout = TileLayout::new(&geom, [4, 4, 4]); // 8 tiles to split.
+    let deposit_once = |exec_chunk: Option<(usize, usize)>| {
+        let mut container = workloads::load_uniform_plasma(
+            &geom,
+            &layout,
+            workloads::UNIFORM_DENSITY,
+            4,
+            workloads::UNIFORM_UTH,
+            7,
+        );
+        let mut m = Machine::new(MachineConfig::lx2());
+        let mut fields = matrix_pic::grid::FieldArrays::new(&geom);
+        let mut dep = KernelConfig::FullOpt.build(ShapeOrder::Cic);
+        dep.set_batching(true);
+        dep.prepare(&mut m, &geom, &layout, &mut container);
+        dep.sort_step(&mut m, &geom, &layout, &mut container, false);
+        match exec_chunk {
+            None => dep.deposit_step(&mut m, &geom, &layout, &container, &mut fields),
+            Some((workers, k)) => {
+                let pool = WorkerPool::new(workers);
+                let exec = pool.exec(SchedulerPolicy::Stealing).with_steal_chunk(k);
+                dep.deposit_step_parallel(&mut m, &geom, &layout, &container, &mut fields, exec);
+            }
+        }
+        (fields, m.counters().deposition_cycles())
+    };
+    let (want_f, want_cy) = deposit_once(None);
+    for k in [1usize, 3, 7, 13] {
+        for workers in [2usize, 4] {
+            let (got_f, got_cy) = deposit_once(Some((workers, k)));
+            for (name, x, y) in [
+                ("jx", &want_f.jx, &got_f.jx),
+                ("jy", &want_f.jy, &got_f.jy),
+                ("jz", &want_f.jz, &got_f.jz),
+            ] {
+                let same = x
+                    .as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .all(|(u, v)| u.to_bits() == v.to_bits());
+                assert!(same, "workers {workers} chunk {k}: {name} diverged");
+            }
+            assert_eq!(
+                want_cy.to_bits(),
+                got_cy.to_bits(),
+                "workers {workers} chunk {k}: deposition cycles diverged"
+            );
+        }
+    }
+}
