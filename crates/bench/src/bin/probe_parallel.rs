@@ -83,7 +83,6 @@ struct ProbeResult {
     particles: usize,
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_probe(
     cells: [usize; 3],
     kernel: KernelConfig,

@@ -531,7 +531,6 @@ fn shift_tile_window(tile: &mut ParticleTile, dz: f64, zlo: f64) {
 /// One tile's gather + Boris push + boundary handling, charged on the
 /// worker machine `wm` with a fresh per-tile cache. All mutation is
 /// tile-local; the field state is read-only.
-#[allow(clippy::too_many_arguments)]
 fn push_tile(
     wm: &mut Machine,
     geom: &GridGeometry,
@@ -628,7 +627,6 @@ fn push_tile(
 /// iteration order, removals (queued in GPMA order rather than raw slot
 /// order) and all charges depend only on tile state, so worker-count
 /// and scheduler bit-identity hold exactly as for the reference path.
-#[allow(clippy::too_many_arguments)]
 fn push_tile_batched(
     wm: &mut Machine,
     geom: &GridGeometry,

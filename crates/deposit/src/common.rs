@@ -354,7 +354,6 @@ pub struct TileScratch {
 /// sorting is priced from the actual index stream.
 ///
 /// Charged to [`Phase::Preprocess`].
-#[allow(clippy::too_many_arguments)]
 pub fn stage_tile(
     m: &mut Machine,
     geom: &GridGeometry,

@@ -432,7 +432,6 @@ impl Depositor {
 /// Stages one tile into the worker's pooled buffers: collects the
 /// iteration order (GPMA-sorted or raw live slots) and runs the charged
 /// preprocessing sweep.
-#[allow(clippy::too_many_arguments)]
 fn stage_tile_scratch(
     wm: &mut Machine,
     order: ShapeOrder,
@@ -473,7 +472,6 @@ fn stage_tile_scratch(
 /// staging, the kernel sweep into the tile's private rhocell, and the
 /// reduction cost charge. Grid values are *not* written here — the
 /// orchestrator applies rhocells in tile order afterwards.
-#[allow(clippy::too_many_arguments)]
 fn deposit_tile_worker(
     wm: &mut Machine,
     kernel: &dyn DepositionKernel,
@@ -522,7 +520,6 @@ fn deposit_tile_worker(
 /// and the accumulators re-zeroed, leaving the output a pure function of
 /// the tile. Grid values are *not* written here — the orchestrator
 /// applies tile outputs in tile order afterwards.
-#[allow(clippy::too_many_arguments)]
 fn scatter_tile_worker(
     wm: &mut Machine,
     kernel: &dyn DepositionKernel,

@@ -114,7 +114,6 @@ impl DepositionKernel for MatrixKernel {
 }
 
 /// CIC: one MOPA per pair per component; tile resident across the run.
-#[allow(clippy::too_many_arguments)]
 fn deposit_run_cic(
     m: &mut Machine,
     ctx: &TileCtx,
@@ -197,7 +196,6 @@ fn deposit_run_cic(
 
 /// QSP: four z-slab MOPAs per pair per component; tiles resident across
 /// the run for one component at a time.
-#[allow(clippy::too_many_arguments)]
 fn deposit_run_qsp(
     m: &mut Machine,
     ctx: &TileCtx,
@@ -288,7 +286,6 @@ fn deposit_run_qsp(
 
 /// TSC (order 2): handled with the QSP machinery over a 3-wide support —
 /// three z-slab MOPAs per pair per component at 2x9/64 = 28% utilisation.
-#[allow(clippy::too_many_arguments)]
 fn deposit_run_tsc(
     m: &mut Machine,
     ctx: &TileCtx,

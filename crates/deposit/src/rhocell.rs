@@ -146,7 +146,6 @@ impl Rhocell {
     /// [`Rhocell::apply_to_grid`]; the parallel driver calls the two
     /// halves separately (cost charged per worker, values applied in
     /// deterministic tile order).
-    #[allow(clippy::too_many_arguments)]
     pub fn reduce_to_grid(
         &self,
         m: &mut Machine,

@@ -164,7 +164,6 @@ impl DepositionKernel for BaselineKernel {
 /// roughly the run length. Cross-run contributions to a shared grid node
 /// regroup the FP adds (run subtotals instead of interleaved particles),
 /// which is the tight-ULP deviation the equivalence tests pin.
-#[allow(clippy::too_many_arguments)]
 fn deposit_tile_batched(
     m: &mut Machine,
     ctx: &TileCtx,

@@ -10,7 +10,7 @@
 
 use crate::array3::Array3;
 use crate::geometry::GridGeometry;
-use mpic_machine::{Exec, INLINE_ITEM_THRESHOLD};
+use mpic_machine::{Exec, Partition, INLINE_ITEM_THRESHOLD};
 
 /// Identifies one of the nine field arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,9 +166,9 @@ impl FieldArrays {
         let n = self.n_cells;
         let faces = guard_faces(g, n, self.ex.shape());
         for arr in self.eb_components_mut() {
-            let raw = RawGrid::new(arr);
+            let grid = GuardGrid::new(arr);
             for face in faces {
-                fill_guard_face(raw, g, n, face);
+                fill_guard_face(&grid, g, n, face);
             }
         }
     }
@@ -193,13 +193,13 @@ impl FieldArrays {
             return;
         }
         let faces = guard_faces(g, n, [dx, dy, dz]);
-        let mut items: Vec<(RawGrid, GuardFace)> = Vec::with_capacity(36);
-        for arr in self.eb_components_mut() {
-            let raw = RawGrid::new(arr);
-            items.extend(faces.iter().map(|&f| (raw, f)));
-        }
-        exec.for_each(&mut items, |_, (raw, face)| {
-            fill_guard_face(*raw, g, n, *face);
+        let grids: [GuardGrid<'_>; 6] = self.eb_components_mut().map(GuardGrid::new);
+        let mut items: Vec<(&GuardGrid<'_>, GuardFace)> = grids
+            .iter()
+            .flat_map(|grid| faces.iter().map(move |&f| (grid, f)))
+            .collect();
+        exec.for_each(&mut items, |_, (grid, face)| {
+            fill_guard_face(grid, g, n, *face);
         });
     }
 
@@ -330,32 +330,25 @@ fn guard_faces(g: usize, n: [usize; 3], dims: [usize; 3]) -> [GuardFace; 6] {
     ]
 }
 
-/// Raw view of one field component shared across guard-face workers.
+/// Checked shared view of one field component for guard-face workers:
+/// a [`Partition`] over the component's flat element buffer plus the
+/// strides to index it.
 ///
-/// Kept as a raw pointer rather than aliased `&mut Array3` references so
-/// that no two `&mut` to the same allocation ever exist; soundness then
-/// rests only on the access pattern: guard faces partition the write
-/// set, and every read is of an interior cell, which no face writes.
-#[derive(Clone, Copy)]
-struct RawGrid {
-    ptr: *mut f64,
+/// Guard faces partition the write set (every guard cell belongs to
+/// exactly one face) and every read is of an interior cell, which no
+/// face writes — in debug builds the partition's claim bitmap verifies
+/// both halves of that argument on every fill.
+struct GuardGrid<'a> {
+    part: Partition<'a, f64>,
     nx: usize,
     ny: usize,
 }
 
-// SAFETY: see the type docs — concurrent workers access disjoint
-// elements (face-local writes, interior-only reads).
-#[allow(unsafe_code)]
-unsafe impl Send for RawGrid {}
-// SAFETY: as above.
-#[allow(unsafe_code)]
-unsafe impl Sync for RawGrid {}
-
-impl RawGrid {
-    fn new(arr: &mut Array3) -> Self {
+impl<'a> GuardGrid<'a> {
+    fn new(arr: &'a mut Array3) -> Self {
         let [nx, ny, _] = arr.shape();
         Self {
-            ptr: arr.as_mut_slice().as_mut_ptr(),
+            part: Partition::new(arr.as_mut_slice()),
             nx,
             ny,
         }
@@ -369,8 +362,10 @@ impl RawGrid {
 
 /// Fills one guard face of one component: each guard cell copies the
 /// periodically wrapped interior cell.
+// Writes go through checked Partition grants (guard cells, face-unique)
+// and reads through unclaimed Partition reads (interior cells).
 #[allow(unsafe_code)]
-fn fill_guard_face(raw: RawGrid, g: usize, n: [usize; 3], face: GuardFace) {
+fn fill_guard_face(grid: &GuardGrid<'_>, g: usize, n: [usize; 3], face: GuardFace) {
     let wrap =
         |v: usize, g: usize, n: usize| ((v as i64 - g as i64).rem_euclid(n as i64)) as usize + g;
     for k in face.k.0..face.k.1 {
@@ -380,11 +375,13 @@ fn fill_guard_face(raw: RawGrid, g: usize, n: [usize; 3], face: GuardFace) {
             for i in face.i.0..face.i.1 {
                 let wi = wrap(i, g, n[0]);
                 // SAFETY: indices are in bounds by face construction;
-                // the source is interior (never written by any face) and
-                // the destination belongs to this face alone.
+                // the source is interior (wrapped into `g..g+n`, never
+                // granted by any face) and the destination guard cell
+                // belongs to this face alone, so its grant is unique —
+                // both claims are what the debug bitmap checks.
                 unsafe {
-                    let v = *raw.ptr.add(raw.idx(wi, wj, wk));
-                    *raw.ptr.add(raw.idx(i, j, k)) = v;
+                    let v = grid.part.read(grid.idx(wi, wj, wk));
+                    *grid.part.grant(grid.idx(i, j, k)) = v;
                 }
             }
         }

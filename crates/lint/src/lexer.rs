@@ -1,0 +1,323 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for
+//! the lint rules, with zero dependencies (the build environment has no
+//! crates.io access, so `syn` is not an option).
+//!
+//! The lexer's one job is to make the rules immune to the classic
+//! grep-lint false positives: identifiers inside string literals, inside
+//! comments, or inside `r#"raw"#` fixture strings must never trigger a
+//! rule, and comments must be *kept* (with their line numbers) because
+//! rule L1 is precisely about comment adjacency.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (text retained).
+    Ident,
+    /// Single punctuation character (text retained, one char).
+    Punct,
+    /// `// ...` comment, doc comments included (text retained).
+    LineComment,
+    /// `/* ... */` comment, nesting handled (text retained).
+    BlockComment,
+    /// String literal of any flavour (`"_"`, `b"_"`, `r#"_"#`); the
+    /// contents are deliberately dropped so they can never match rules.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (ints, floats, suffixed).
+    Num,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// Token text (empty for `Str`/`Char`; see [`TokKind`]).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: impl Into<String>, line: usize) -> Self {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs consume the
+/// rest of the input rather than erroring: the linter must degrade
+/// gracefully on any file rustc itself accepts (or rejects — rustc is
+/// the authority on well-formedness, not this lexer).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            toks.push(Token::new(TokKind::LineComment, text, line));
+        } else if c == '/' && b.get(i + 1) == Some(&'*') {
+            let tline = line;
+            let mut depth = 1usize;
+            let mut text = String::new();
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(b[i]);
+                    i += 1;
+                }
+            }
+            toks.push(Token::new(TokKind::BlockComment, text, tline));
+        } else if c == '"' {
+            i = skip_plain_string(&b, i, &mut line);
+            toks.push(Token::new(TokKind::Str, "", line));
+        } else if c == '\'' {
+            // Lifetime vs char literal: a quote followed by an escape or
+            // by `X'` is a char; otherwise it is a lifetime.
+            if b.get(i + 1) == Some(&'\\') {
+                // Skip the opening quote, the backslash and the escaped
+                // char itself (which may be `'`), then scan for the
+                // close — covers `'\''` and multi-char `'\u{..}'`.
+                i += 3;
+                while i < b.len() && b[i] != '\'' {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                toks.push(Token::new(TokKind::Char, "", line));
+            } else if b.get(i + 1).is_some() && b.get(i + 2) == Some(&'\'') {
+                i += 3;
+                toks.push(Token::new(TokKind::Char, "", line));
+            } else {
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Token::new(TokKind::Lifetime, "", line));
+            }
+        } else if c.is_ascii_digit() {
+            i += 1;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            // One fractional part; `0..10` must not swallow the range.
+            if i + 1 < b.len() && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            toks.push(Token::new(TokKind::Num, "", line));
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            let raw_prefix = matches!(text.as_str(), "r" | "b" | "br");
+            if raw_prefix && (b.get(i) == Some(&'"') || b.get(i) == Some(&'#')) {
+                if text == "b" && b[i] == '"' {
+                    // Byte string: same escape rules as a plain string.
+                    i = skip_plain_string(&b, i, &mut line);
+                    toks.push(Token::new(TokKind::Str, "", line));
+                } else if let Some(end) = try_raw_string(&b, i, &mut line) {
+                    i = end;
+                    toks.push(Token::new(TokKind::Str, "", line));
+                } else {
+                    // `r#ident` raw identifier: `#` then the real name.
+                    i += 1; // the '#'
+                    let s2 = i;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    let name: String = b[s2..i].iter().collect();
+                    toks.push(Token::new(TokKind::Ident, name, line));
+                }
+            } else {
+                toks.push(Token::new(TokKind::Ident, text, line));
+            }
+        } else {
+            toks.push(Token::new(TokKind::Punct, c.to_string(), line));
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Advances past a `"..."` literal starting at `b[i] == '"'`, handling
+/// backslash escapes; returns the index one past the closing quote.
+fn skip_plain_string(b: &[char], i: usize, line: &mut usize) -> usize {
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            // An escape skips the next char — which may itself be a
+            // newline (line-continuation), so keep the line count true.
+            '\\' => {
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Tries to lex a raw string whose `#...#"` framing starts at `b[i]`
+/// (which is `#` or `"`). Returns the end index, or `None` if this is
+/// not a raw string (e.g. an `r#ident` raw identifier).
+fn try_raw_string(b: &[char], i: usize, line: &mut usize) -> Option<usize> {
+    let mut j = i;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == '"' && (0..hashes).all(|h| b.get(j + 1 + h) == Some(&'#')) {
+            return Some(j + 1 + hashes);
+        }
+        if b[j] == '\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_in_strings_are_not_tokens() {
+        let src = r##"let s = "no unsafe here"; let r = r#"also no unsafe"#;"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unsafe"), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn identifiers_in_comments_are_not_idents_but_text_is_kept() {
+        let toks = lex("// mentions unsafe stuff\nlet x = 1; /* unsafe too */");
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unsafe"));
+        let comments: Vec<&Token> = toks.iter().filter(|t| t.is_comment()).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("unsafe"));
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(ids, vec!["fn", "f", "x", "str", "str", "x"]);
+        // The three lifetime marks lex as Lifetime tokens, not chars.
+        let lifetimes = lex("fn f<'a>(x: &'a str) -> &'a str { x }")
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let toks = lex(r"let c = 'x'; let q = '\''; let n = '\n';");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            3,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = lex("/* outer /* inner */ still outer */ let x = 1;");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[0].text.contains("still outer"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "x"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let toks = lex("let a = \"one\ntwo\";\nlet unsafe_free = 1;");
+        let id = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text == "unsafe_free")
+            .unwrap();
+        assert_eq!(id.line, 3);
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_merge() {
+        let toks = lex("for i in 0..10 { let f = 1.5e-3; }");
+        let nums = toks.iter().filter(|t| t.kind == TokKind::Num).count();
+        // 0, 10, 1.5e (exponent sign splits: 1.5e / - / 3).
+        assert!(nums >= 3, "{toks:?}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Punct && t.text == "."));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        let ids = idents("let r#fn = 1;");
+        assert!(ids.contains(&"fn".to_string()));
+    }
+}

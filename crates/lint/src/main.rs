@@ -1,0 +1,31 @@
+//! CLI entry point: scan the workspace, print findings, exit nonzero
+//! if any. An optional first argument overrides the workspace root
+//! (used by CI sandboxes that check out to a different path).
+
+use mpic_lint::{lint_workspace, workspace_root};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    let report = lint_workspace(&root);
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if report.findings.is_empty() {
+        println!(
+            "mpic-lint: {} files scanned, no findings",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "mpic-lint: {} finding(s) across {} files scanned",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,575 @@
+//! The four deny-by-default rule families.
+//!
+//! * **L1** `safety-comment` — every `unsafe` keyword needs an adjacent
+//!   `// SAFETY:` (or `/// # Safety` doc section) stating the invariant
+//!   being relied on.
+//! * **L2** `unsafe-allowlist` — `unsafe` may only appear in the small
+//!   allowlisted set of files that *are* the unsafe boundary (the exec
+//!   layer's job pointer, the checked `Partition`, the guard-exchange
+//!   fill). Anywhere else it is a finding, no matter how well commented.
+//! * **L3** `determinism` — result-bearing crates must not reach for
+//!   constructs that can perturb bit-identity or smuggle wall-clock /
+//!   scheduling dependence into results: `HashMap`/`HashSet` (iteration
+//!   order), `Instant` (wall clock), `Mutex`/`Condvar`/`RwLock` and
+//!   `thread::spawn`/`thread::scope` (ad-hoc threading outside the
+//!   deterministic exec layer), and `Ordering::Relaxed` (unsynchronised
+//!   result flow). The exec layer itself, test code, and the bench/lint
+//!   crates are out of scope — they are not result-bearing.
+//! * **L4** `allow-hygiene` — module-scope `#![allow(...)]` is rejected
+//!   outright; per-item `#[allow(...)]` must carry a justification
+//!   comment (same line or immediately above the attribute stack).
+//!
+//! All rules run on the lexed token stream from [`crate::lexer`], so
+//! string literals and comments can never produce false positives, and
+//! comment *adjacency* (which L1 and L4 are about) is exact.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One rule violation, reported as `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Stable rule id (`L1-safety-comment`, ...).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Files allowed to contain `unsafe` at all (rule L2). This is the
+/// workspace's entire unsafe surface; growing it is a reviewed decision,
+/// not a local convenience.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/machine/src/exec.rs",
+    "crates/machine/src/partition.rs",
+    "crates/grid/src/fields.rs",
+];
+
+/// The deterministic execution layer: the one place thread primitives
+/// and relaxed atomics are legitimate (the worker pool's parking and the
+/// steal cursor), so rule L3 does not apply inside it.
+const EXEC_LAYER: &[&str] = &[
+    "crates/machine/src/exec.rs",
+    "crates/machine/src/partition.rs",
+];
+
+/// Crates whose outputs feed simulation results and therefore fall
+/// under the bit-identity determinism contract (rule L3). The bench and
+/// lint crates are deliberately absent: wall-clock reads and ad-hoc
+/// threads are their job.
+const RESULT_BEARING_PREFIXES: &[&str] = &[
+    "src/",
+    "crates/machine/",
+    "crates/grid/",
+    "crates/particles/",
+    "crates/deposit/",
+    "crates/solver/",
+    "crates/push/",
+    "crates/core/",
+];
+
+/// Where a file sits in the workspace's trust taxonomy; drives which
+/// rules apply.
+#[derive(Debug, Clone, Copy)]
+pub struct FileScope {
+    /// May contain `unsafe` (rule L2 allowlist).
+    pub unsafe_allowed: bool,
+    /// Part of the exec layer (rule L3 exempt).
+    pub exec_layer: bool,
+    /// Feeds simulation results (rule L3 applies).
+    pub result_bearing: bool,
+    /// Integration test / example / bench harness file.
+    pub test_file: bool,
+}
+
+impl FileScope {
+    /// Classifies a workspace-relative path (`/`-separated).
+    pub fn classify(rel: &str) -> FileScope {
+        FileScope {
+            unsafe_allowed: UNSAFE_ALLOWLIST.contains(&rel),
+            exec_layer: EXEC_LAYER.contains(&rel),
+            result_bearing: RESULT_BEARING_PREFIXES.iter().any(|p| rel.starts_with(p)),
+            test_file: rel.starts_with("tests/")
+                || rel.starts_with("examples/")
+                || rel.contains("/tests/")
+                || rel.contains("/examples/")
+                || rel.contains("/benches/"),
+        }
+    }
+}
+
+/// Lints one file; `rel` is its workspace-relative path.
+pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
+    let scope = FileScope::classify(rel);
+    let toks = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let regions = test_regions(&toks);
+    // Non-comment tokens, for adjacency patterns like `Ordering::Relaxed`.
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut out = Vec::new();
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        out.push(Finding {
+            file: rel.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (ci, &ti) in code.iter().enumerate() {
+        let t = &toks[ti];
+        let nxt = |k: usize| code.get(ci + k).map(|&j| &toks[j]);
+        let punct = |tok: Option<&Token>, c: &str| {
+            tok.is_some_and(|t| t.kind == TokKind::Punct && t.text == c)
+        };
+        let ident = |tok: Option<&Token>, names: &[&str]| {
+            tok.is_some_and(|t| t.kind == TokKind::Ident && names.contains(&t.text.as_str()))
+        };
+
+        // L1 + L2: every `unsafe` keyword in the file.
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            if !scope.unsafe_allowed {
+                push(
+                    t.line,
+                    "L2-unsafe-allowlist",
+                    format!(
+                        "`unsafe` is confined to the audited boundary files \
+                         ({}); refactor through their checked APIs instead",
+                        UNSAFE_ALLOWLIST.join(", ")
+                    ),
+                );
+            }
+            if !has_safety_comment(&toks, ti, &lines) {
+                push(
+                    t.line,
+                    "L1-safety-comment",
+                    "`unsafe` without an adjacent `// SAFETY:` comment \
+                     stating the invariant it relies on"
+                        .to_string(),
+                );
+            }
+        }
+
+        // L3: determinism lints in result-bearing, non-exec, non-test code.
+        if scope.result_bearing
+            && !scope.exec_layer
+            && !scope.test_file
+            && !in_test_region(&regions, ti)
+            && t.kind == TokKind::Ident
+        {
+            match t.text.as_str() {
+                "HashMap" | "HashSet" => push(
+                    t.line,
+                    "L3-determinism",
+                    format!(
+                        "{} has nondeterministic iteration order; use a Vec, \
+                         sorted keys, or BTreeMap/BTreeSet",
+                        t.text
+                    ),
+                ),
+                "Instant" => push(
+                    t.line,
+                    "L3-determinism",
+                    "wall-clock reads (`Instant`) must not influence \
+                     result-bearing code; timing belongs in crates/bench"
+                        .to_string(),
+                ),
+                "Mutex" | "Condvar" | "RwLock" => push(
+                    t.line,
+                    "L3-determinism",
+                    format!(
+                        "{} introduces scheduling-dependent behaviour; go \
+                         through the deterministic exec layer instead",
+                        t.text
+                    ),
+                ),
+                "thread"
+                    if punct(nxt(1), ":")
+                        && punct(nxt(2), ":")
+                        && ident(nxt(3), &["spawn", "scope"]) =>
+                {
+                    push(
+                        t.line,
+                        "L3-determinism",
+                        "ad-hoc thread spawning bypasses the deterministic \
+                         worker pool; use machine::exec"
+                            .to_string(),
+                    )
+                }
+                "Ordering"
+                    if punct(nxt(1), ":") && punct(nxt(2), ":") && ident(nxt(3), &["Relaxed"]) =>
+                {
+                    push(
+                        t.line,
+                        "L3-determinism",
+                        "`Ordering::Relaxed` on a result-carrying atomic \
+                         cannot order result flow; only the exec layer's \
+                         steal cursor and claim bitmap may use it"
+                            .to_string(),
+                    )
+                }
+                _ => {}
+            }
+        }
+
+        // L4: allow-attribute hygiene (test harness files exempt).
+        if t.kind == TokKind::Punct && t.text == "#" && !scope.test_file {
+            if punct(nxt(1), "!") && punct(nxt(2), "[") && ident(nxt(3), &["allow"]) {
+                push(
+                    t.line,
+                    "L4-allow-hygiene",
+                    "blanket module-scope `#![allow(...)]` hides every \
+                     future violation; use per-item allows with a \
+                     justification comment"
+                        .to_string(),
+                );
+            } else if punct(nxt(1), "[")
+                && ident(nxt(2), &["allow"])
+                && !allow_is_justified(&toks, ti, &lines)
+            {
+                push(
+                    t.line,
+                    "L4-allow-hygiene",
+                    "`#[allow(...)]` without a justification comment (same \
+                     line or immediately above the attribute stack)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn mentions_safety(text: &str) -> bool {
+    text.contains("SAFETY") || text.contains("Safety")
+}
+
+/// L1 adjacency: a comment mentioning SAFETY on the same line, or an
+/// unbroken run of comment/attribute/blank lines directly above that
+/// contains one. The scan stops at the first code line — a SAFETY
+/// comment elsewhere in the function does not cover this site.
+fn has_safety_comment(toks: &[Token], ti: usize, lines: &[&str]) -> bool {
+    let line = toks[ti].line;
+    if toks
+        .iter()
+        .any(|t| t.is_comment() && t.line == line && mentions_safety(&t.text))
+    {
+        return true;
+    }
+    for ln in (1..line).rev().take(40) {
+        let s = lines.get(ln - 1).map_or("", |l| l.trim_start());
+        if s.is_empty() || s.starts_with("#[") || s.starts_with("#!") {
+            continue;
+        }
+        if s.starts_with("//") || s.starts_with("/*") || s.starts_with('*') {
+            if mentions_safety(s) {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// L4 justification: any comment on the attribute's line, or the first
+/// non-blank, non-attribute line above it is a comment.
+fn allow_is_justified(toks: &[Token], ti: usize, lines: &[&str]) -> bool {
+    let line = toks[ti].line;
+    if toks.iter().any(|t| t.is_comment() && t.line == line) {
+        return true;
+    }
+    for ln in (1..line).rev().take(40) {
+        let s = lines.get(ln - 1).map_or("", |l| l.trim_start());
+        if s.is_empty() || s.starts_with("#[") || s.starts_with("#!") {
+            continue;
+        }
+        return s.starts_with("//") || s.starts_with("/*") || s.starts_with('*');
+    }
+    false
+}
+
+/// Token-index ranges (inclusive) covered by `#[test]` functions and
+/// `#[cfg(test)]` items, so rule L3 can exempt unit-test code embedded
+/// in src files.
+fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .map(|(i, _)| i)
+        .collect();
+    let is_punct = |k: usize, c: &str| {
+        code.get(k)
+            .is_some_and(|&j| toks[j].kind == TokKind::Punct && toks[j].text == c)
+    };
+    let is_attr_start = |k: usize| is_punct(k, "#") && is_punct(k + 1, "[");
+
+    let mut regions = Vec::new();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if !is_attr_start(ci) {
+            ci += 1;
+            continue;
+        }
+        let (idents, attr_end) = parse_attr(toks, &code, ci);
+        if !is_test_attr(&idents) {
+            ci = attr_end + 1;
+            continue;
+        }
+        let start_orig = code[ci];
+        // Skip the rest of the item's attribute stack.
+        let mut k = attr_end + 1;
+        while k < code.len() && is_attr_start(k) {
+            let (_, e) = parse_attr(toks, &code, k);
+            k = e + 1;
+        }
+        // Consume the item: through its brace-balanced body, or to the
+        // terminating `;` for brace-free items (e.g. a cfg'd `use`).
+        let mut depth = 0usize;
+        let mut end_orig = code.last().copied().unwrap_or(start_orig);
+        while k < code.len() {
+            let tk = &toks[code[k]];
+            if tk.kind == TokKind::Punct {
+                match tk.text.as_str() {
+                    "{" => depth += 1,
+                    "}" if depth > 0 => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_orig = code[k];
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end_orig = code[k];
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        regions.push((start_orig, end_orig));
+        ci = k + 1;
+    }
+    regions
+}
+
+/// Parses the attribute whose `#` sits at code-position `ci`; returns
+/// the identifiers inside it and the code-position of its closing `]`.
+fn parse_attr(toks: &[Token], code: &[usize], ci: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut k = ci;
+    while k < code.len() {
+        let t = &toks[code[k]];
+        if t.kind == TokKind::Punct && t.text == "[" {
+            depth += 1;
+        } else if t.kind == TokKind::Punct && t.text == "]" {
+            depth -= 1;
+            if depth == 0 {
+                return (idents, k);
+            }
+        } else if t.kind == TokKind::Ident && depth > 0 {
+            idents.push(t.text.clone());
+        }
+        k += 1;
+    }
+    (idents, code.len().saturating_sub(1))
+}
+
+/// `#[test]`, or a `#[cfg(...)]` that requires `test` (conservatively:
+/// mentions `test`, does not mention `not`).
+fn is_test_attr(idents: &[String]) -> bool {
+    if idents.len() == 1 && idents[0] == "test" {
+        return true;
+    }
+    idents.first().is_some_and(|f| f == "cfg")
+        && idents.iter().any(|i| i == "test")
+        && !idents.iter().any(|i| i == "not")
+}
+
+fn in_test_region(regions: &[(usize, usize)], ti: usize) -> bool {
+    regions.iter().any(|&(s, e)| s <= ti && ti <= e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_file(rel, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    const ALLOWED: &str = "crates/machine/src/exec.rs";
+    const ORDINARY: &str = "crates/solver/src/maxwell.rs";
+
+    // ---- L1 ----
+
+    #[test]
+    fn l1_undocumented_unsafe_is_a_finding() {
+        let src = "fn f(p: *mut u8) { unsafe { *p = 1; } }\n";
+        let fired = rules_fired(ALLOWED, src);
+        assert!(fired.contains(&"L1-safety-comment"), "{fired:?}");
+    }
+
+    #[test]
+    fn l1_safety_comment_above_satisfies() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: p is valid per caller contract.\n    unsafe { *p = 1; }\n}\n";
+        assert!(rules_fired(ALLOWED, src).is_empty());
+    }
+
+    #[test]
+    fn l1_trailing_same_line_safety_comment_satisfies() {
+        let src = "fn f(p: *mut u8) {\n    unsafe { *p = 1; } // SAFETY: p valid.\n}\n";
+        assert!(rules_fired(ALLOWED, src).is_empty());
+    }
+
+    #[test]
+    fn l1_doc_safety_section_covers_unsafe_fn() {
+        let src = "/// Does the thing.\n///\n/// # Safety\n///\n/// `p` must be valid.\n#[allow(unsafe_code)]\npub unsafe fn f(p: *mut u8) {\n    // SAFETY: caller contract, forwarded.\n    unsafe { *p = 1; }\n}\n";
+        let fired = rules_fired(ALLOWED, src);
+        assert!(!fired.contains(&"L1-safety-comment"), "{fired:?}");
+    }
+
+    #[test]
+    fn l1_comment_does_not_leak_past_code_lines() {
+        let src = "// SAFETY: this comment covers nothing below the let.\nfn f(p: *mut u8) {\n    let x = 1;\n    unsafe { *p = x; }\n}\n";
+        let fired = rules_fired(ALLOWED, src);
+        assert!(fired.contains(&"L1-safety-comment"), "{fired:?}");
+    }
+
+    // ---- L2 ----
+
+    #[test]
+    fn l2_unsafe_outside_allowlist_is_a_finding() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: well documented, still not allowed here.\n    unsafe { *p = 1; }\n}\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert!(fired.contains(&"L2-unsafe-allowlist"), "{fired:?}");
+    }
+
+    #[test]
+    fn l2_the_word_unsafe_in_strings_and_comments_is_ignored() {
+        let src = "// unsafe is discussed here only.\nfn f() -> &'static str { \"unsafe\" }\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
+    }
+
+    // ---- L3 ----
+
+    #[test]
+    fn l3_hash_collections_are_findings() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m; }\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert_eq!(fired.iter().filter(|r| **r == "L3-determinism").count(), 3);
+    }
+
+    #[test]
+    fn l3_instant_and_locks_are_findings() {
+        let src = "fn f() { let t = Instant::now(); let m = Mutex::new(0); let r = RwLock::new(0); let c = Condvar::new(); }\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert_eq!(fired.iter().filter(|r| **r == "L3-determinism").count(), 4);
+    }
+
+    #[test]
+    fn l3_thread_spawn_and_relaxed_ordering_are_findings() {
+        let src =
+            "fn f() { let h = thread::spawn(|| 1); let _ = x.fetch_add(1, Ordering::Relaxed); }\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert_eq!(fired.iter().filter(|r| **r == "L3-determinism").count(), 2);
+    }
+
+    #[test]
+    fn l3_other_orderings_and_thread_idents_are_fine() {
+        let src = "fn f() { let _ = x.load(Ordering::Acquire); let t = thread::current(); }\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
+    }
+
+    #[test]
+    fn l3_does_not_apply_to_exec_layer_bench_or_test_files() {
+        let src = "fn f() { let t = Instant::now(); let m = Mutex::new(0); }\n";
+        assert!(rules_fired("crates/machine/src/exec.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/bin/probe_parallel.rs", src).is_empty());
+        assert!(rules_fired("tests/parallel_determinism.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_exempts_cfg_test_modules_and_test_fns_in_src_files() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    #[test]\n    fn t() { let s: HashSet<u32> = HashSet::new(); let _ = s; }\n}\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
+        let src2 =
+            "#[test]\nfn t() { let i = Instant::now(); }\nfn real() { let i = Instant::now(); }\n";
+        let fired = rules_fired(ORDINARY, src2);
+        assert_eq!(fired.iter().filter(|r| **r == "L3-determinism").count(), 1);
+    }
+
+    #[test]
+    fn l3_cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn real() { let i = Instant::now(); }\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert!(fired.contains(&"L3-determinism"), "{fired:?}");
+    }
+
+    // ---- L4 ----
+
+    #[test]
+    fn l4_blanket_module_allow_is_a_finding() {
+        let src = "#![allow(dead_code)]\nfn f() {}\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert!(fired.contains(&"L4-allow-hygiene"), "{fired:?}");
+    }
+
+    #[test]
+    fn l4_bare_item_allow_is_a_finding() {
+        let src = "fn g() {}\n#[allow(dead_code)]\nfn f() {}\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert!(fired.contains(&"L4-allow-hygiene"), "{fired:?}");
+    }
+
+    #[test]
+    fn l4_justified_allows_pass() {
+        let trailing = "#[allow(dead_code)] // kept for the ffi table layout\nfn f() {}\n";
+        assert!(rules_fired(ORDINARY, trailing).is_empty());
+        let above = "// The extra arm keeps the jump table dense.\n#[allow(dead_code)]\n#[allow(clippy::match_like_matches_macro)]\nfn f() {}\n";
+        assert!(rules_fired(ORDINARY, above).is_empty());
+    }
+
+    #[test]
+    fn l4_deny_attributes_are_not_findings() {
+        let src = "// Inner deny is encouraged, not rejected.\n#![deny(unsafe_op_in_unsafe_fn)]\nfn f() {}\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
+    }
+
+    #[test]
+    fn l4_exempts_test_harness_files() {
+        let src = "#![allow(dead_code)]\n#[allow(unused)]\nfn f() {}\n";
+        assert!(rules_fired("tests/property_tests.rs", src).is_empty());
+    }
+
+    // ---- scope classification ----
+
+    #[test]
+    fn scope_taxonomy_matches_the_workspace_layout() {
+        let exec = FileScope::classify("crates/machine/src/exec.rs");
+        assert!(exec.unsafe_allowed && exec.exec_layer && exec.result_bearing);
+        let part = FileScope::classify("crates/machine/src/partition.rs");
+        assert!(part.unsafe_allowed && part.exec_layer);
+        let fields = FileScope::classify("crates/grid/src/fields.rs");
+        assert!(fields.unsafe_allowed && !fields.exec_layer && fields.result_bearing);
+        let bench = FileScope::classify("crates/bench/src/bin/probe_parallel.rs");
+        assert!(!bench.unsafe_allowed && !bench.result_bearing);
+        let lint = FileScope::classify("crates/lint/src/rules.rs");
+        assert!(!lint.unsafe_allowed && !lint.result_bearing);
+        let test = FileScope::classify("tests/parallel_determinism.rs");
+        assert!(test.test_file);
+        let facade = FileScope::classify("src/lib.rs");
+        assert!(facade.result_bearing && !facade.unsafe_allowed);
+    }
+}

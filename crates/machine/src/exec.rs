@@ -33,15 +33,15 @@
 //! [`Static`]: SchedulerPolicy::Static
 //! [`Stealing`]: SchedulerPolicy::Stealing
 
-// The execution layer is the one place in the workspace that needs
-// `unsafe`: erasing the borrow lifetime of a dispatched closure (bounded
-// by the pool's completion barrier) and handing disjoint `&mut` slice
-// elements to the workers that claimed them. Every unsafe block carries
-// its invariant; everything built on top stays safe Rust.
-#![allow(unsafe_code)]
+// The execution layer is one of the two places in the workspace allowed
+// to use `unsafe` (the other is the guard exchange): erasing the borrow
+// lifetime of a dispatched closure (bounded by the pool's completion
+// barrier) and handing out disjoint `&mut` slice elements through the
+// checked [`Partition`] abstraction. Every unsafe item below carries a
+// per-item `#[allow(unsafe_code)]` plus a SAFETY comment stating its
+// invariant — `mpic-lint` (rules L1/L2/L4) enforces exactly that shape.
 
 use std::any::Any;
-use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -49,6 +49,7 @@ use std::thread::JoinHandle;
 
 use crate::counters::MachineCounters;
 use crate::machine::Machine;
+use crate::partition::Partition;
 use crate::shard::shard_bounds;
 
 /// Minimum items (keys, SoA slots, ...) per potential worker before a
@@ -105,6 +106,7 @@ struct Job(*const (dyn Fn(usize) + Sync));
 
 // SAFETY: the pointee is `Sync` (shared execution is the point) and the
 // pool's completion barrier bounds its use to the broadcast call.
+#[allow(unsafe_code)]
 unsafe impl Send for Job {}
 
 /// State shared between the dispatching thread and the parked workers.
@@ -220,15 +222,19 @@ impl WorkerPool {
     /// invariant that keeps the lifetime-erased closure pointer alive
     /// exactly as long as workers can see it, so overlap is refused
     /// outright (checked under the state lock, never a data race).
+    // Lifetime erasure of the dispatched closure is the pool's one
+    // irreducible unsafe operation; the invariant is stated at the site.
+    #[allow(unsafe_code)]
     pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
         if self.threads.is_empty() {
             f(0);
             return;
         }
-        // Erase the borrow lifetime. Sound because this function does
-        // not return (or unwind past `guard`) until every worker has
-        // finished with the pointer, and the in-flight check below
-        // rejects any second job that could outlive its own borrow.
+        // SAFETY: erasing the borrow lifetime is sound because this
+        // function does not return (or unwind past `guard`) until every
+        // worker has finished with the pointer, and the in-flight check
+        // below rejects any second job that could outlive its own
+        // borrow.
         let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
         {
             let mut st = self.shared.lock();
@@ -293,6 +299,9 @@ impl Drop for WorkerPool {
     }
 }
 
+// Dereferences the lifetime-erased job pointer published by `broadcast`;
+// the SAFETY argument lives at the single deref site below.
+#[allow(unsafe_code)]
 fn worker_loop(shared: &Shared, id: usize) {
     let mut seen = 0u64;
     loop {
@@ -322,40 +331,6 @@ fn worker_loop(shared: &Shared, id: usize) {
         if st.active == 0 {
             shared.done_cv.notify_all();
         }
-    }
-}
-
-/// Hands out disjoint `&mut` elements of one slice to multiple workers.
-/// The scheduler guarantees each index is claimed by exactly one worker,
-/// which is what makes the aliasing sound.
-struct DisjointSlice<'a, T> {
-    ptr: *mut T,
-    len: usize,
-    _marker: PhantomData<&'a mut [T]>,
-}
-
-// SAFETY: access is partitioned by index; `T: Send` lets elements be
-// mutated from whichever worker claims them.
-unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
-unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
-
-impl<'a, T> DisjointSlice<'a, T> {
-    fn new(s: &'a mut [T]) -> Self {
-        Self {
-            ptr: s.as_mut_ptr(),
-            len: s.len(),
-            _marker: PhantomData,
-        }
-    }
-
-    /// # Safety
-    ///
-    /// `i` must be in bounds and accessed by at most one worker at a
-    /// time (guaranteed when `i` comes from a scheduler claim).
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get(&self, i: usize) -> &mut T {
-        debug_assert!(i < self.len);
-        &mut *self.ptr.add(i)
     }
 }
 
@@ -428,6 +403,9 @@ impl<'a> Exec<'a> {
     /// may not assume anything about which worker runs an item or in
     /// what order items execute. With a 1-worker pool (or a single
     /// item) this runs inline with zero synchronisation.
+    // The per-item `&mut` handout goes through the checked `Partition`
+    // grants; each unsafe site states why its claims are disjoint.
+    #[allow(unsafe_code)]
     pub fn for_each<T, F>(&self, items: &mut [T], f: F)
     where
         T: Send,
@@ -441,15 +419,16 @@ impl<'a> Exec<'a> {
             }
             return;
         }
-        let slots = DisjointSlice::new(items);
+        let slots = Partition::new(items);
         match self.policy {
             SchedulerPolicy::Static => {
                 let bounds = shard_bounds(len, workers);
                 self.pool.broadcast(&|w| {
                     if let Some(&(lo, hi)) = bounds.get(w) {
                         for i in lo..hi {
-                            // SAFETY: static chunks are disjoint.
-                            f(i, unsafe { slots.get(i) });
+                            // SAFETY: static chunks are disjoint, so
+                            // each index is granted exactly once.
+                            f(i, unsafe { slots.grant(i) });
                         }
                     }
                 });
@@ -467,8 +446,9 @@ impl<'a> Exec<'a> {
                     }
                     for i in lo..(lo + k).min(len) {
                         // SAFETY: fetch_add hands each chunk (and thus
-                        // each index) to exactly one worker.
-                        f(i, unsafe { slots.get(i) });
+                        // each index) to exactly one worker, so each
+                        // index is granted exactly once.
+                        f(i, unsafe { slots.grant(i) });
                     }
                 });
             }
@@ -499,6 +479,10 @@ impl<'a> Exec<'a> {
     /// Panics if `scratch` holds fewer entries than the number of
     /// workers that may participate (`min(workers(), items.len())`), or
     /// propagates the panic of any item handler.
+    // Items, per-item output slots and per-worker scratch are all handed
+    // out through checked `Partition` grants; each unsafe site states
+    // why its claim is unique.
+    #[allow(unsafe_code)]
     pub fn run_counted<T, S, F>(
         &self,
         main: &Machine,
@@ -522,20 +506,23 @@ impl<'a> Exec<'a> {
             scratch.len(),
         );
         let mut out = vec![MachineCounters::default(); len];
-        let items_sl = DisjointSlice::new(items);
-        let out_sl = DisjointSlice::new(&mut out);
-        let scratch_sl = DisjointSlice::new(scratch);
+        let items_sl = Partition::new(items);
+        let out_sl = Partition::new(&mut out);
+        let scratch_sl = Partition::new(scratch);
         let run_item = |wm: &mut Machine, scr: &mut S, i: usize| {
-            // SAFETY: each index is claimed by exactly one worker.
-            f(wm, i, unsafe { items_sl.get(i) }, scr);
-            *unsafe { out_sl.get(i) } = wm.drain_counters();
+            // SAFETY: each item index is claimed by exactly one worker
+            // (scheduler claim), so the item grant and the matching
+            // output-slot grant are both unique.
+            f(wm, i, unsafe { items_sl.grant(i) }, scr);
+            // SAFETY: as above — output slot `i` pairs with item `i`.
+            *unsafe { out_sl.grant(i) } = wm.drain_counters();
         };
         if workers == 1 {
             // Inline, but still on a fork: the per-item deltas must be
             // the same ones a multi-worker run produces.
             let mut wm = main.fork_worker();
-            // SAFETY: single worker, single scratch slot.
-            let scr = unsafe { scratch_sl.get(0) };
+            // SAFETY: single worker, single scratch slot, granted once.
+            let scr = unsafe { scratch_sl.grant(0) };
             for i in 0..len {
                 run_item(&mut wm, scr, i);
             }
@@ -549,8 +536,9 @@ impl<'a> Exec<'a> {
                         return;
                     };
                     let mut wm = main.fork_worker();
-                    // SAFETY: one scratch slot per worker id.
-                    let scr = unsafe { scratch_sl.get(w) };
+                    // SAFETY: one scratch slot per worker id, granted
+                    // once per dispatch by that worker alone.
+                    let scr = unsafe { scratch_sl.grant(w) };
                     for i in lo..hi {
                         run_item(&mut wm, scr, i);
                     }
@@ -566,8 +554,9 @@ impl<'a> Exec<'a> {
                     // Fork lazily: a worker that never claims an item
                     // (all stolen before it woke) skips the fork cost.
                     let mut wm: Option<Machine> = None;
-                    // SAFETY: one scratch slot per worker id.
-                    let scr = unsafe { scratch_sl.get(w) };
+                    // SAFETY: one scratch slot per worker id, granted
+                    // once per dispatch by that worker alone.
+                    let scr = unsafe { scratch_sl.grant(w) };
                     loop {
                         let lo = cursor.fetch_add(k, Ordering::Relaxed);
                         if lo >= len {

@@ -37,6 +37,11 @@
 //! assert!(m.counters().cycles(Phase::Compute) > 0.0);
 //! ```
 
+// Unsafe sites (the exec layer's lifetime-erased job pointer and the
+// checked Partition grants) must wrap each unsafe operation explicitly
+// even inside `unsafe fn`, so every site carries its own SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod cost;
 pub mod counters;
@@ -44,6 +49,7 @@ pub mod exec;
 pub mod gpu;
 pub mod machine;
 pub mod mem;
+pub mod partition;
 pub mod shard;
 pub mod vreg;
 
@@ -54,5 +60,6 @@ pub use exec::{Exec, SchedulerPolicy, WorkerPool, INLINE_ITEM_THRESHOLD};
 pub use gpu::{GpuConfig, GpuDepositionReport, GpuModel};
 pub use machine::{Machine, TileId};
 pub use mem::{MemSystem, VAddr};
+pub use partition::Partition;
 pub use shard::shard_bounds;
 pub use vreg::{VMask, VReg, VLANES};

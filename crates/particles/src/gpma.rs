@@ -496,7 +496,11 @@ impl Gpma {
     ///
     /// Panics on any inconsistency.
     pub fn check_invariants(&self, cells: &[usize]) {
-        let mut seen = std::collections::HashSet::new();
+        // Plain index bitmap, not a HashSet: the determinism lint (L3)
+        // bans hash collections in result-bearing crates outright, and a
+        // checker should not carry a nondeterministic structure even for
+        // membership-only use.
+        let mut seen = vec![false; cells.len()];
         let mut live_expected = 0;
         for &c in cells {
             if c != INVALID_PARTICLE_ID {
@@ -516,7 +520,9 @@ impl Gpma {
                     );
                     total_free += 1;
                 } else {
-                    assert!(seen.insert(p), "particle {p} appears twice");
+                    assert!(p < cells.len(), "particle id {p} out of range");
+                    assert!(!seen[p], "particle {p} appears twice");
+                    seen[p] = true;
                     assert_eq!(cells[p], c, "particle {p} in wrong bin");
                     assert_eq!(self.slot_of[p], slot, "slot map stale for {p}");
                     valid += 1;
@@ -529,7 +535,8 @@ impl Gpma {
                 "bin {c} free stack size"
             );
         }
-        assert_eq!(seen.len(), live_expected, "all particles indexed");
+        let seen_count = seen.iter().filter(|&&s| s).count();
+        assert_eq!(seen_count, live_expected, "all particles indexed");
         assert_eq!(total_free, self.num_empty_slots, "empty slot count");
     }
 }

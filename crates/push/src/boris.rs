@@ -34,7 +34,6 @@ impl BorisCoeffs {
 ///
 /// Returns the particle's Lorentz factor after the update (for
 /// diagnostics).
-#[allow(clippy::too_many_arguments)]
 pub fn boris_push(
     c: &BorisCoeffs,
     e: [f64; 3],

@@ -161,7 +161,6 @@ impl MaxwellSolver {
     /// Backward difference of `arr` along `axis` at (i, j, k), optionally
     /// CKC-smoothed transversally.
     #[inline]
-    #[allow(clippy::too_many_arguments)]
     fn diff_back(
         &self,
         arr: &Array3,

@@ -104,7 +104,7 @@ fn assert_values_bitwise(label: &str, a: &FieldArrays, b: &FieldArrays) {
 }
 
 #[test]
-fn batched_fullopt_values_match_per_particle_bitwise() {
+fn conf_batched_fullopt_values_match_per_particle_bitwise() {
     // Gather batching is value-exact and the matrix kernel is run-based
     // either way: three FullOpt steps must agree bit for bit in every
     // field array, while the batched run charges strictly fewer
@@ -133,7 +133,7 @@ fn batched_fullopt_values_match_per_particle_bitwise() {
 }
 
 #[test]
-fn batched_rhocell_values_match_per_particle_bitwise() {
+fn conf_batched_rhocell_values_match_per_particle_bitwise() {
     let (ref_f, _, _) = run(
         uniform(KernelConfig::RhocellIncrSortVpu, false),
         1,
@@ -186,7 +186,7 @@ fn batched_baseline_values_match_within_tight_bound() {
 }
 
 #[test]
-fn batched_path_is_bit_identical_across_workers_and_policies() {
+fn conf_batched_path_is_bit_identical_across_workers_and_policies() {
     // The acceptance gate of the tentpole: batching preserves the PR 2-4
     // contract — any worker count, either scheduler, same bits
     // everywhere including per-phase counters.
@@ -209,7 +209,7 @@ fn batched_path_is_bit_identical_across_workers_and_policies() {
 }
 
 #[test]
-fn batched_unsorted_fallback_is_bitwise_noop() {
+fn conf_batched_unsorted_fallback_is_bitwise_noop() {
     // HybridNoSort provides no cell-grouped order: the knob must change
     // nothing at all — values AND cycles.
     let a = run(
@@ -228,7 +228,7 @@ fn batched_unsorted_fallback_is_bitwise_noop() {
 }
 
 #[test]
-fn batched_imbalanced_lwfa_with_empty_tiles_stays_deterministic() {
+fn conf_batched_imbalanced_lwfa_with_empty_tiles_stays_deterministic() {
     // One hot tile, the rest empty, moving window + absorbing walls:
     // empty tiles must charge nothing and the batched path must stay
     // bit-identical across workers and policies on the skewed input.
@@ -261,7 +261,7 @@ fn batched_imbalanced_lwfa_with_empty_tiles_stays_deterministic() {
 }
 
 #[test]
-fn batched_deposit_survives_stealing_chunk_boundaries() {
+fn conf_batched_deposit_survives_stealing_chunk_boundaries() {
     // Drive the batched deposit directly with pinned stealing chunk
     // sizes so tile claims split at every batch boundary — including K
     // that does not divide the tile count and K larger than it. The

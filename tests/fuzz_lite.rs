@@ -1,0 +1,193 @@
+//! Fuzz-lite harnesses: the property tests that are worth running far
+//! past the default case budget.
+//!
+//! Each harness reads its case count from the `MPIC_FUZZ_ITERS`
+//! environment variable, so a plain `cargo test` stays fast while a
+//! dedicated fuzz sweep (`MPIC_FUZZ_ITERS=2000 cargo test --test
+//! fuzz_lite`) hammers the same properties with three orders of
+//! magnitude more inputs. The targets are the three structures whose
+//! corruption would silently break the determinism contract rather than
+//! crash: the run decomposition, the sharded counting sort, and the
+//! GPMA's incremental maintenance.
+
+use matrix_pic::machine::{SchedulerPolicy, WorkerPool, INLINE_ITEM_THRESHOLD};
+use matrix_pic::particles::{
+    cell_runs, counting_sort_keys, counting_sort_keys_sharded, Gpma, SortScratch,
+    INVALID_PARTICLE_ID,
+};
+use proptest::prelude::*;
+
+/// Case budget: `MPIC_FUZZ_ITERS` if set and parseable, else `default`.
+fn fuzz_cases(default: u32) -> u32 {
+    std::env::var("MPIC_FUZZ_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reference grouping: linear scan tracking the previous key.
+fn naive_runs(keys: &[usize]) -> Vec<(usize, usize, usize)> {
+    let mut out: Vec<(usize, usize, usize)> = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        match out.last_mut() {
+            Some((cell, _, end)) if *cell == k && *end == i => *end = i + 1,
+            _ => out.push((k, i, i + 1)),
+        }
+    }
+    out
+}
+
+/// `cell_runs` must agree with the naive reference grouping, tile the
+/// index space exactly, and yield maximal runs — for sorted, unsorted
+/// and degenerate key sequences alike.
+#[test]
+fn fuzz_cell_runs_match_reference_and_tile_exactly() {
+    proptest!(ProptestConfig::with_cases(fuzz_cases(128)), |(
+        keys in prop::collection::vec(0usize..6, 0..400),
+        sort_it in 0u8..2,
+    )| {
+        // The macro re-borrows the inputs for its failure report, so
+        // shadow with a clone rather than moving.
+        let mut keys = keys.clone();
+        if sort_it == 1 {
+            keys.sort_unstable();
+        }
+        let got: Vec<(usize, usize, usize)> =
+            cell_runs(&keys).map(|r| (r.cell, r.start, r.end)).collect();
+        prop_assert_eq!(&got, &naive_runs(&keys));
+        // Runs tile 0..len exactly, in order.
+        let mut cursor = 0;
+        for &(_, start, end) in &got {
+            prop_assert_eq!(start, cursor);
+            prop_assert!(end > start, "empty run yielded");
+            cursor = end;
+        }
+        prop_assert_eq!(cursor, keys.len());
+        // Maximality: neighbouring runs never share a key.
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 != w[1].0, "adjacent runs share key {}", w[0].0);
+        }
+    });
+}
+
+/// The sharded counting sort must produce the byte-identical permutation
+/// of the sequential stable sort for every worker count (ragged 1..9,
+/// far from powers of two) and both scheduler policies, on inputs sized
+/// to cross the inline threshold so the parallel merge path really runs.
+#[test]
+fn fuzz_sharded_sort_matches_sequential_for_all_workers_and_policies() {
+    let pools: Vec<WorkerPool> = (1..9).map(WorkerPool::new).collect();
+    proptest!(ProptestConfig::with_cases(fuzz_cases(12)), |(
+        n_buckets in 1usize..48,
+        // Size reaches ~1.5 chunks past the inline threshold so worker
+        // counts >= 2 take the sharded path; small sizes cover inline.
+        len_frac in 0.0f64..1.5,
+        seed in 0usize..1_000_000,
+    )| {
+        let len = (len_frac * INLINE_ITEM_THRESHOLD as f64) as usize * 4;
+        // Deterministic splitmix-style key stream (the vendored proptest
+        // vec strategy at this length would dominate runtime).
+        let mut state = seed as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        let keys: Vec<usize> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as usize % n_buckets
+            })
+            .collect();
+        let (expect, _) = counting_sort_keys(&keys, n_buckets);
+        for pool in &pools {
+            for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+                let mut perm = Vec::new();
+                let mut scratch = SortScratch::default();
+                counting_sort_keys_sharded(
+                    &keys,
+                    n_buckets,
+                    pool.exec(policy),
+                    &mut perm,
+                    &mut scratch,
+                );
+                prop_assert_eq!(
+                    &perm,
+                    &expect,
+                    "divergence at workers={} policy={:?} len={}",
+                    pool.workers(),
+                    policy,
+                    len
+                );
+            }
+        }
+    });
+}
+
+/// GPMA insert/remove/move churn with randomized build sizes (empty
+/// included), bin counts, gap ratios and duplicate-heavy bins: the
+/// structure must keep every invariant and agree with the shadow
+/// `cells` array after every applied batch.
+#[test]
+fn fuzz_gpma_churn_randomized_shapes() {
+    proptest!(ProptestConfig::with_cases(fuzz_cases(48)), |(
+        n_bins in 1usize..24,
+        gap_pick in 0usize..3,
+        initial_len in 0usize..120,
+        dup_bin in 0usize..24,
+        ops in prop::collection::vec((0u8..3, 0usize..256, 0usize..24), 0..200),
+    )| {
+        let gap_ratio = [0.1, 0.3, 0.7][gap_pick];
+        // Half the initial particles pile into one bin to stress the
+        // shift path with long equal runs.
+        let mut cells: Vec<usize> = (0..initial_len)
+            .map(|i| if i % 2 == 0 { dup_bin % n_bins } else { i % n_bins })
+            .collect();
+        let mut g = Gpma::build(&cells, n_bins, gap_ratio);
+        g.check_invariants(&cells);
+        for chunk in ops.chunks(16) {
+            let mut touched = vec![false; cells.len() + chunk.len()];
+            for &(op, pick, bin) in chunk {
+                let bin = bin % n_bins;
+                match op {
+                    0 => {
+                        let p = cells.len();
+                        cells.push(bin);
+                        g.queue_insert(p, bin);
+                        if p < touched.len() {
+                            touched[p] = true;
+                        }
+                    }
+                    1 => {
+                        let live: Vec<usize> = (0..cells.len())
+                            .filter(|&p| cells[p] != INVALID_PARTICLE_ID
+                                && !touched.get(p).copied().unwrap_or(true))
+                            .collect();
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let p = live[pick % live.len()];
+                        g.queue_remove(p, cells[p]);
+                        cells[p] = INVALID_PARTICLE_ID;
+                        touched[p] = true;
+                    }
+                    _ => {
+                        let live: Vec<usize> = (0..cells.len())
+                            .filter(|&p| cells[p] != INVALID_PARTICLE_ID
+                                && !touched.get(p).copied().unwrap_or(true))
+                            .collect();
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let p = live[pick % live.len()];
+                        if cells[p] == bin {
+                            continue;
+                        }
+                        g.queue_move(p, cells[p], bin);
+                        cells[p] = bin;
+                        touched[p] = true;
+                    }
+                }
+            }
+            g.apply_pending_moves(&cells);
+            g.check_invariants(&cells);
+        }
+        let live = cells.iter().filter(|&&c| c != INVALID_PARTICLE_ID).count();
+        prop_assert_eq!(g.num_particles(), live);
+    });
+}

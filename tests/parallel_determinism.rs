@@ -82,7 +82,7 @@ fn assert_bit_identical(
 }
 
 #[test]
-fn uniform_plasma_fullopt_is_worker_count_invariant() {
+fn conf_uniform_plasma_fullopt_is_worker_count_invariant() {
     let build = || {
         workloads::uniform_plasma_sim([16, 16, 16], 4, ShapeOrder::Cic, KernelConfig::FullOpt, 42)
     };
@@ -94,7 +94,7 @@ fn uniform_plasma_fullopt_is_worker_count_invariant() {
 }
 
 #[test]
-fn uniform_plasma_qsp_vpu_is_worker_count_invariant() {
+fn conf_uniform_plasma_qsp_vpu_is_worker_count_invariant() {
     let build = || {
         workloads::uniform_plasma_sim(
             [8, 8, 16],
@@ -110,7 +110,7 @@ fn uniform_plasma_qsp_vpu_is_worker_count_invariant() {
 }
 
 #[test]
-fn lwfa_fullopt_is_worker_count_invariant() {
+fn conf_lwfa_fullopt_is_worker_count_invariant() {
     // Moving window, laser injection, absorbing boundaries: exercises
     // particle removal and injection alongside the parallel sweeps.
     let build = || workloads::lwfa_sim([8, 8, 32], 2, ShapeOrder::Cic, KernelConfig::FullOpt, 13);
@@ -122,7 +122,7 @@ fn lwfa_fullopt_is_worker_count_invariant() {
 }
 
 #[test]
-fn baseline_direct_scatter_is_worker_count_invariant() {
+fn conf_baseline_direct_scatter_is_worker_count_invariant() {
     // The direct-scatter (WarpX baseline) kernel is sharded via per-tile
     // sparse current outputs applied in tile order; both the fields and
     // the per-tile counter drains must be invariant to the worker count.
@@ -136,7 +136,7 @@ fn baseline_direct_scatter_is_worker_count_invariant() {
 }
 
 #[test]
-fn global_sort_every_step_is_worker_count_invariant() {
+fn conf_global_sort_every_step_is_worker_count_invariant() {
     // Hybrid-GlobalSort runs the sharded counting sort every timestep:
     // histogram split + deterministic prefix merge must reproduce the
     // sequential particle order (and Sort-phase cycles) exactly.
@@ -160,7 +160,7 @@ fn global_sort_every_step_is_worker_count_invariant() {
 /// fixed-order source pass must pin E, B and `FieldSolve` cycles across
 /// 1/2/4/7 workers (satellite coverage for the sharded Maxwell step).
 #[test]
-fn periodic_laser_field_solve_is_worker_count_invariant() {
+fn conf_periodic_laser_field_solve_is_worker_count_invariant() {
     let build = || {
         let mut cfg = workloads::uniform_plasma_config(
             [12, 12, 24],
@@ -205,7 +205,7 @@ fn periodic_laser_field_solve_is_worker_count_invariant() {
 /// per-phase cycles must nonetheless agree bit for bit, because per-tile
 /// outputs and counters merge in tile order regardless of who ran what.
 #[test]
-fn static_vs_stealing_bit_identical_on_imbalanced_lwfa() {
+fn conf_static_vs_stealing_bit_identical_on_imbalanced_lwfa() {
     let build = || workloads::imbalanced_lwfa_sim([16, 16, 32], 4, 29);
     {
         // The imbalance must actually be adversarial, or this test
@@ -236,7 +236,7 @@ fn static_vs_stealing_bit_identical_on_imbalanced_lwfa() {
 /// per-tile pool insertion) while the 1-worker reference runs inline.
 /// Fields, cycles and particle counts must agree bit for bit.
 #[test]
-fn parallel_window_injection_is_worker_count_invariant() {
+fn conf_parallel_window_injection_is_worker_count_invariant() {
     use matrix_pic::core::PlasmaSpec;
     use matrix_pic::grid::constants::{M_E, Q_E};
     use matrix_pic::particles::ParticleContainer;
@@ -268,7 +268,7 @@ fn parallel_window_injection_is_worker_count_invariant() {
 /// run flipping the scheduler policy between steps still matches (the
 /// policy is a pure execution knob, switchable mid-run).
 #[test]
-fn pool_reuse_across_consecutive_steps_is_deterministic() {
+fn conf_pool_reuse_across_consecutive_steps_is_deterministic() {
     let build = || {
         workloads::uniform_plasma_sim([12, 12, 12], 2, ShapeOrder::Cic, KernelConfig::FullOpt, 11)
     };
