@@ -63,7 +63,7 @@ fn bench_gpma_maintenance(c: &mut Criterion) {
                     g.queue_move(p, old, new);
                     cells[p] = new;
                 }
-                g.apply_pending_moves(&cells);
+                let _ = g.apply_pending_moves(&cells);
             }
             std::hint::black_box(g.num_particles())
         });

@@ -28,10 +28,14 @@
 //! ```
 
 pub mod config;
+pub mod driver;
 pub mod simulation;
+pub mod snapshot;
 pub mod timings;
 pub mod workloads;
 
 pub use config::SimConfig;
+pub use driver::{DriverError, RecoveryStats, ResilientDriver};
 pub use simulation::{PlasmaSpec, Simulation};
+pub use snapshot::SnapshotError;
 pub use timings::{RunReport, StepTimings};

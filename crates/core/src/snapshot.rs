@@ -1,0 +1,572 @@
+//! The deterministic checkpoint container format.
+//!
+//! A snapshot is a single byte buffer with a fixed header, a section
+//! table and one checksummed payload slice per section:
+//!
+//! ```text
+//! magic   [u8; 8] = "MPICSNAP"
+//! version u32     = 1
+//! count   u32     = number of sections
+//! table   count x { id: u32, offset: u64, len: u64, fnv1a64: u64 }
+//! payload concatenated section bytes (offsets are absolute)
+//! ```
+//!
+//! All integers are little-endian; `f64` values travel as their IEEE-754
+//! bit patterns, so a restored simulation resumes **bit-identically** —
+//! no text round-trip, no locale, no rounding. The format is hand-rolled
+//! and dependency-free on purpose: the simulation's state inventory is
+//! small and stable, and an explicit byte layout is auditable in a way a
+//! derived serializer is not.
+//!
+//! [`SnapshotWriter`] builds a buffer section by section;
+//! [`SnapshotReader`] validates the header, table and every section
+//! checksum up front, then hands out bounds-checked [`SectionReader`]s.
+//! Corrupt or truncated input of any shape yields a structured
+//! [`SnapshotError`] — decoding never panics (see `tests/snapshot.rs`
+//! for the per-section corruption matrix).
+
+use std::fmt;
+
+/// Leading magic bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"MPICSNAP";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Well-known section identifiers.
+pub mod section {
+    /// Configuration fingerprint (geometry, solver, kernel, dt).
+    pub const META: u32 = 1;
+    /// The nine guarded field arrays.
+    pub const FIELDS: u32 = 2;
+    /// Per-tile SoA + GPMA + authoritative bin maps.
+    pub const PARTICLES: u32 = 3;
+    /// RNG stream position.
+    pub const RNG: u32 = 4;
+    /// Step loop state: sort-policy counters, window, time, step index.
+    pub const DRIVER: u32 = 5;
+    /// Per-phase performance counters and cache statistics.
+    pub const COUNTERS: u32 = 6;
+    /// Behavioural cache-hierarchy state (tags, LRU, streams).
+    pub const CACHE: u32 = 7;
+    /// Virtual address map and allocator mark.
+    pub const ADDRS: u32 = 8;
+    /// The accumulated timing report.
+    pub const REPORT: u32 = 9;
+}
+
+/// Why a snapshot failed to decode. Every variant is a *returned* error:
+/// corrupt input of any shape must never panic the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer is shorter than the fixed header.
+    TooShort,
+    /// The magic bytes are wrong — not a snapshot at all.
+    BadMagic,
+    /// A version this build does not understand.
+    BadVersion(u32),
+    /// The section table is truncated or points outside the buffer.
+    BadSectionTable,
+    /// A section's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// The failing section id.
+        section: u32,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The absent section id.
+        section: u32,
+    },
+    /// A section decoded structurally but its contents are invalid.
+    Malformed {
+        /// The failing section id.
+        section: u32,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The snapshot is valid but was taken from an incompatible
+    /// configuration (different geometry, kernel, solver or timestep).
+    Incompatible {
+        /// Which fingerprint field disagreed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::TooShort => write!(f, "snapshot shorter than header"),
+            SnapshotError::BadMagic => write!(f, "bad snapshot magic"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadSectionTable => write!(f, "corrupt section table"),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            SnapshotError::MissingSection { section } => {
+                write!(f, "missing section {section}")
+            }
+            SnapshotError::Malformed { section, reason } => {
+                write!(f, "malformed section {section}: {reason}")
+            }
+            SnapshotError::Incompatible { reason } => {
+                write!(f, "incompatible snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit over a byte slice — small, dependency-free and plenty
+/// for detecting accidental corruption (this is an integrity check, not
+/// an authentication code).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const HEADER_LEN: usize = 8 + 4 + 4;
+const TABLE_ENTRY_LEN: usize = 4 + 8 + 8 + 8;
+
+/// Builds a snapshot buffer section by section.
+pub struct SnapshotWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+    open: bool,
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnapshotWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self {
+            sections: Vec::new(),
+            open: false,
+        }
+    }
+
+    /// Opens a new section; subsequent `put_*` calls append to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a section is already open or `id` repeats — both are
+    /// writer-side programming errors, not input-dependent conditions.
+    pub fn begin_section(&mut self, id: u32) {
+        assert!(!self.open, "previous section not closed");
+        assert!(
+            self.sections.iter().all(|(sid, _)| *sid != id),
+            "duplicate section id {id}"
+        );
+        self.sections.push((id, Vec::new()));
+        self.open = true;
+    }
+
+    /// Closes the current section.
+    pub fn end_section(&mut self) {
+        assert!(self.open, "no open section");
+        self.open = false;
+    }
+
+    fn buf(&mut self) -> &mut Vec<u8> {
+        assert!(self.open, "write outside a section");
+        &mut self.sections.last_mut().expect("open section").1
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf().extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf().extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf().push(u8::from(v));
+    }
+
+    /// Appends a length-prefixed `u64` vector.
+    pub fn put_vec_u64(&mut self, v: &[u64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` vector (as `u64`s).
+    pub fn put_vec_usize(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_usize(x);
+        }
+    }
+
+    /// Appends a length-prefixed `f64` vector (bit patterns).
+    pub fn put_vec_f64(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Appends a length-prefixed `bool` vector (one byte each).
+    pub fn put_vec_bool(&mut self, v: &[bool]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_bool(x);
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf().extend_from_slice(s.as_bytes());
+    }
+
+    /// Assembles the final buffer: header, table, payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a section is still open.
+    pub fn finish(self) -> Vec<u8> {
+        assert!(!self.open, "section left open at finish");
+        let table_len = self.sections.len() * TABLE_ENTRY_LEN;
+        let payload_len: usize = self.sections.iter().map(|(_, b)| b.len()).sum();
+        let mut out = Vec::with_capacity(HEADER_LEN + table_len + payload_len);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let mut offset = (HEADER_LEN + table_len) as u64;
+        for (id, body) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a64(body).to_le_bytes());
+            offset += body.len() as u64;
+        }
+        for (_, body) in &self.sections {
+            out.extend_from_slice(body);
+        }
+        out
+    }
+}
+
+/// Parses and validates a snapshot buffer, handing out per-section
+/// readers. Construction verifies the header, the table bounds and every
+/// section checksum, so a reader that exists is structurally sound.
+pub struct SnapshotReader<'a> {
+    data: &'a [u8],
+    /// `(id, offset, len)` per section, bounds- and checksum-verified.
+    table: Vec<(u32, usize, usize)>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates the container and builds the section index.
+    pub fn new(data: &'a [u8]) -> Result<Self, SnapshotError> {
+        if data.len() < HEADER_LEN {
+            return Err(SnapshotError::TooShort);
+        }
+        if data[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let count = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
+        let table_end = HEADER_LEN
+            .checked_add(
+                count
+                    .checked_mul(TABLE_ENTRY_LEN)
+                    .ok_or(SnapshotError::BadSectionTable)?,
+            )
+            .ok_or(SnapshotError::BadSectionTable)?;
+        if table_end > data.len() {
+            return Err(SnapshotError::BadSectionTable);
+        }
+        let mut table = Vec::with_capacity(count);
+        for i in 0..count {
+            let e = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let id = u32::from_le_bytes(data[e..e + 4].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(data[e + 4..e + 12].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(data[e + 12..e + 20].try_into().expect("8 bytes"));
+            let sum = u64::from_le_bytes(data[e + 20..e + 28].try_into().expect("8 bytes"));
+            let (offset, len) = (
+                usize::try_from(offset).map_err(|_| SnapshotError::BadSectionTable)?,
+                usize::try_from(len).map_err(|_| SnapshotError::BadSectionTable)?,
+            );
+            let end = offset
+                .checked_add(len)
+                .ok_or(SnapshotError::BadSectionTable)?;
+            if offset < table_end || end > data.len() {
+                return Err(SnapshotError::BadSectionTable);
+            }
+            if fnv1a64(&data[offset..end]) != sum {
+                return Err(SnapshotError::ChecksumMismatch { section: id });
+            }
+            table.push((id, offset, len));
+        }
+        Ok(Self { data, table })
+    }
+
+    /// A bounds-checked reader over one section's payload.
+    pub fn section(&self, id: u32) -> Result<SectionReader<'a>, SnapshotError> {
+        let &(_, offset, len) = self
+            .table
+            .iter()
+            .find(|(sid, _, _)| *sid == id)
+            .ok_or(SnapshotError::MissingSection { section: id })?;
+        Ok(SectionReader {
+            id,
+            data: &self.data[offset..offset + len],
+            pos: 0,
+        })
+    }
+}
+
+/// Sequential bounds-checked decoder over one section's bytes. Every
+/// read that would pass the end returns [`SnapshotError::Malformed`].
+pub struct SectionReader<'a> {
+    id: u32,
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl SectionReader<'_> {
+    fn malformed(&self, reason: &'static str) -> SnapshotError {
+        SnapshotError::Malformed {
+            section: self.id,
+            reason,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| self.malformed("field runs past the section end"))?;
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.get_u64()?).map_err(|_| self.malformed("count exceeds usize"))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `bool`; bytes other than 0/1 are malformed.
+    pub fn get_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(self.malformed("boolean byte is neither 0 nor 1")),
+        }
+    }
+
+    /// Reads a length prefix for `elem_bytes`-wide elements, refusing
+    /// lengths the remaining bytes cannot possibly hold (so corrupt
+    /// counts cannot trigger huge allocations).
+    fn get_len(&mut self, elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let len = self.get_usize()?;
+        if len
+            .checked_mul(elem_bytes)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(self.malformed("vector length exceeds the section"));
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    pub fn get_vec_u64(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let len = self.get_len(8)?;
+        (0..len).map(|_| self.get_u64()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    pub fn get_vec_usize(&mut self) -> Result<Vec<usize>, SnapshotError> {
+        let len = self.get_len(8)?;
+        (0..len).map(|_| self.get_usize()).collect()
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn get_vec_f64(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        let len = self.get_len(8)?;
+        (0..len).map(|_| self.get_f64()).collect()
+    }
+
+    /// Reads a length-prefixed `bool` vector.
+    pub fn get_vec_bool(&mut self) -> Result<Vec<bool>, SnapshotError> {
+        let len = self.get_len(1)?;
+        (0..len).map(|_| self.get_bool()).collect()
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.get_len(1)?;
+        let bytes = self.take(len)?.to_vec();
+        String::from_utf8(bytes).map_err(|_| self.malformed("string is not UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.begin_section(section::META);
+        w.put_u64(42);
+        w.put_f64(1.5);
+        w.put_str("hello");
+        w.end_section();
+        w.begin_section(section::RNG);
+        w.put_vec_u64(&[1, 2, 3]);
+        w.put_bool(true);
+        w.end_section();
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_reads_back_every_field() {
+        let buf = sample();
+        let r = SnapshotReader::new(&buf).expect("valid snapshot");
+        let mut meta = r.section(section::META).expect("meta present");
+        assert_eq!(meta.get_u64().unwrap(), 42);
+        assert_eq!(meta.get_f64().unwrap().to_bits(), 1.5f64.to_bits());
+        assert_eq!(meta.get_string().unwrap(), "hello");
+        assert_eq!(meta.remaining(), 0);
+        let mut rng = r.section(section::RNG).expect("rng present");
+        assert_eq!(rng.get_vec_u64().unwrap(), vec![1, 2, 3]);
+        assert!(rng.get_bool().unwrap());
+    }
+
+    #[test]
+    fn header_corruption_is_structured() {
+        let buf = sample();
+        assert_eq!(
+            SnapshotReader::new(&buf[..4]).err(),
+            Some(SnapshotError::TooShort)
+        );
+        let mut bad_magic = buf.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(
+            SnapshotReader::new(&bad_magic).err(),
+            Some(SnapshotError::BadMagic)
+        );
+        let mut bad_version = buf.clone();
+        bad_version[8] = 99;
+        assert_eq!(
+            SnapshotReader::new(&bad_version).err(),
+            Some(SnapshotError::BadVersion(99))
+        );
+        // Truncating into the payload breaks the table bounds.
+        assert!(matches!(
+            SnapshotReader::new(&buf[..buf.len() - 3]).err(),
+            Some(SnapshotError::BadSectionTable | SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_flip_fails_the_right_sections_checksum() {
+        let buf = sample();
+        // Flip the last payload byte: that's the RNG section's tail.
+        let mut bad = buf.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert_eq!(
+            SnapshotReader::new(&bad).err(),
+            Some(SnapshotError::ChecksumMismatch {
+                section: section::RNG
+            })
+        );
+    }
+
+    #[test]
+    fn missing_section_and_overreads_are_errors() {
+        let buf = sample();
+        let r = SnapshotReader::new(&buf).expect("valid snapshot");
+        assert_eq!(
+            r.section(section::FIELDS).err(),
+            Some(SnapshotError::MissingSection {
+                section: section::FIELDS
+            })
+        );
+        let mut rng = r.section(section::RNG).unwrap();
+        let _ = rng.get_vec_u64().unwrap();
+        let _ = rng.get_bool().unwrap();
+        assert!(matches!(
+            rng.get_u64().err(),
+            Some(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_vector_length_is_rejected_without_allocating() {
+        let mut w = SnapshotWriter::new();
+        w.begin_section(section::FIELDS);
+        w.put_u64(u64::MAX); // Claimed element count.
+        w.end_section();
+        let buf = w.finish();
+        let r = SnapshotReader::new(&buf).unwrap();
+        let mut s = r.section(section::FIELDS).unwrap();
+        assert!(matches!(
+            s.get_vec_f64().err(),
+            Some(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_vector_is_stable() {
+        // Pin the checksum function: a silent change would invalidate
+        // every snapshot in the wild while still "round-tripping" in
+        // fresh tests.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

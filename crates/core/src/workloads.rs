@@ -64,7 +64,7 @@ pub fn load_uniform_plasma(
                         uz: maxwell(&mut rng),
                         w,
                     };
-                    c.inject(layout, geom, d);
+                    let _ = c.inject(layout, geom, d);
                 }
             }
         }
@@ -236,7 +236,7 @@ pub fn imbalanced_lwfa_sim(n_cells: [usize; 3], ppc: usize, seed: u64) -> Simula
                         uz: 0.0,
                         w,
                     };
-                    electrons.inject(&layout, &geom, d);
+                    let _ = electrons.inject(&layout, &geom, d);
                 }
             }
         }

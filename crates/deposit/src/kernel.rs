@@ -183,6 +183,24 @@ impl Depositor {
         &self.strategy
     }
 
+    /// The address map allocated by [`Depositor::prepare`], if any.
+    ///
+    /// The map pins the virtual addresses the cache model prices, so a
+    /// checkpoint must capture it: restoring onto a rebuilt driver with
+    /// a different map would shift every modelled address stream.
+    pub fn addr_map(&self) -> Option<&AddrMap> {
+        self.addrs.as_ref()
+    }
+
+    /// Reinstates an address map captured via [`Depositor::addr_map`]
+    /// (checkpoint restore). The driver must already have been prepared
+    /// on an identical configuration — only the addresses are replaced;
+    /// rhocells and scratch pools are geometry-derived and keep their
+    /// prepared state.
+    pub fn restore_addr_map(&mut self, addrs: AddrMap) {
+        self.addrs = Some(addrs);
+    }
+
     /// One-time initialisation: allocates the address map, builds the
     /// rhocell accumulators and performs the initial global sort
     /// (Algorithm 1's `GlobalSortParticlesByCell`) when the strategy
@@ -600,12 +618,24 @@ fn scatter_tile_worker(
 fn charge_global_sort(m: &mut Machine, stats: &SortStats) {
     let n = stats.n as f64;
     // Histogram + prefix sum + permutation index pass.
-    m.s_ops((6.0 * n) as usize);
+    m.s_ops(op_count(6.0 * n));
     // 7 attribute arrays re-gathered (random read) + streamed out.
     let rand_read = m.cfg().dram_cy * 0.25;
     let stream_write = m.cfg().dram_cy * 0.15 / 8.0;
     m.charge(n * 7.0 * (rand_read + stream_write + 0.25));
-    m.v_ops((7.0 * n / 8.0) as usize);
+    m.v_ops(op_count(7.0 * n / 8.0));
+}
+
+/// Float-derived operation count as a `usize`, with the domain pinned
+/// before the conversion (mpic-lint L5: a bare expression-position cast
+/// truncates NaN to zero and saturates overflow, both silently).
+#[inline]
+fn op_count(x: f64) -> usize {
+    debug_assert!(
+        x.is_finite() && (0.0..=u32::MAX as f64).contains(&x),
+        "op count {x} outside the convertible domain"
+    );
+    x as usize
 }
 
 /// Charges the GPMA maintenance work reported by the sweep.

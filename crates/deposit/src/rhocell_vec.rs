@@ -248,7 +248,7 @@ mod tests {
         let layout = TileLayout::new(&geom, [4, 4, 4]);
         let mut c = ParticleContainer::new(&layout, -1.0e-19, 9.1e-31);
         for i in 0..32 {
-            c.inject(
+            let _ = c.inject(
                 &layout,
                 &geom,
                 Departure {

@@ -266,7 +266,7 @@ mod tests {
         // A handful of moving particles spread over cells.
         for i in 0..20 {
             let f = i as f64 / 20.0;
-            c.inject(
+            let _ = c.inject(
                 &layout,
                 &geom,
                 Departure {
@@ -320,7 +320,7 @@ mod tests {
         let geom = GridGeometry::new([4, 4, 4], [0.0; 3], [1.0; 3], 1);
         let layout = TileLayout::new(&geom, [4, 4, 4]);
         let mut c = ParticleContainer::new(&layout, -1.0, 1.0);
-        c.inject(
+        let _ = c.inject(
             &layout,
             &geom,
             Departure {
@@ -346,7 +346,7 @@ mod tests {
         let mut c = ParticleContainer::new(&layout, 2.0, 1.0);
         // Particle at the exact corner of cell (1,1,1): all weight on one
         // node. ux=1 => vx = c/sqrt(2).
-        c.inject(
+        let _ = c.inject(
             &layout,
             &geom,
             Departure {

@@ -24,7 +24,7 @@ fn random_container(
     let mut c = ParticleContainer::new(layout, -1.602e-19, 9.109e-31);
     let hi = geom.hi();
     for _ in 0..n {
-        c.inject(
+        let _ = c.inject(
             layout,
             geom,
             Departure {
@@ -305,7 +305,7 @@ fn fullopt_dense_single_cell_odd_count() {
     let mut rng = StdRng::seed_from_u64(7);
     let mut container = ParticleContainer::new(&layout, -1.0e-19, 9.1e-31);
     for _ in 0..33 {
-        container.inject(
+        let _ = container.inject(
             &layout,
             &geom,
             Departure {

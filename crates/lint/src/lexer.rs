@@ -26,7 +26,8 @@ pub enum TokKind {
     Char,
     /// Lifetime (`'a`, `'static`).
     Lifetime,
-    /// Numeric literal (ints, floats, suffixed).
+    /// Numeric literal (ints, floats, suffixed; text retained so rules
+    /// can tell a float literal from an integer one).
     Num,
 }
 
@@ -130,6 +131,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 toks.push(Token::new(TokKind::Lifetime, "", line));
             }
         } else if c.is_ascii_digit() {
+            let start = i;
             i += 1;
             while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
                 i += 1;
@@ -141,7 +143,8 @@ pub fn lex(src: &str) -> Vec<Token> {
                     i += 1;
                 }
             }
-            toks.push(Token::new(TokKind::Num, "", line));
+            let text: String = b[start..i].iter().collect();
+            toks.push(Token::new(TokKind::Num, text, line));
         } else if c.is_alphabetic() || c == '_' {
             let start = i;
             while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
@@ -313,6 +316,16 @@ mod tests {
         assert!(toks
             .iter()
             .any(|t| t.kind == TokKind::Punct && t.text == "."));
+    }
+
+    #[test]
+    fn numeric_literal_text_distinguishes_floats() {
+        let nums: Vec<String> = lex("let a = 10; let b = 1.5; let c = 2f64; let d = 0xFE;")
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, vec!["10", "1.5", "2f64", "0xFE"]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The four deny-by-default rule families.
+//! The six deny-by-default rule families.
 //!
 //! * **L1** `safety-comment` — every `unsafe` keyword needs an adjacent
 //!   `// SAFETY:` (or `/// # Safety` doc section) stating the invariant
@@ -18,6 +18,18 @@
 //! * **L4** `allow-hygiene` — module-scope `#![allow(...)]` is rejected
 //!   outright; per-item `#[allow(...)]` must carry a justification
 //!   comment (same line or immediately above the attribute stack).
+//! * **L5** `float-cast` — result-bearing code must not write a
+//!   float→int `as` cast in expression position (`(6.0 * n) as usize`,
+//!   `x.ceil() as usize`, `1.5 as i32`): NaN truncates to zero and
+//!   out-of-range values saturate, both silently. The sanctioned form —
+//!   bind the float to a named local and pin its domain with a
+//!   `debug_assert!` before converting (see `gap_slots` in
+//!   `crates/particles/src/gpma.rs`) — is invisible to the rule by
+//!   design: the named local *is* the escape hatch.
+//! * **L6** `must-use-stats` — public structs named `*Stats` /
+//!   `*Counters` must carry `#[must_use]`: they are the receipts of the
+//!   emulated cost model, and dropping one on the floor silently
+//!   discards work that was charged for.
 //!
 //! All rules run on the lexed token stream from [`crate::lexer`], so
 //! string literals and comments can never produce false positives, and
@@ -68,6 +80,37 @@ const RESULT_BEARING_PREFIXES: &[&str] = &[
     "crates/solver/",
     "crates/push/",
     "crates/core/",
+];
+
+/// Integer target types of an `as` cast (rule L5).
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Methods whose receiver/result is unambiguously floating-point, so a
+/// call directly cast to an integer is a float→int crossing (rule L5).
+/// Deliberately excludes `abs`/`min`/`max`/`clamp`, which are just as
+/// common on integers.
+const FLOAT_FNS: &[&str] = &[
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fract",
+    "sqrt",
+    "cbrt",
+    "powf",
+    "powi",
+    "exp",
+    "exp2",
+    "ln",
+    "log2",
+    "log10",
+    "hypot",
+    "recip",
+    "mul_add",
+    "to_radians",
+    "to_degrees",
 ];
 
 /// Where a file sits in the workspace's trust taxonomy; drives which
@@ -220,6 +263,54 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
             }
         }
 
+        // L5: float→int `as` casts in expression position, in
+        // result-bearing, non-exec, non-test code.
+        if scope.result_bearing
+            && !scope.exec_layer
+            && !scope.test_file
+            && !in_test_region(&regions, ti)
+            && t.kind == TokKind::Ident
+            && t.text == "as"
+            && ident(nxt(1), INT_TYPES)
+            && cast_source_is_float(&toks, &code, ci)
+        {
+            push(
+                t.line,
+                "L5-float-cast",
+                "float→int `as` cast in expression position: NaN \
+                 truncates to 0 and out-of-range saturates, silently; \
+                 bind to a named local and pin its domain with a \
+                 `debug_assert!` first (see `gap_slots` in \
+                 crates/particles/src/gpma.rs)"
+                    .to_string(),
+            );
+        }
+
+        // L6: public stats/counters structs must be #[must_use].
+        if !scope.test_file
+            && !in_test_region(&regions, ti)
+            && t.kind == TokKind::Ident
+            && t.text == "pub"
+            && ident(nxt(1), &["struct"])
+        {
+            if let Some(name_tok) = nxt(2) {
+                let name = name_tok.text.clone();
+                if (name.ends_with("Stats") || name.ends_with("Counters"))
+                    && !attr_stack_has_must_use(&toks, &code, ci)
+                {
+                    push(
+                        name_tok.line,
+                        "L6-must-use-stats",
+                        format!(
+                            "public stats struct `{name}` must carry \
+                             `#[must_use]`: dropping it silently discards \
+                             counters the cost model charged for"
+                        ),
+                    );
+                }
+            }
+        }
+
         // L4: allow-attribute hygiene (test harness files exempt).
         if t.kind == TokKind::Punct && t.text == "#" && !scope.test_file {
             if punct(nxt(1), "!") && punct(nxt(2), "[") && ident(nxt(3), &["allow"]) {
@@ -295,6 +386,127 @@ fn allow_is_justified(toks: &[Token], ti: usize, lines: &[&str]) -> bool {
         return s.starts_with("//") || s.starts_with("/*") || s.starts_with('*');
     }
     false
+}
+
+/// A numeric literal that is floating-point: has a fractional part, an
+/// `f32`/`f64` suffix, or a decimal exponent (`1e9`; hex/binary/octal
+/// digits can contain `e` but carry a base prefix).
+fn is_float_literal(text: &str) -> bool {
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || (!text.starts_with("0x")
+            && !text.starts_with("0b")
+            && !text.starts_with("0o")
+            && (text.contains('e') || text.contains('E')))
+}
+
+/// L5 source detection for the `as` at code-position `ci`: is the
+/// expression being cast evidently floating-point? True for a float
+/// literal directly cast, a parenthesized expression containing a float
+/// literal or an `f32`/`f64` ident, and a `.float_method(...)` call
+/// directly cast. A named local cast (`slots as usize`) is deliberately
+/// invisible — that is the sanctioned, debug_assert-pinned form.
+fn cast_source_is_float(toks: &[Token], code: &[usize], ci: usize) -> bool {
+    let tok = |k: usize| &toks[code[k]];
+    let Some(pi) = ci.checked_sub(1) else {
+        return false;
+    };
+    let prev = tok(pi);
+    if prev.kind == TokKind::Num {
+        return is_float_literal(&prev.text);
+    }
+    if prev.kind != TokKind::Punct || prev.text != ")" {
+        return false;
+    }
+    // Scan back to the matching `(`.
+    let mut depth = 1usize;
+    let mut j = pi;
+    while depth > 0 {
+        let Some(k) = j.checked_sub(1) else {
+            return false;
+        };
+        j = k;
+        let t = tok(j);
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ")" => depth += 1,
+                "(" => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    // Float evidence inside the parentheses.
+    for k in j + 1..pi {
+        let t = tok(k);
+        let float_num = t.kind == TokKind::Num && is_float_literal(&t.text);
+        let float_ty = t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64");
+        if float_num || float_ty {
+            return true;
+        }
+    }
+    // `.float_method(...)` directly cast.
+    if let (Some(m), Some(d)) = (j.checked_sub(1), j.checked_sub(2)) {
+        let method = tok(m);
+        let dot = tok(d);
+        if method.kind == TokKind::Ident
+            && FLOAT_FNS.contains(&method.text.as_str())
+            && dot.kind == TokKind::Punct
+            && dot.text == "."
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// L6: walks the attribute stack immediately above the `pub` at
+/// code-position `ci`, looking for a `must_use` identifier in any
+/// `#[...]` group (doc comments are not code tokens and are skipped
+/// implicitly).
+fn attr_stack_has_must_use(toks: &[Token], code: &[usize], ci: usize) -> bool {
+    let tok = |k: usize| &toks[code[k]];
+    let mut j = ci;
+    loop {
+        let Some(close) = j.checked_sub(1) else {
+            return false;
+        };
+        let t = tok(close);
+        if t.kind != TokKind::Punct || t.text != "]" {
+            return false;
+        }
+        let mut depth = 1usize;
+        let mut k = close;
+        let mut found = false;
+        while depth > 0 {
+            let Some(p) = k.checked_sub(1) else {
+                return false;
+            };
+            k = p;
+            let t = tok(k);
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "]" => depth += 1,
+                    "[" => depth -= 1,
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident && t.text == "must_use" {
+                found = true;
+            }
+        }
+        if found {
+            return true;
+        }
+        // Step over the `#` introducing this attribute and keep walking
+        // up the stack.
+        let Some(hash) = k.checked_sub(1) else {
+            return false;
+        };
+        if tok(hash).kind != TokKind::Punct || tok(hash).text != "#" {
+            return false;
+        }
+        j = hash;
+    }
 }
 
 /// Token-index ranges (inclusive) covered by `#[test]` functions and
@@ -551,6 +763,84 @@ mod tests {
     fn l4_exempts_test_harness_files() {
         let src = "#![allow(dead_code)]\n#[allow(unused)]\nfn f() {}\n";
         assert!(rules_fired("tests/property_tests.rs", src).is_empty());
+    }
+
+    // ---- L5 ----
+
+    #[test]
+    fn l5_parenthesized_float_arithmetic_cast_is_a_finding() {
+        let src = "fn f(n: f64, m: &mut M) { m.s_ops((6.0 * n) as usize); }\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert!(fired.contains(&"L5-float-cast"), "{fired:?}");
+    }
+
+    #[test]
+    fn l5_float_method_call_cast_is_a_finding() {
+        let src = "fn f(x: f64) -> usize { x.ceil() as usize }\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert!(fired.contains(&"L5-float-cast"), "{fired:?}");
+        let src2 = "fn g(x: f64) -> i64 { (x * 0.5).floor() as i64 }\n";
+        assert!(rules_fired(ORDINARY, src2).contains(&"L5-float-cast"));
+    }
+
+    #[test]
+    fn l5_float_literal_cast_is_a_finding() {
+        let src = "fn f() -> i32 { 1.5 as i32 }\n";
+        assert!(rules_fired(ORDINARY, src).contains(&"L5-float-cast"));
+    }
+
+    #[test]
+    fn l5_named_local_with_domain_pin_is_the_sanctioned_form() {
+        let src = "fn gap(count: usize, ratio: f64) -> usize {\n    let slots = (count as f64 * ratio).ceil();\n    debug_assert!(slots.is_finite() && slots >= 0.0);\n    slots as usize\n}\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
+    }
+
+    #[test]
+    fn l5_integer_casts_are_fine() {
+        let src = "fn f(a: u64, b: u64, c: [i64; 3]) -> usize {\n    let x = (a + b) as usize;\n    let y = c[0] as usize;\n    let z = a.count_ones() as usize;\n    let w = ((a as i64 - b as i64).rem_euclid(8)) as usize;\n    x + y + z + w\n}\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
+    }
+
+    #[test]
+    fn l5_does_not_apply_to_exec_layer_tests_or_bench() {
+        let src = "fn f(x: f64) -> usize { x.ceil() as usize }\n";
+        assert!(rules_fired("crates/machine/src/partition.rs", src).is_empty());
+        assert!(rules_fired("tests/snapshot.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/bin/probe_parallel.rs", src).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn f(x: f64) -> usize { x.ceil() as usize }\n}\n";
+        assert!(rules_fired(ORDINARY, in_test).is_empty());
+    }
+
+    // ---- L6 ----
+
+    #[test]
+    fn l6_stats_struct_without_must_use_is_a_finding() {
+        let src = "/// Counts things.\n#[derive(Debug, Clone, Copy, Default)]\npub struct SweepStats {\n    pub n: usize,\n}\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert!(fired.contains(&"L6-must-use-stats"), "{fired:?}");
+        let counters = "#[derive(Debug)]\npub struct PhaseCounters { pub n: usize }\n";
+        assert!(rules_fired(ORDINARY, counters).contains(&"L6-must-use-stats"));
+    }
+
+    #[test]
+    fn l6_must_use_anywhere_in_the_attribute_stack_passes() {
+        let above = "/// Doc.\n#[derive(Debug, Clone, Copy, Default)]\n#[must_use]\npub struct SweepStats { pub n: usize }\n";
+        assert!(rules_fired(ORDINARY, above).is_empty());
+        let below = "#[must_use]\n#[derive(Debug)]\npub struct PhaseCounters { pub n: usize }\n";
+        assert!(rules_fired(ORDINARY, below).is_empty());
+        let reasoned = "#[must_use = \"receipts\"]\npub struct SweepStats { pub n: usize }\n";
+        assert!(rules_fired(ORDINARY, reasoned).is_empty());
+    }
+
+    #[test]
+    fn l6_ignores_private_structs_other_names_and_test_files() {
+        let private = "struct SweepStats { n: usize }\n";
+        assert!(rules_fired(ORDINARY, private).is_empty());
+        let other = "pub struct SweepReport { pub n: usize }\n";
+        assert!(rules_fired(ORDINARY, other).is_empty());
+        let test_file = "pub struct SweepStats { pub n: usize }\n";
+        assert!(rules_fired("tests/helpers.rs", test_file).is_empty());
     }
 
     // ---- scope classification ----

@@ -33,6 +33,7 @@ impl CacheLevelConfig {
 
 /// Hit/miss statistics for one level.
 #[derive(Debug, Clone, Copy, Default)]
+#[must_use]
 pub struct CacheStats {
     /// Number of accesses that hit this level.
     pub hits: u64,
@@ -162,6 +163,68 @@ impl CacheLevel {
         self.memo_line = u64::MAX;
         self.memo_slot = MEMO_NONE;
     }
+
+    fn export_state(&self) -> CacheLevelState {
+        CacheLevelState {
+            tags: self.tags.clone(),
+            stamps: self.stamps.clone(),
+            clock: self.clock,
+            memo_line: self.memo_line,
+            memo_slot: self.memo_slot as u64,
+        }
+    }
+
+    fn import_state(&mut self, s: &CacheLevelState) -> bool {
+        let slot = s.memo_slot as usize;
+        if s.tags.len() != self.tags.len()
+            || s.stamps.len() != self.stamps.len()
+            || (slot != MEMO_NONE && slot >= self.tags.len())
+        {
+            return false;
+        }
+        self.tags.copy_from_slice(&s.tags);
+        self.stamps.copy_from_slice(&s.stamps);
+        self.clock = s.clock;
+        self.memo_line = s.memo_line;
+        self.memo_slot = slot;
+        true
+    }
+}
+
+/// Plain-integer image of one level's behavioural state (tags, LRU
+/// stamps, clock and last-line memo) — everything that influences the
+/// latency of *future* accesses. Statistics are deliberately excluded:
+/// they are accounting, owned by the counter drain/absorb protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLevelState {
+    /// Resident line tags, `tags[set * ways + way]` (`u64::MAX` empty).
+    pub tags: Vec<u64>,
+    /// LRU timestamps parallel to `tags`.
+    pub stamps: Vec<u64>,
+    /// LRU clock.
+    pub clock: u64,
+    /// Last accessed line (memo fast-path key).
+    pub memo_line: u64,
+    /// Tag slot holding `memo_line` (`u64::MAX` = invalid memo).
+    pub memo_slot: u64,
+}
+
+/// Complete behavioural state of a [`CacheSim`]: both levels plus the
+/// stream-prefetcher slots and decay tick. Exporting this and importing
+/// it into a hierarchy of identical geometry makes every future access
+/// cost bit-identical to the original — the property checkpoint/restore
+/// builds on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSimState {
+    /// L1 behavioural state.
+    pub l1: CacheLevelState,
+    /// L2 behavioural state.
+    pub l2: CacheLevelState,
+    /// Stream-prefetcher slots as `(last_line, confidence)`; always
+    /// [`STREAM_SLOTS`] entries.
+    pub streams: Vec<(u64, u32)>,
+    /// Random-miss insertion counter driving periodic confidence decay.
+    pub decay_tick: u32,
 }
 
 /// Number of hardware stream-prefetcher slots modelled.
@@ -335,6 +398,45 @@ impl CacheSim {
     pub fn line_bytes(&self) -> u64 {
         self.l1.cfg.line_bytes as u64
     }
+
+    /// Exports the complete behavioural state (see [`CacheSimState`]).
+    /// Non-destructive: the hierarchy is unchanged.
+    pub fn export_state(&self) -> CacheSimState {
+        CacheSimState {
+            l1: self.l1.export_state(),
+            l2: self.l2.export_state(),
+            streams: self.streams.to_vec(),
+            decay_tick: self.decay_tick,
+        }
+    }
+
+    /// Imports behavioural state captured by [`CacheSim::export_state`]
+    /// from a hierarchy of identical geometry. Returns `false` (leaving
+    /// this hierarchy untouched) if the state's shape does not match —
+    /// wrong tag-array lengths, out-of-range memo slot or wrong stream
+    /// slot count — so corrupt snapshots surface as errors, not panics.
+    pub fn import_state(&mut self, s: &CacheSimState) -> bool {
+        if s.streams.len() != STREAM_SLOTS {
+            return false;
+        }
+        // Validate both levels before mutating either: import is
+        // all-or-nothing.
+        let slot_ok = |lvl: &CacheLevel, st: &CacheLevelState| {
+            let slot = st.memo_slot as usize;
+            st.tags.len() == lvl.tags.len()
+                && st.stamps.len() == lvl.stamps.len()
+                && (slot == MEMO_NONE || slot < lvl.tags.len())
+        };
+        if !slot_ok(&self.l1, &s.l1) || !slot_ok(&self.l2, &s.l2) {
+            return false;
+        }
+        assert!(self.l1.import_state(&s.l1) && self.l2.import_state(&s.l2));
+        for (dst, src) in self.streams.iter_mut().zip(&s.streams) {
+            *dst = *src;
+        }
+        self.decay_tick = s.decay_tick;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -483,6 +585,71 @@ mod tests {
         assert_eq!((f2.hits, f2.misses), (s2.hits, s2.misses));
         assert_eq!(fast.streamed_misses, slow.streamed_misses);
         assert_eq!(fast.random_misses, slow.random_misses);
+    }
+
+    #[test]
+    fn export_import_state_resumes_bit_identically() {
+        let mut a = small_sim();
+        let mut state = 0x1234_5678_u64;
+        let mut addr = 0u64;
+        for i in 0..5_000u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(i);
+            if state % 3 != 2 {
+                addr = (state >> 17) % 2048 * 8;
+            }
+            a.access(addr, 8);
+        }
+        let snap = a.export_state();
+        let mut b = small_sim();
+        assert!(b.import_state(&snap), "matching geometry must import");
+        // Continue both with an identical stream: every latency (and the
+        // miss split) must match bitwise.
+        let (a_s0, a_r0) = (a.streamed_misses, a.random_misses);
+        for i in 0..5_000u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(i);
+            if state % 3 != 2 {
+                addr = (state >> 17) % 2048 * 8;
+            }
+            let (x, y) = (a.access(addr, 8), b.access(addr, 8));
+            assert_eq!(x.to_bits(), y.to_bits(), "latency diverged at {i}");
+        }
+        assert_eq!(a.streamed_misses - a_s0, b.streamed_misses);
+        assert_eq!(a.random_misses - a_r0, b.random_misses);
+    }
+
+    #[test]
+    fn import_state_refuses_mismatched_geometry() {
+        let mut a = small_sim();
+        a.access(0, 8);
+        let snap = a.export_state();
+        let mut other = CacheSim::new(
+            CacheLevelConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheLevelConfig {
+                size_bytes: 4096,
+                ways: 4,
+                line_bytes: 64,
+            },
+            1.0,
+            10.0,
+            100.0,
+        );
+        assert!(!other.import_state(&snap), "wrong geometry must refuse");
+        let mut bad = snap.clone();
+        bad.streams.pop();
+        let mut c = small_sim();
+        assert!(!c.import_state(&bad), "wrong stream count must refuse");
+        let mut bad_slot = snap.clone();
+        bad_slot.l1.memo_slot = 1_000_000;
+        assert!(!c.import_state(&bad_slot), "oob memo slot must refuse");
+        assert!(c.import_state(&snap), "pristine state still imports");
     }
 
     #[test]

@@ -97,6 +97,7 @@ use crate::cache::CacheStats;
 /// Because merging is a fixed-order sum of per-tile deltas, the totals
 /// are bit-identical no matter how tiles were sharded across workers.
 #[derive(Debug, Clone, Default)]
+#[must_use]
 pub struct MachineCounters {
     /// Cycle and instruction counters.
     pub perf: PerfCounters,
@@ -130,6 +131,7 @@ impl MachineCounters {
 
 /// Aggregated emulation statistics.
 #[derive(Debug, Clone, Default)]
+#[must_use]
 pub struct PerfCounters {
     cycles: [f64; 8],
     /// FLOPs actually executed by emulated functional units (MPU tile

@@ -42,7 +42,7 @@
 // invariant — `mpic-lint` (rules L1/L2/L4) enforces exactly that shape.
 
 use std::any::Any;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -51,6 +51,101 @@ use crate::counters::MachineCounters;
 use crate::machine::Machine;
 use crate::partition::Partition;
 use crate::shard::shard_bounds;
+
+/// Structured description of a dispatch that failed because a worker
+/// panicked or died.
+///
+/// When a broadcast fails, the pool unwinds out of [`WorkerPool::broadcast`]
+/// with an `ExecError` as the panic *payload* (via [`panic_any`]), so a
+/// recovery layer that wraps the step loop in [`catch_unwind`] can
+/// [`ExecError::from_payload`] the cause and distinguish an execution-layer
+/// failure (recoverable: restore a checkpoint and retry) from an arbitrary
+/// logic bug (not ours to swallow — re-raise it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Worker id that failed (0 is the dispatching thread).
+    pub worker: usize,
+    /// 1-based index of the failing dispatch on this pool.
+    pub dispatch: u64,
+    /// Human-readable cause.
+    pub detail: &'static str,
+}
+
+impl ExecError {
+    /// Downcasts a caught panic payload to the execution error it
+    /// carries, if the unwind originated in the execution layer.
+    pub fn from_payload(payload: &(dyn Any + Send)) -> Option<&ExecError> {
+        payload.downcast_ref::<ExecError>()
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {} failed at dispatch {}: {}",
+            self.worker, self.dispatch, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// What an injected fault does to the targeted worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultKind {
+    /// The worker panics at the start of its share of the dispatch; its
+    /// thread survives (the pool catches the unwind per job).
+    #[default]
+    Panic,
+    /// The worker's thread exits after bookkeeping a dying gasp — the
+    /// pool sees a finished thread and refuses further dispatches until
+    /// [`WorkerPool::respawn_dead`] repairs it. Worker 0 is the
+    /// dispatching thread and cannot be killed; `Die` degrades to
+    /// `Panic` there.
+    Die,
+}
+
+/// A one-shot fault to inject: `worker` fails at the pool's
+/// `dispatch`-th broadcast (1-based, see [`WorkerPool::dispatch_count`]).
+///
+/// Armed either programmatically ([`WorkerPool::inject_fault`] — the test
+/// hook) or from the environment at pool construction
+/// ([`FaultPlan::from_env`] — the CI fault matrix). The plan is consumed
+/// when it fires, so a retried dispatch after recovery runs clean; note
+/// that env-armed plans re-arm on every pool construction while the
+/// variables remain set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Worker id to fail (0 = the dispatching thread).
+    pub worker: usize,
+    /// 1-based pool dispatch index at which to fire.
+    pub dispatch: u64,
+    /// Panic the job or kill the thread.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// Reads `MPIC_FAULT_WORKER` (required), `MPIC_FAULT_DISPATCH`
+    /// (default 1) and `MPIC_FAULT_KIND` (`panic` | `die`, default
+    /// `panic`) from the environment.
+    pub fn from_env() -> Option<Self> {
+        let worker = std::env::var("MPIC_FAULT_WORKER").ok()?.parse().ok()?;
+        let dispatch = std::env::var("MPIC_FAULT_DISPATCH")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        let kind = match std::env::var("MPIC_FAULT_KIND").as_deref() {
+            Ok("die") => FaultKind::Die,
+            _ => FaultKind::Panic,
+        };
+        Some(Self {
+            worker,
+            dispatch,
+            kind,
+        })
+    }
+}
 
 /// Minimum items (keys, SoA slots, ...) per potential worker before a
 /// sharded phase is worth threading at all: below this the dispatch wake
@@ -128,6 +223,22 @@ struct State {
     shutdown: bool,
     /// First panic payload captured from a background worker.
     panic: Option<Box<dyn Any + Send>>,
+    /// Total broadcasts on this pool (1-based id of the latest), counted
+    /// on the inline path too — the coordinate system for [`FaultPlan`].
+    dispatch: u64,
+    /// Pending one-shot fault, consumed when it fires.
+    fault: Option<FaultPlan>,
+}
+
+impl State {
+    /// Takes the pending fault iff it targets `worker` at the current
+    /// dispatch. One-shot: a fired plan does not re-trigger on retry.
+    fn take_fault_for(&mut self, worker: usize) -> Option<FaultPlan> {
+        match self.fault {
+            Some(p) if p.worker == worker && p.dispatch == self.dispatch => self.fault.take(),
+            _ => None,
+        }
+    }
 }
 
 impl Shared {
@@ -169,7 +280,10 @@ impl WorkerPool {
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
+            state: Mutex::new(State {
+                fault: FaultPlan::from_env(),
+                ..State::default()
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
@@ -178,7 +292,7 @@ impl WorkerPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("mpic-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
+                    .spawn(move || worker_loop(&shared, w, 0))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -198,6 +312,68 @@ impl WorkerPool {
     /// Number of workers (including the calling thread).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Arms a one-shot fault (the programmatic test hook; the CI fault
+    /// matrix uses [`FaultPlan::from_env`] instead). Replaces any
+    /// pending plan.
+    pub fn inject_fault(&self, plan: FaultPlan) {
+        self.shared.lock().fault = Some(plan);
+    }
+
+    /// The pending (not yet fired) fault plan, if any.
+    pub fn pending_fault(&self) -> Option<FaultPlan> {
+        self.shared.lock().fault
+    }
+
+    /// Total broadcasts dispatched on this pool so far. The next
+    /// broadcast has id `dispatch_count() + 1` — the coordinate a
+    /// [`FaultPlan`] targets.
+    pub fn dispatch_count(&self) -> u64 {
+        self.shared.lock().dispatch
+    }
+
+    /// Ids of workers whose threads have terminated (a [`FaultKind::Die`]
+    /// injection, or a real thread loss). A pool with dead workers
+    /// refuses dispatches with a structured [`ExecError`] until
+    /// [`WorkerPool::respawn_dead`] repairs it — silently running a
+    /// dispatch short-handed would drop that worker's static share.
+    pub fn dead_workers(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_finished())
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// Replaces every terminated worker thread with a freshly spawned
+    /// one parked on the same shared state; returns how many were
+    /// respawned. Safe to call at any quiescent point (no dispatch in
+    /// flight); the recovery driver calls it after catching an
+    /// [`ExecError`].
+    pub fn respawn_dead(&mut self) -> usize {
+        // `&mut self` guarantees quiescence, so the epoch read here is
+        // the one the replacement thread must treat as already-seen:
+        // everything earlier was handled (or abandoned with its
+        // bookkeeping done) by the thread it replaces.
+        let epoch = self.shared.lock().epoch;
+        let mut respawned = 0;
+        for (i, slot) in self.threads.iter_mut().enumerate() {
+            if !slot.is_finished() {
+                continue;
+            }
+            let w = i + 1;
+            let shared = Arc::clone(&self.shared);
+            let fresh = std::thread::Builder::new()
+                .name(format!("mpic-worker-{w}"))
+                .spawn(move || worker_loop(&shared, w, epoch))
+                .expect("failed to respawn pool worker");
+            let dead = std::mem::replace(slot, fresh);
+            let _ = dead.join();
+            respawned += 1;
+        }
+        respawned
     }
 
     /// Binds this pool to a scheduling policy, yielding the lightweight
@@ -227,48 +403,71 @@ impl WorkerPool {
     #[allow(unsafe_code)]
     pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
         if self.threads.is_empty() {
+            let (dispatch, fault) = {
+                let mut st = self.shared.lock();
+                st.dispatch += 1;
+                (st.dispatch, st.take_fault_for(0))
+            };
+            if fault.is_some() {
+                panic_any(ExecError {
+                    worker: 0,
+                    dispatch,
+                    detail: "injected worker fault",
+                });
+            }
             f(0);
             return;
         }
+        // A pool with dead threads must not dispatch: the dead workers'
+        // static shares would silently never run. Refuse with the same
+        // structured payload an in-flight failure produces, so the
+        // recovery layer repairs ([`Self::respawn_dead`]) and retries.
+        // (The refused attempt does not consume a dispatch id.)
+        if let Some(&w) = self.dead_workers().first() {
+            let dispatch = self.shared.lock().dispatch + 1;
+            panic_any(ExecError {
+                worker: w,
+                dispatch,
+                detail: "worker thread dead; pool needs respawn_dead()",
+            });
+        }
         // SAFETY: erasing the borrow lifetime is sound because this
-        // function does not return (or unwind past `guard`) until every
-        // worker has finished with the pointer, and the in-flight check
-        // below rejects any second job that could outlive its own
-        // borrow.
+        // function does not return (or unwind) until every worker has
+        // finished with the pointer — the completion barrier below runs
+        // even when worker 0's share unwinds — and the in-flight check
+        // rejects any second job that could outlive its own borrow.
         let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
-        {
+        let (dispatch, fault0) = {
             let mut st = self.shared.lock();
             assert!(
                 st.active == 0 && st.job.is_none(),
                 "broadcast while a dispatch is in flight (re-entrant or \
                  concurrent WorkerPool use)"
             );
+            st.dispatch += 1;
+            let fault0 = st.take_fault_for(0);
             st.job = Some(Job(f_static as *const _));
             st.epoch += 1;
             st.active = self.threads.len();
             st.panic = None;
             self.shared.work_cv.notify_all();
-        }
-        /// Blocks until all background workers finish the current job —
-        /// including while unwinding out of worker 0's share, so the
-        /// borrowed closure can never dangle.
-        struct WaitGuard<'a>(&'a Shared);
-        impl Drop for WaitGuard<'_> {
-            fn drop(&mut self) {
-                let mut st = self.0.lock();
-                while st.active > 0 {
-                    st = self.0.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
-                }
-                st.job = None;
+            (st.dispatch, fault0)
+        };
+        // Worker 0's share runs under catch_unwind so the completion
+        // barrier below is unconditional: the borrowed closure can never
+        // dangle, and the panic (ours or an injected fault) is re-raised
+        // only after every background worker has quiesced.
+        let local = catch_unwind(AssertUnwindSafe(|| {
+            if fault0.is_some() {
+                panic_any(ExecError {
+                    worker: 0,
+                    dispatch,
+                    detail: "injected worker fault",
+                });
             }
-        }
-        let guard = WaitGuard(&self.shared);
-        f(0);
-        // Happy path: do the guard's wait inline so the job teardown
-        // and the worker-panic pickup happen in one critical section
-        // (the guard itself then has nothing left to do).
-        std::mem::forget(guard);
-        let panic = {
+            f(0);
+        }));
+        let background = {
             let mut st = self.shared.lock();
             while st.active > 0 {
                 st = self
@@ -280,7 +479,10 @@ impl WorkerPool {
             st.job = None;
             st.panic.take()
         };
-        if let Some(p) = panic {
+        if let Some(p) = background {
+            resume_unwind(p);
+        }
+        if let Err(p) = local {
             resume_unwind(p);
         }
     }
@@ -302,10 +504,15 @@ impl Drop for WorkerPool {
 // Dereferences the lifetime-erased job pointer published by `broadcast`;
 // the SAFETY argument lives at the single deref site below.
 #[allow(unsafe_code)]
-fn worker_loop(shared: &Shared, id: usize) {
-    let mut seen = 0u64;
+fn worker_loop(shared: &Shared, id: usize, start_epoch: u64) {
+    // `start_epoch` is captured by the spawner *before* the thread
+    // starts (0 at pool construction, the current quiescent epoch on
+    // respawn): reading it here instead would race with an early
+    // broadcast — the worker could adopt the new epoch as already-seen
+    // and strand the dispatch barrier.
+    let mut seen = start_epoch;
     loop {
-        let job = {
+        let (job, dispatch, fault) = {
             let mut st = shared.lock();
             loop {
                 if st.shutdown {
@@ -313,14 +520,50 @@ fn worker_loop(shared: &Shared, id: usize) {
                 }
                 if st.epoch != seen {
                     seen = st.epoch;
-                    break st.job.expect("epoch advanced without a job");
+                    let fault = st.take_fault_for(id);
+                    break (
+                        st.job.expect("epoch advanced without a job"),
+                        st.dispatch,
+                        fault,
+                    );
                 }
                 st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        // SAFETY: the dispatcher keeps the closure alive until `active`
-        // drains to zero, which happens strictly after this call.
-        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (&*job.0)(id) }));
+        if let Some(plan) = fault {
+            if plan.kind == FaultKind::Die {
+                // Simulated thread loss: bookkeep a dying gasp (so the
+                // dispatcher's barrier drains and the failure is
+                // attributed) and exit the loop — the pool now reports
+                // this worker in `dead_workers()`.
+                let mut st = shared.lock();
+                if st.panic.is_none() {
+                    st.panic = Some(Box::new(ExecError {
+                        worker: id,
+                        dispatch,
+                        detail: "injected worker death",
+                    }));
+                }
+                st.active -= 1;
+                if st.active == 0 {
+                    shared.done_cv.notify_all();
+                }
+                return;
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if fault.is_some() {
+                panic_any(ExecError {
+                    worker: id,
+                    dispatch,
+                    detail: "injected worker fault",
+                });
+            }
+            // SAFETY: the dispatcher keeps the closure alive until
+            // `active` drains to zero, which happens strictly after
+            // this call.
+            unsafe { (&*job.0)(id) }
+        }));
         let mut st = shared.lock();
         if let Err(p) = result {
             if st.panic.is_none() {
@@ -412,8 +655,25 @@ impl<'a> Exec<'a> {
         F: Fn(usize, &mut T) + Sync,
     {
         let len = items.len();
+        if self.workers() == 1 && len > 0 {
+            // A single-worker pool has no threads, so `broadcast`
+            // degenerates to an inline call — but it still counts the
+            // dispatch and honors an armed [`FaultPlan`], keeping fault
+            // injection and recovery uniform across worker counts.
+            let slots = Partition::new(items);
+            self.pool.broadcast(&|_w| {
+                for i in 0..len {
+                    // SAFETY: the single inline worker grants each
+                    // index exactly once.
+                    f(i, unsafe { slots.grant(i) });
+                }
+            });
+            return;
+        }
         let workers = self.workers().min(len);
         if workers <= 1 {
+            // Multi-worker pool, but too few items to shard: run inline
+            // without waking the pool.
             for (i, item) in items.iter_mut().enumerate() {
                 f(i, item);
             }
@@ -520,11 +780,24 @@ impl<'a> Exec<'a> {
         if workers == 1 {
             // Inline, but still on a fork: the per-item deltas must be
             // the same ones a multi-worker run produces.
-            let mut wm = main.fork_worker();
-            // SAFETY: single worker, single scratch slot, granted once.
-            let scr = unsafe { scratch_sl.grant(0) };
-            for i in 0..len {
-                run_item(&mut wm, scr, i);
+            let run_all = |_w: usize| {
+                let mut wm = main.fork_worker();
+                // SAFETY: single worker, single scratch slot, granted
+                // once.
+                let scr = unsafe { scratch_sl.grant(0) };
+                for i in 0..len {
+                    run_item(&mut wm, scr, i);
+                }
+            };
+            if self.workers() == 1 {
+                // Single-worker pool: go through `broadcast` so the
+                // dispatch is counted and an armed [`FaultPlan`] fires
+                // here too (no threads — this is an inline call).
+                self.pool.broadcast(&run_all);
+            } else {
+                // Multi-worker pool with a single item: run inline
+                // without waking the pool.
+                run_all(0);
             }
             return out;
         }
@@ -830,6 +1103,138 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Runs `op` and returns the `ExecError` its unwind carried.
+    fn expect_exec_error(op: impl FnOnce()) -> ExecError {
+        let payload = catch_unwind(AssertUnwindSafe(op)).expect_err("operation should fail");
+        ExecError::from_payload(payload.as_ref())
+            .expect("unwind should carry a structured ExecError")
+            .clone()
+    }
+
+    #[test]
+    fn injected_panic_fault_carries_structured_error_and_pool_recovers() {
+        for target in [0usize, 2] {
+            let pool = WorkerPool::new(4);
+            pool.broadcast(&|_| {}); // dispatch 1: clean
+            pool.inject_fault(FaultPlan {
+                worker: target,
+                dispatch: pool.dispatch_count() + 1,
+                kind: FaultKind::Panic,
+            });
+            let err = expect_exec_error(|| pool.broadcast(&|_| {}));
+            assert_eq!(err.worker, target);
+            assert_eq!(err.dispatch, 2);
+            // One-shot: the plan is consumed and the pool is not
+            // poisoned — the next dispatch runs clean on all workers.
+            assert_eq!(pool.pending_fault(), None);
+            assert!(pool.dead_workers().is_empty());
+            let hits = AtomicU64::new(0);
+            pool.broadcast(&|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 4);
+        }
+    }
+
+    #[test]
+    fn fault_waits_for_its_dispatch_index() {
+        let pool = WorkerPool::new(3);
+        pool.inject_fault(FaultPlan {
+            worker: 1,
+            dispatch: 3,
+            kind: FaultKind::Panic,
+        });
+        pool.broadcast(&|_| {});
+        pool.broadcast(&|_| {});
+        let err = expect_exec_error(|| pool.broadcast(&|_| {}));
+        assert_eq!((err.worker, err.dispatch), (1, 3));
+    }
+
+    #[test]
+    fn inline_pool_faults_are_structured_too() {
+        let pool = WorkerPool::sequential();
+        pool.inject_fault(FaultPlan {
+            worker: 0,
+            dispatch: 1,
+            kind: FaultKind::Panic,
+        });
+        let err = expect_exec_error(|| pool.broadcast(&|_| {}));
+        assert_eq!((err.worker, err.dispatch), (0, 1));
+        // Recovered: inline dispatches resume.
+        let hits = AtomicU64::new(0);
+        pool.broadcast(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dead_worker_is_reported_refused_and_respawned() {
+        let mut pool = WorkerPool::new(4);
+        pool.inject_fault(FaultPlan {
+            worker: 3,
+            dispatch: 1,
+            kind: FaultKind::Die,
+        });
+        let err = expect_exec_error(|| pool.broadcast(&|_| {}));
+        assert_eq!((err.worker, err.dispatch), (3, 1));
+        // The thread is gone; further dispatches are refused with a
+        // structured error instead of silently dropping its share.
+        assert_eq!(pool.dead_workers(), vec![3]);
+        let refused = expect_exec_error(|| pool.broadcast(&|_| {}));
+        assert_eq!(refused.worker, 3);
+        // Repair brings the pool back to full strength.
+        assert_eq!(pool.respawn_dead(), 1);
+        assert!(pool.dead_workers().is_empty());
+        let hits = AtomicU64::new(0);
+        pool.broadcast(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn pool_drops_cleanly_right_after_injected_faults() {
+        // Drop hygiene: a pool dropped immediately after a caught fault
+        // (panic or death, no repair in between) must join without
+        // hanging or double-panicking.
+        for kind in [FaultKind::Panic, FaultKind::Die] {
+            let pool = WorkerPool::new(4);
+            pool.inject_fault(FaultPlan {
+                worker: 2,
+                dispatch: 1,
+                kind,
+            });
+            let _ = expect_exec_error(|| pool.broadcast(&|_| {}));
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn non_exec_panics_are_not_misattributed() {
+        // An ordinary job panic must NOT downcast to ExecError: the
+        // recovery layer distinguishes execution-layer failures from
+        // logic bugs by payload type.
+        let pool = WorkerPool::new(3);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 1 {
+                    panic!("logic bug");
+                }
+            });
+        }))
+        .expect_err("panic should propagate");
+        assert!(ExecError::from_payload(payload.as_ref()).is_none());
+    }
+
+    #[test]
+    fn fault_plan_env_parsing() {
+        // Exercised via the parser only (no process-global env mutation
+        // in tests): absent worker -> no plan; defaults documented.
+        assert_eq!(FaultPlan::from_env(), None);
+        assert_eq!(FaultKind::default(), FaultKind::Panic);
     }
 
     #[test]

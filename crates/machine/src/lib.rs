@@ -53,10 +53,12 @@ pub mod partition;
 pub mod shard;
 pub mod vreg;
 
-pub use cache::{CacheLevelConfig, CacheSim, CacheStats};
+pub use cache::{CacheLevelConfig, CacheLevelState, CacheSim, CacheSimState, CacheStats};
 pub use cost::MachineConfig;
 pub use counters::{MachineCounters, PerfCounters, Phase};
-pub use exec::{Exec, SchedulerPolicy, WorkerPool, INLINE_ITEM_THRESHOLD};
+pub use exec::{
+    Exec, ExecError, FaultKind, FaultPlan, SchedulerPolicy, WorkerPool, INLINE_ITEM_THRESHOLD,
+};
 pub use gpu::{GpuConfig, GpuDepositionReport, GpuModel};
 pub use machine::{Machine, TileId};
 pub use mem::{MemSystem, VAddr};

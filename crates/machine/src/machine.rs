@@ -113,6 +113,30 @@ impl Machine {
         &mut self.mem
     }
 
+    /// Shared (read-only) view of the memory system, for non-mutating
+    /// inspection — checkpointing reads the allocator mark and cache
+    /// state through this without perturbing the machine.
+    pub fn mem_ref(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// The current arithmetic throughput penalty (see
+    /// [`Machine::set_throughput_penalty`]).
+    pub fn throughput_penalty(&self) -> f64 {
+        self.throughput_penalty
+    }
+
+    /// Resets the transient execution state — phase, throughput penalty
+    /// and MPU tile registers — to the post-construction values. Used by
+    /// snapshot restore: tile registers and the penalty are dead between
+    /// steps (kernels run on worker forks and re-establish both), so the
+    /// construction values are the canonical step-boundary state.
+    pub fn reset_execution_state(&mut self) {
+        self.phase = Phase::Other;
+        self.throughput_penalty = 1.0;
+        self.tiles = [[[0.0; VLANES]; VLANES]; NUM_TILES];
+    }
+
     /// Sets the phase that subsequent charges are attributed to.
     pub fn set_phase(&mut self, phase: Phase) {
         self.phase = phase;
@@ -314,7 +338,8 @@ impl Machine {
 
     /// Horizontal sum of a register (log2(VLANES) shuffle+add steps).
     pub fn v_reduce_add(&mut self, a: VReg) -> f64 {
-        let steps = (VLANES as f64).log2() as u64;
+        // VLANES is a power of two, so this is exactly log2(VLANES).
+        let steps = VLANES.trailing_zeros() as u64;
         self.ctr.vector_ops += steps;
         self.charge_arith(self.cfg.vpu_arith_cy * steps as f64, (VLANES - 1) as f64);
         a.sum()

@@ -6,7 +6,7 @@
 //! address stream the real kernel would generate (SoA particle arrays
 //! streaming, grid lines being revisited, rhocell lines staying resident).
 
-use crate::cache::{CacheLevelConfig, CacheSim, CacheStats};
+use crate::cache::{CacheLevelConfig, CacheSim, CacheSimState, CacheStats};
 
 /// A virtual byte address in the emulated address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -114,6 +114,35 @@ impl MemSystem {
     /// DRAM misses split into (streamed, random).
     pub fn miss_split(&self) -> (u64, u64) {
         (self.cache.streamed_misses, self.cache.random_misses)
+    }
+
+    /// The bump allocator's high-water mark: the next virtual address a
+    /// future [`MemSystem::alloc`] would consider. Checkpoints record it
+    /// so a restored machine reproduces the exact same address stream.
+    pub fn alloc_mark(&self) -> u64 {
+        self.next
+    }
+
+    /// Restores the bump allocator to a mark captured with
+    /// [`MemSystem::alloc_mark`]. Addresses are purely virtual (data
+    /// lives in host arrays), so rewinding the mark is safe as long as
+    /// the caller also restores every `VAddr` handed out after the mark —
+    /// exactly what snapshot restore does.
+    pub fn restore_alloc_mark(&mut self, mark: u64) {
+        self.next = mark;
+    }
+
+    /// Exports the cache hierarchy's behavioural state (tags, LRU
+    /// clocks, prefetch streams); see [`CacheSim::export_state`].
+    pub fn cache_state(&self) -> CacheSimState {
+        self.cache.export_state()
+    }
+
+    /// Imports behavioural cache state captured by
+    /// [`MemSystem::cache_state`]. Returns `false` on geometry mismatch
+    /// (the hierarchy is left untouched).
+    pub fn restore_cache_state(&mut self, s: &CacheSimState) -> bool {
+        self.cache.import_state(s)
     }
 }
 

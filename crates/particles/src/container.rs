@@ -257,7 +257,7 @@ impl ParticleContainer {
         geom: &GridGeometry,
         exec: Exec<'_>,
     ) -> SortStats {
-        self.incremental_sort(layout, geom);
+        let _ = self.incremental_sort(layout, geom);
         let mut total = SortStats::default();
         let gap_ratio = self.gap_ratio;
         let Self { tiles, scratch, .. } = self;
@@ -357,8 +357,8 @@ mod tests {
     #[test]
     fn inject_routes_to_owning_tile() {
         let (geom, layout, mut c) = setup();
-        c.inject(&layout, &geom, particle_at(0.5, 0.5, 0.5));
-        c.inject(&layout, &geom, particle_at(6.5, 6.5, 6.5));
+        let _ = c.inject(&layout, &geom, particle_at(0.5, 0.5, 0.5));
+        let _ = c.inject(&layout, &geom, particle_at(6.5, 6.5, 6.5));
         assert_eq!(c.tiles[0].len(), 1);
         assert_eq!(c.tiles[7].len(), 1);
         assert_eq!(c.total_particles(), 2);
@@ -369,9 +369,9 @@ mod tests {
     fn global_sort_orders_by_cell() {
         let (geom, layout, mut c) = setup();
         // Insert in reverse cell order within tile 0.
-        c.inject(&layout, &geom, particle_at(3.5, 3.5, 3.5));
-        c.inject(&layout, &geom, particle_at(0.5, 0.5, 0.5));
-        c.global_sort(&layout, &geom);
+        let _ = c.inject(&layout, &geom, particle_at(3.5, 3.5, 3.5));
+        let _ = c.inject(&layout, &geom, particle_at(0.5, 0.5, 0.5));
+        let _ = c.global_sort(&layout, &geom);
         c.check_invariants();
         let t = &c.tiles[0];
         // After sorting, SoA slot 0 must be the cell-(0,0,0) particle.
@@ -382,7 +382,7 @@ mod tests {
     #[test]
     fn incremental_sort_moves_within_tile() {
         let (geom, layout, mut c) = setup();
-        c.inject(&layout, &geom, particle_at(0.5, 0.5, 0.5));
+        let _ = c.inject(&layout, &geom, particle_at(0.5, 0.5, 0.5));
         // Move particle into neighbouring cell (1,0,0), same tile.
         c.tiles[0].soa.x[0] = 1.5;
         let (stats, scanned) = c.incremental_sort(&layout, &geom);
@@ -396,7 +396,7 @@ mod tests {
     #[test]
     fn incremental_sort_migrates_across_tiles() {
         let (geom, layout, mut c) = setup();
-        c.inject(&layout, &geom, particle_at(3.5, 0.5, 0.5));
+        let _ = c.inject(&layout, &geom, particle_at(3.5, 0.5, 0.5));
         // Cross the tile boundary in x.
         c.tiles[0].soa.x[0] = 4.5;
         let (_, _) = c.incremental_sort(&layout, &geom);
@@ -410,7 +410,7 @@ mod tests {
     fn stationary_particles_cost_nothing_to_move() {
         let (geom, layout, mut c) = setup();
         for i in 0..10 {
-            c.inject(&layout, &geom, particle_at(0.1 + 0.05 * i as f64, 0.5, 0.5));
+            let _ = c.inject(&layout, &geom, particle_at(0.1 + 0.05 * i as f64, 0.5, 0.5));
         }
         let (stats, scanned) = c.incremental_sort(&layout, &geom);
         assert_eq!(scanned, 10);
@@ -426,7 +426,7 @@ mod tests {
             // Scatter particles over cells in a worst-case reverse order.
             for i in 0..40 {
                 let f = 7.5 - (i as f64) * 0.19;
-                c.inject(
+                let _ = c.inject(
                     &layout,
                     &geom,
                     particle_at(f, 7.9 - f, 0.5 + 0.17 * i as f64),
@@ -435,7 +435,7 @@ mod tests {
             (geom, layout, c)
         };
         let (geom, layout, mut want) = build();
-        want.global_sort(&layout, &geom);
+        let _ = want.global_sort(&layout, &geom);
         for workers in [2usize, 3, 7] {
             let pool = WorkerPool::new(workers);
             for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
@@ -457,17 +457,17 @@ mod tests {
         let (geom, layout, mut c) = setup();
         let mut p = particle_at(0.5, 0.5, 0.5);
         p.w = 3.0;
-        c.inject(&layout, &geom, p);
+        let _ = c.inject(&layout, &geom, p);
         assert_eq!(c.total_charge(), -3.0);
     }
 
     #[test]
     fn periodic_wrap_keeps_particles_homed() {
         let (geom, layout, mut c) = setup();
-        c.inject(&layout, &geom, particle_at(0.5, 0.5, 0.5));
+        let _ = c.inject(&layout, &geom, particle_at(0.5, 0.5, 0.5));
         // Move past the periodic boundary: x = -0.5 wraps to 7.5 (tile 1).
         c.tiles[0].soa.x[0] = -0.5;
-        c.incremental_sort(&layout, &geom);
+        let _ = c.incremental_sort(&layout, &geom);
         c.check_invariants();
         assert_eq!(c.total_particles(), 1);
         assert_eq!(c.tiles[1].len(), 1, "wrapped into the high-x tile");

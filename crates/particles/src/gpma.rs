@@ -26,11 +26,33 @@
 /// Marker stored in empty `local_index` slots.
 pub const INVALID_PARTICLE_ID: usize = usize::MAX;
 
+/// Rebuild fires when the free-slot ratio drops below this (paper
+/// section 4.3.2's maintenance trigger).
+const MIN_EMPTY_RATIO: f64 = 0.02;
+
+/// Ceiling of `count * ratio` as a slot count — the one sanctioned
+/// float→integer crossing in this crate. A raw `(x).ceil() as usize`
+/// saturates silently on overflow and truncates NaN to zero, which is
+/// why mpic-lint rule L5 bans the cast in expression position in
+/// result-bearing code; this helper pins the domain with a debug
+/// assertion before the conversion so a violated precondition fails a
+/// debug build instead of silently clamping a release one.
+#[inline]
+fn gap_slots(count: usize, ratio: f64) -> usize {
+    let slots = (count as f64 * ratio).ceil();
+    debug_assert!(
+        slots.is_finite() && (0.0..=u32::MAX as f64).contains(&slots),
+        "gap slot count {slots} outside the convertible domain"
+    );
+    slots as usize
+}
+
 /// Operation counts returned by [`Gpma::apply_pending_moves`].
 ///
 /// The driver multiplies these by per-operation cycle costs; keeping them
 /// here keeps the data structure independent of the machine model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use]
 pub struct MoveStats {
     /// Total pending moves processed.
     pub moves_applied: usize,
@@ -74,6 +96,37 @@ pub struct PendingMove {
     pub old_bin: Option<usize>,
     /// Destination bin; `None` when the particle leaves the tile.
     pub new_bin: Option<usize>,
+}
+
+/// Complete checkpointable state of a [`Gpma`], mirroring its internal
+/// fields one-for-one (the configured `min_empty_ratio` maintenance
+/// threshold is a crate constant and therefore not part of the state).
+/// Produced by [`Gpma::export_state`]; consumed — with full structural
+/// validation — by [`Gpma::from_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpmaState {
+    /// The index array (particle ids or `INVALID_PARTICLE_ID` gaps).
+    pub local_index: Vec<usize>,
+    /// Region start per bin, plus the trailing capacity entry.
+    pub bin_offsets: Vec<usize>,
+    /// Valid particles per bin.
+    pub bin_lengths: Vec<usize>,
+    /// Per-bin empty-slot stacks, LIFO order preserved.
+    pub bin_free: Vec<Vec<usize>>,
+    /// Reverse map: particle index -> slot.
+    pub slot_of: Vec<usize>,
+    /// Live particle count.
+    pub num_particles: usize,
+    /// Free slot count.
+    pub num_empty_slots: usize,
+    /// Fractional gap headroom per bin.
+    pub gap_ratio: f64,
+    /// Queued (not yet applied) relocations.
+    pub pending: Vec<PendingMove>,
+    /// Whether the last apply cycle rebuilt the tile.
+    pub was_rebuilt_this_step: bool,
+    /// Cumulative local rebuilds since the last counter reset.
+    pub rebuild_count: u64,
 }
 
 /// The gapped packed-memory index of one particle tile.
@@ -130,7 +183,7 @@ impl Gpma {
             pending: Vec::new(),
             was_rebuilt_this_step: false,
             rebuild_count: 0,
-            min_empty_ratio: 0.02,
+            min_empty_ratio: MIN_EMPTY_RATIO,
         };
         g.layout(cells, &mut MoveStats::default());
         g.rebuild_count = 0; // The initial layout is not a "rebuild".
@@ -155,7 +208,7 @@ impl Gpma {
         // arriving particle has an O(1) home).
         let mut offsets = vec![0usize; n_bins + 1];
         for c in 0..n_bins {
-            let gap = ((counts[c] as f64 * self.gap_ratio).ceil() as usize).max(1);
+            let gap = gap_slots(counts[c], self.gap_ratio).max(1);
             offsets[c + 1] = offsets[c] + counts[c] + gap;
         }
         let capacity = offsets[n_bins];
@@ -489,6 +542,102 @@ impl Gpma {
         self.was_rebuilt_this_step = true;
     }
 
+    /// Exports the complete internal state for checkpointing. The GPMA
+    /// is pure index bookkeeping (it owns no particle data), so the
+    /// exported state plus the tile's SoA fully determines every future
+    /// operation bit-for-bit.
+    pub fn export_state(&self) -> GpmaState {
+        GpmaState {
+            local_index: self.local_index.clone(),
+            bin_offsets: self.bin_offsets.clone(),
+            bin_lengths: self.bin_lengths.clone(),
+            bin_free: self.bin_free.clone(),
+            slot_of: self.slot_of.clone(),
+            num_particles: self.num_particles,
+            num_empty_slots: self.num_empty_slots,
+            gap_ratio: self.gap_ratio,
+            pending: self.pending.clone(),
+            was_rebuilt_this_step: self.was_rebuilt_this_step,
+            rebuild_count: self.rebuild_count,
+        }
+    }
+
+    /// Rebuilds a GPMA from checkpointed state, validating every
+    /// structural invariant instead of trusting the input — a corrupt
+    /// snapshot must surface as an error here, never as a panic in a
+    /// later `apply_pending_moves`.
+    pub fn from_state(s: GpmaState) -> Result<Self, &'static str> {
+        let n_bins = s.bin_lengths.len();
+        if s.bin_offsets.len() != n_bins + 1 || s.bin_free.len() != n_bins {
+            return Err("gpma: bin table lengths disagree");
+        }
+        if s.bin_offsets.first() != Some(&0)
+            || s.bin_offsets.windows(2).any(|w| w[0] > w[1])
+            || s.bin_offsets.last() != Some(&s.local_index.len())
+        {
+            return Err("gpma: bin offsets malformed");
+        }
+        if !(s.gap_ratio.is_finite() && s.gap_ratio >= 0.0) {
+            return Err("gpma: gap ratio out of range");
+        }
+        let mut live = 0usize;
+        for (slot, &p) in s.local_index.iter().enumerate() {
+            if p == INVALID_PARTICLE_ID {
+                continue;
+            }
+            if p >= s.slot_of.len() || s.slot_of[p] != slot {
+                return Err("gpma: slot map inconsistent with index");
+            }
+            live += 1;
+        }
+        if live != s.num_particles {
+            return Err("gpma: particle count mismatch");
+        }
+        if s.local_index.len() - live != s.num_empty_slots {
+            return Err("gpma: empty slot count mismatch");
+        }
+        let mut on_stack = vec![false; s.local_index.len()];
+        for c in 0..n_bins {
+            let (lo, hi) = (s.bin_offsets[c], s.bin_offsets[c + 1]);
+            let valid = s.local_index[lo..hi]
+                .iter()
+                .filter(|&&p| p != INVALID_PARTICLE_ID)
+                .count();
+            if valid != s.bin_lengths[c] {
+                return Err("gpma: bin length mismatch");
+            }
+            if s.bin_free[c].len() != (hi - lo) - valid {
+                return Err("gpma: free stack size mismatch");
+            }
+            for &f in &s.bin_free[c] {
+                if f < lo || f >= hi || s.local_index[f] != INVALID_PARTICLE_ID || on_stack[f] {
+                    return Err("gpma: free stack entry invalid");
+                }
+                on_stack[f] = true;
+            }
+        }
+        for mv in &s.pending {
+            let bin_ok = |b: Option<usize>| b.is_none_or(|b| b < n_bins);
+            if !bin_ok(mv.old_bin) || !bin_ok(mv.new_bin) {
+                return Err("gpma: pending move references missing bin");
+            }
+        }
+        Ok(Self {
+            local_index: s.local_index,
+            bin_offsets: s.bin_offsets,
+            bin_lengths: s.bin_lengths,
+            bin_free: s.bin_free,
+            slot_of: s.slot_of,
+            num_particles: s.num_particles,
+            num_empty_slots: s.num_empty_slots,
+            gap_ratio: s.gap_ratio,
+            pending: s.pending,
+            was_rebuilt_this_step: s.was_rebuilt_this_step,
+            rebuild_count: s.rebuild_count,
+            min_empty_ratio: MIN_EMPTY_RATIO,
+        })
+    }
+
     /// Exhaustively validates internal invariants against the
     /// authoritative per-particle bins. Test/debug helper.
     ///
@@ -578,7 +727,7 @@ mod tests {
         g.queue_remove(1, 0);
         // Particle 1 is gone: its cells entry becomes INVALID.
         let after = vec![0, INVALID_PARTICLE_ID, 1];
-        g.apply_pending_moves(&after);
+        let _ = g.apply_pending_moves(&after);
         g.check_invariants(&after);
         assert_eq!(g.bin_len(0), 1);
         assert_eq!(g.num_particles(), 2);
@@ -591,7 +740,7 @@ mod tests {
         let extended = vec![0, 1, 1];
         let mut g2 = g.clone();
         g2.queue_insert(2, 1);
-        g2.apply_pending_moves(&extended);
+        let _ = g2.apply_pending_moves(&extended);
         g2.check_invariants(&extended);
         assert_eq!(g2.bin_len(1), 2);
         // Original untouched.
@@ -670,11 +819,75 @@ mod tests {
         let extended = vec![0, 0, 0];
         g.queue_insert(1, 0);
         g.queue_insert(2, 0);
-        g.apply_pending_moves(&extended);
+        let _ = g.apply_pending_moves(&extended);
         assert!(g.rebuild_count() > 0);
         g.reset_counters();
         assert_eq!(g.rebuild_count(), 0);
         assert!(!g.was_rebuilt_this_step);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_behaviour() {
+        let mut cells = vec![0, 0, 1, 2, 2];
+        let mut g = Gpma::build(&cells, 3, 0.5);
+        g.queue_move(0, 0, 1);
+        cells[0] = 1;
+        let _ = g.apply_pending_moves(&cells);
+        let mut twin = Gpma::from_state(g.export_state()).unwrap();
+        twin.check_invariants(&cells);
+        assert_eq!(twin.export_state(), g.export_state());
+        // Identical future operations must produce identical stats and
+        // layout.
+        let extended = vec![1, 0, 1, 2, 2, 1];
+        g.queue_insert(5, 1);
+        twin.queue_insert(5, 1);
+        let mut cells2 = cells.clone();
+        cells2.push(1);
+        let _ = extended;
+        let (a, b) = (
+            g.apply_pending_moves(&cells2),
+            twin.apply_pending_moves(&cells2),
+        );
+        assert_eq!(a, b);
+        assert_eq!(twin.export_state(), g.export_state());
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_state() {
+        let cells = vec![0, 1, 1];
+        let g = Gpma::build(&cells, 2, 0.5);
+        let good = g.export_state();
+        assert!(Gpma::from_state(good.clone()).is_ok());
+
+        let mut bad = good.clone();
+        bad.num_particles += 1;
+        assert!(Gpma::from_state(bad).is_err(), "particle count");
+
+        let mut bad = good.clone();
+        bad.bin_offsets.pop();
+        assert!(Gpma::from_state(bad).is_err(), "offset table");
+
+        let mut bad = good.clone();
+        bad.slot_of.clear();
+        assert!(Gpma::from_state(bad).is_err(), "slot map");
+
+        let mut bad = good.clone();
+        if let Some(f) = bad.bin_free.iter_mut().find(|f| !f.is_empty()) {
+            f.push(f[0]); // Duplicate free entry.
+        }
+        assert!(Gpma::from_state(bad).is_err(), "duplicate free slot");
+
+        let mut bad = good.clone();
+        bad.gap_ratio = f64::NAN;
+        assert!(Gpma::from_state(bad).is_err(), "NaN gap ratio");
+
+        let mut bad = good;
+        bad.pending.push(PendingMove {
+            particle: 0,
+            old_bin: Some(99),
+            new_bin: None,
+        });
+        assert!(Gpma::from_state(bad).is_err(), "pending bin range");
     }
 
     #[test]

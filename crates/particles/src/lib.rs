@@ -35,7 +35,7 @@ pub mod soa;
 pub mod sort;
 
 pub use container::{Departure, ParticleContainer, ParticleTile};
-pub use gpma::{Gpma, MoveStats, INVALID_PARTICLE_ID};
+pub use gpma::{Gpma, GpmaState, MoveStats, PendingMove, INVALID_PARTICLE_ID};
 pub use policy::{RankSortStats, SortPolicy, SortReason};
 pub use runs::{cell_runs, CellRun, CellRuns};
 pub use soa::ParticleSoA;

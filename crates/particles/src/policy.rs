@@ -21,6 +21,7 @@ pub enum SortReason {
 
 /// Per-rank counters the policy evaluates (the paper's `RankSortStats`).
 #[derive(Debug, Clone, Default)]
+#[must_use]
 pub struct RankSortStats {
     /// Steps since the last global sort.
     pub steps_since_sort: u64,

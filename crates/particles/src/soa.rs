@@ -192,6 +192,76 @@ impl ParticleSoA {
         self.compact_alive(perm.len());
     }
 
+    /// The dead-slot recycling stack, top last. Checkpointing records it
+    /// verbatim: the LIFO order decides which slot the next
+    /// [`ParticleSoA::push`] reuses, so a restored SoA must pop the same
+    /// indices in the same order to stay bit-identical.
+    pub fn free_slots(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// Rebuilds an SoA from checkpointed parts, validating the storage
+    /// invariants instead of trusting the input: all arrays equally long,
+    /// every free-stack index a distinct dead slot, and every dead slot
+    /// on the stack. Returns a description of the violated invariant on
+    /// malformed input (corrupt snapshots must surface as errors, never
+    /// as a poisoned container).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        x: Vec<f64>,
+        y: Vec<f64>,
+        z: Vec<f64>,
+        ux: Vec<f64>,
+        uy: Vec<f64>,
+        uz: Vec<f64>,
+        w: Vec<f64>,
+        alive: Vec<bool>,
+        free: Vec<usize>,
+    ) -> Result<Self, &'static str> {
+        let n = x.len();
+        if [
+            y.len(),
+            z.len(),
+            ux.len(),
+            uy.len(),
+            uz.len(),
+            w.len(),
+            alive.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err("attribute arrays disagree in length");
+        }
+        let mut on_stack = vec![false; n];
+        for &i in &free {
+            if i >= n {
+                return Err("free-stack index out of range");
+            }
+            if alive[i] {
+                return Err("free-stack index refers to a live slot");
+            }
+            if on_stack[i] {
+                return Err("free-stack index duplicated");
+            }
+            on_stack[i] = true;
+        }
+        if alive.iter().filter(|&&a| !a).count() != free.len() {
+            return Err("dead slot missing from the free stack");
+        }
+        Ok(Self {
+            x,
+            y,
+            z,
+            ux,
+            uy,
+            uz,
+            w,
+            alive,
+            free,
+        })
+    }
+
     /// Iterator over live slot indices.
     pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.alive
@@ -286,6 +356,69 @@ mod tests {
                 assert!(got.alive.iter().all(|&a| a));
             }
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_corruption() {
+        let mut s = ParticleSoA::new();
+        for i in 0..5 {
+            s.push(i as f64, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0);
+        }
+        s.remove(1);
+        s.remove(3);
+        let rebuilt = ParticleSoA::from_parts(
+            s.x.clone(),
+            s.y.clone(),
+            s.z.clone(),
+            s.ux.clone(),
+            s.uy.clone(),
+            s.uz.clone(),
+            s.w.clone(),
+            s.alive.clone(),
+            s.free_slots().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), s.len());
+        assert_eq!(rebuilt.free_slots(), s.free_slots());
+        // The LIFO order must be preserved: next push reuses slot 3.
+        let mut r = rebuilt;
+        assert_eq!(r.push(9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0), 3);
+
+        let bad = |free: Vec<usize>, alive: Vec<bool>| {
+            ParticleSoA::from_parts(
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                alive,
+                free,
+            )
+        };
+        assert!(bad(vec![7], vec![true, false, true]).is_err(), "oob");
+        assert!(bad(vec![0], vec![true, false, true]).is_err(), "live slot");
+        assert!(
+            bad(vec![1, 1], vec![true, false, true]).is_err(),
+            "duplicate"
+        );
+        assert!(bad(vec![], vec![true, false, true]).is_err(), "orphan dead");
+        assert!(
+            ParticleSoA::from_parts(
+                vec![0.0; 2],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![0.0; 3],
+                vec![true; 3],
+                vec![],
+            )
+            .is_err(),
+            "ragged arrays"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use mpic_machine::shard_bounds;
 
 /// Operation counts of one counting sort.
 #[derive(Debug, Clone, Copy, Default)]
+#[must_use]
 pub struct SortStats {
     /// Number of keys sorted.
     pub n: usize,
@@ -319,7 +320,7 @@ mod tests {
         let mut scratch = SortScratch::default();
         let mut perm = Vec::new();
         let pool = WorkerPool::new(4);
-        counting_sort_keys_sharded(
+        let _ = counting_sort_keys_sharded(
             &keys,
             5,
             pool.exec(SchedulerPolicy::Stealing),

@@ -42,7 +42,7 @@ fn naive_runs(keys: &[usize]) -> Vec<(usize, usize, usize)> {
 /// and degenerate key sequences alike.
 #[test]
 fn fuzz_cell_runs_match_reference_and_tile_exactly() {
-    proptest!(ProptestConfig::with_cases(fuzz_cases(128)), |(
+    proptest!(ProptestConfig::with_cases(fuzz_cases(128)).with_corpus("cell_runs"), |(
         keys in prop::collection::vec(0usize..6, 0..400),
         sort_it in 0u8..2,
     )| {
@@ -77,7 +77,7 @@ fn fuzz_cell_runs_match_reference_and_tile_exactly() {
 #[test]
 fn fuzz_sharded_sort_matches_sequential_for_all_workers_and_policies() {
     let pools: Vec<WorkerPool> = (1..9).map(WorkerPool::new).collect();
-    proptest!(ProptestConfig::with_cases(fuzz_cases(12)), |(
+    proptest!(ProptestConfig::with_cases(fuzz_cases(12)).with_corpus("sharded_sort"), |(
         n_buckets in 1usize..48,
         // Size reaches ~1.5 chunks past the inline threshold so worker
         // counts >= 2 take the sharded path; small sizes cover inline.
@@ -99,7 +99,7 @@ fn fuzz_sharded_sort_matches_sequential_for_all_workers_and_policies() {
             for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
                 let mut perm = Vec::new();
                 let mut scratch = SortScratch::default();
-                counting_sort_keys_sharded(
+                let _ = counting_sort_keys_sharded(
                     &keys,
                     n_buckets,
                     pool.exec(policy),
@@ -125,7 +125,7 @@ fn fuzz_sharded_sort_matches_sequential_for_all_workers_and_policies() {
 /// `cells` array after every applied batch.
 #[test]
 fn fuzz_gpma_churn_randomized_shapes() {
-    proptest!(ProptestConfig::with_cases(fuzz_cases(48)), |(
+    proptest!(ProptestConfig::with_cases(fuzz_cases(48)).with_corpus("gpma_churn"), |(
         n_bins in 1usize..24,
         gap_pick in 0usize..3,
         initial_len in 0usize..120,
@@ -184,7 +184,7 @@ fn fuzz_gpma_churn_randomized_shapes() {
                     }
                 }
             }
-            g.apply_pending_moves(&cells);
+            let _ = g.apply_pending_moves(&cells);
             g.check_invariants(&cells);
         }
         let live = cells.iter().filter(|&&c| c != INVALID_PARTICLE_ID).count();

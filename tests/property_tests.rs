@@ -29,7 +29,7 @@ fn gpma_survives_arbitrary_move_sequences() {
                 g.queue_move(p, cells[p], new_bin);
                 cells[p] = new_bin;
             }
-            g.apply_pending_moves(&cells);
+            let _ = g.apply_pending_moves(&cells);
             g.check_invariants(&cells);
         }
         prop_assert_eq!(g.num_particles(), cells.len());
@@ -83,7 +83,7 @@ fn gpma_survives_insert_remove_churn() {
                     }
                 }
             }
-            g.apply_pending_moves(&cells);
+            let _ = g.apply_pending_moves(&cells);
             g.check_invariants(&cells);
         }
     });
@@ -144,7 +144,7 @@ fn deposition_conserves_total_current() {
         let mut c = ParticleContainer::new(&layout, -2.0, 1.0);
         let mut expect = 0.0;
         for &(x, y, z, ux, uy, uz) in &parts {
-            c.inject(&layout, &geom, Departure { x, y, z, ux, uy, uz, w: 1.5 });
+            let _ = c.inject(&layout, &geom, Departure { x, y, z, ux, uy, uz, w: 1.5 });
             let (vx, _, _) = matrix_pic::deposit::velocity_from_u(ux, uy, uz);
             expect += -2.0 * 1.5 * vx / geom.cell_volume();
         }

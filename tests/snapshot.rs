@@ -1,0 +1,313 @@
+//! Checkpoint/restore tests: deterministic snapshot round-trips and the
+//! per-section corruption matrix.
+//!
+//! The `conf_` tests pin the crash-resilience contract: a simulation that is
+//! snapshotted mid-run and restored into a *fresh* `Simulation` (built from
+//! the same config) must continue bit-identically to the uninterrupted run —
+//! fields, currents, particles, RNG, per-phase counters and cache behavioural
+//! state included — across every worker count, scheduler policy and batching
+//! mode. Corrupted snapshot bytes must produce structured [`SnapshotError`]s,
+//! never panics.
+
+use matrix_pic::core::snapshot::{section, SnapshotError};
+use matrix_pic::core::{workloads, Simulation};
+use matrix_pic::deposit::{KernelConfig, ShapeOrder};
+use matrix_pic::machine::SchedulerPolicy;
+
+const UNIFORM_DIMS: [usize; 3] = [8, 8, 8];
+const UNIFORM_PPC: usize = 2;
+const UNIFORM_SEED: u64 = 97;
+const LWFA_DIMS: [usize; 3] = [8, 8, 32];
+const LWFA_PPC: usize = 2;
+const LWFA_SEED: u64 = 13;
+
+fn uniform_sim(workers: usize, policy: SchedulerPolicy, batching: bool) -> Simulation {
+    let mut sim = workloads::uniform_plasma_sim(
+        UNIFORM_DIMS,
+        UNIFORM_PPC,
+        ShapeOrder::Cic,
+        KernelConfig::FullOpt,
+        UNIFORM_SEED,
+    );
+    sim.cfg.num_workers = workers;
+    sim.cfg.scheduler = policy;
+    sim.cfg.batching = batching;
+    sim
+}
+
+fn lwfa_sim(workers: usize, policy: SchedulerPolicy, batching: bool) -> Simulation {
+    let mut sim = workloads::lwfa_sim(
+        LWFA_DIMS,
+        LWFA_PPC,
+        ShapeOrder::Cic,
+        KernelConfig::FullOpt,
+        LWFA_SEED,
+    );
+    sim.cfg.num_workers = workers;
+    sim.cfg.scheduler = policy;
+    sim.cfg.batching = batching;
+    sim
+}
+
+/// Run `total` steps uninterrupted; separately run `pre` steps, snapshot,
+/// restore into a fresh sim and run the remaining steps there. Both final
+/// states are compared through `Simulation::snapshot`, which captures every
+/// piece of stepping state (fields, particles, RNG, counters, cache tags,
+/// report), so byte equality is total-state equality.
+fn assert_restore_continues_bit_identical(
+    make: &dyn Fn() -> Simulation,
+    pre: usize,
+    total: usize,
+    label: &str,
+) {
+    assert!(pre < total);
+    let mut reference = make();
+    reference.run(total);
+    let expected = reference.snapshot();
+
+    let mut interrupted = make();
+    interrupted.run(pre);
+    let checkpoint = interrupted.snapshot();
+    drop(interrupted);
+
+    let mut resumed = make();
+    resumed
+        .restore(&checkpoint)
+        .unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+    resumed.run(total - pre);
+    let actual = resumed.snapshot();
+
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "{label}: snapshot size diverged after restore"
+    );
+    assert!(
+        expected == actual,
+        "{label}: state diverged after snapshot/restore"
+    );
+}
+
+/// Snapshot -> restore -> N steps is bit-identical to the uninterrupted run
+/// for every worker count x scheduler policy x batching mode in the paper's
+/// determinism matrix (uniform plasma workload).
+#[test]
+fn conf_snapshot_restore_bit_identical_across_exec_matrix() {
+    for &workers in &[1usize, 2, 4, 7] {
+        for &policy in &[SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            for &batching in &[false, true] {
+                let label = format!("uniform w={workers} {policy:?} batching={batching}");
+                assert_restore_continues_bit_identical(
+                    &|| uniform_sim(workers, policy, batching),
+                    2,
+                    4,
+                    &label,
+                );
+            }
+        }
+    }
+}
+
+/// The LWFA workload exercises the moving window, the laser antenna, the
+/// absorbing boundaries and the RNG-driven fresh-plasma injection — all of
+/// which must survive a checkpoint bit-exactly.
+#[test]
+fn conf_snapshot_restore_bit_identical_lwfa_moving_window() {
+    for &workers in &[1usize, 4] {
+        for &policy in &[SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            let label = format!("lwfa w={workers} {policy:?}");
+            assert_restore_continues_bit_identical(
+                &|| lwfa_sim(workers, policy, true),
+                3,
+                6,
+                &label,
+            );
+        }
+    }
+}
+
+/// A checkpoint is worker/scheduler agnostic: state written under one worker
+/// count and policy may be restored under another, and the continuation is
+/// still bit-identical to an uninterrupted run under the *target* config
+/// (the determinism contract says workers and scheduling never change
+/// results). Batching must match, because batching changes the emulated
+/// cost-model charges the counters and report accumulate.
+#[test]
+fn conf_snapshot_restores_across_worker_counts() {
+    let mut writer = uniform_sim(1, SchedulerPolicy::Static, true);
+    writer.run(2);
+    let checkpoint = writer.snapshot();
+
+    let mut reference = uniform_sim(7, SchedulerPolicy::Stealing, true);
+    reference.run(4);
+    let expected = reference.snapshot();
+
+    let mut resumed = uniform_sim(7, SchedulerPolicy::Stealing, true);
+    resumed.restore(&checkpoint).expect("cross-config restore");
+    resumed.run(2);
+    assert!(
+        resumed.snapshot() == expected,
+        "restoring a w=1/static checkpoint into w=7/stealing diverged"
+    );
+}
+
+/// Restore is idempotent at the byte level: restoring a snapshot and
+/// immediately re-snapshotting reproduces the original bytes exactly.
+#[test]
+fn conf_snapshot_round_trip_is_byte_lossless() {
+    let mut sim = lwfa_sim(2, SchedulerPolicy::Stealing, true);
+    sim.run(3);
+    let first = sim.snapshot();
+
+    let mut fresh = lwfa_sim(2, SchedulerPolicy::Stealing, true);
+    fresh.restore(&first).expect("round-trip restore");
+    let second = fresh.snapshot();
+    assert!(
+        first == second,
+        "snapshot -> restore -> snapshot changed bytes"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix: every malformed input is a structured error, never a
+// panic, and a failed restore leaves the target simulation untouched.
+// ---------------------------------------------------------------------------
+
+/// Parse the section table of a snapshot: (id, payload offset, payload len).
+fn section_table(bytes: &[u8]) -> Vec<(u32, usize, usize)> {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    (0..count)
+        .map(|i| {
+            let e = 16 + i * 28;
+            let id = u32::from_le_bytes(bytes[e..e + 4].try_into().unwrap());
+            let off = u64::from_le_bytes(bytes[e + 4..e + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[e + 12..e + 20].try_into().unwrap()) as usize;
+            (id, off, len)
+        })
+        .collect()
+}
+
+fn snapshot_for_corruption() -> (Vec<u8>, Simulation) {
+    let mut sim = uniform_sim(2, SchedulerPolicy::Static, false);
+    sim.run(2);
+    let bytes = sim.snapshot();
+    (bytes, sim)
+}
+
+#[test]
+fn corrupted_snapshot_truncation_is_structured() {
+    let (bytes, mut sim) = snapshot_for_corruption();
+    // Every truncation length must fail cleanly: header-short inputs report
+    // TooShort, table/payload-short inputs report a table or checksum error.
+    for keep in [0usize, 7, 15, 16, 40, bytes.len() / 2, bytes.len() - 1] {
+        let err = sim
+            .restore(&bytes[..keep.min(bytes.len())])
+            .expect_err("truncated snapshot must not restore");
+        match err {
+            SnapshotError::TooShort
+            | SnapshotError::BadSectionTable
+            | SnapshotError::ChecksumMismatch { .. } => {}
+            other => panic!("truncation at {keep} gave unexpected error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_snapshot_bad_magic_and_version() {
+    let (bytes, mut sim) = snapshot_for_corruption();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(matches!(
+        sim.restore(&bad_magic),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    let mut bad_version = bytes.clone();
+    bad_version[8] = 0xfe;
+    assert!(matches!(
+        sim.restore(&bad_version),
+        Err(SnapshotError::BadVersion(_))
+    ));
+}
+
+/// Flipping one payload byte in *each* section is caught by that section's
+/// checksum — corruption is localised and reported per section.
+#[test]
+fn corrupted_snapshot_every_section_checksum_detected() {
+    let (bytes, mut sim) = snapshot_for_corruption();
+    let table = section_table(&bytes);
+    let all = [
+        section::META,
+        section::FIELDS,
+        section::PARTICLES,
+        section::RNG,
+        section::DRIVER,
+        section::COUNTERS,
+        section::CACHE,
+        section::ADDRS,
+        section::REPORT,
+    ];
+    for &id in &all {
+        let &(_, off, len) = table
+            .iter()
+            .find(|&&(sid, _, _)| sid == id)
+            .unwrap_or_else(|| panic!("snapshot missing section {id}"));
+        assert!(len > 0, "section {id} has empty payload");
+        let mut corrupt = bytes.clone();
+        corrupt[off + len / 2] ^= 0x01;
+        match sim.restore(&corrupt) {
+            Err(SnapshotError::ChecksumMismatch { section: s }) => {
+                assert_eq!(s, id, "corruption attributed to the wrong section")
+            }
+            other => panic!("section {id} corruption gave {other:?}"),
+        }
+    }
+}
+
+/// A snapshot from an incompatible simulation shape is rejected with
+/// `Incompatible` and leaves the target fully untouched.
+#[test]
+fn incompatible_snapshot_rejected_and_target_untouched() {
+    let mut small = uniform_sim(2, SchedulerPolicy::Static, false);
+    small.run(2);
+    let checkpoint = small.snapshot();
+
+    let mut other = workloads::uniform_plasma_sim(
+        [8, 8, 16],
+        UNIFORM_PPC,
+        ShapeOrder::Cic,
+        KernelConfig::FullOpt,
+        UNIFORM_SEED,
+    );
+    other.run(1);
+    let before = other.snapshot();
+    assert!(matches!(
+        other.restore(&checkpoint),
+        Err(SnapshotError::Incompatible { .. })
+    ));
+    // Failed restores are all-or-nothing: the target state is unchanged.
+    assert!(
+        other.snapshot() == before,
+        "failed restore mutated the target"
+    );
+}
+
+/// Corrupt restores (checksum failures) are also all-or-nothing.
+#[test]
+fn failed_checksum_restore_leaves_target_untouched() {
+    let (bytes, mut sim) = snapshot_for_corruption();
+    let before = sim.snapshot();
+    let table = section_table(&bytes);
+    let &(_, off, len) = table
+        .iter()
+        .find(|&&(sid, _, _)| sid == section::PARTICLES)
+        .expect("particles section present");
+    let mut corrupt = bytes.clone();
+    corrupt[off + len / 3] ^= 0x80;
+    assert!(sim.restore(&corrupt).is_err());
+    assert!(
+        sim.snapshot() == before,
+        "failed restore mutated the target"
+    );
+}

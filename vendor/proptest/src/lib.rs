@@ -39,16 +39,33 @@ impl fmt::Display for TestCaseError {
     }
 }
 
-/// Subset of `proptest::test_runner::Config`.
+/// Subset of `proptest::test_runner::Config`, plus the corpus hook
+/// (the stand-in's replacement for real proptest's failure
+/// persistence).
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of random cases to run per property.
     pub cases: u32,
+    /// When set, the runner replays every seed committed under
+    /// `<corpus dir>/<name>.seeds` before the random cases, and appends
+    /// the seed of any failing random case to that file. The corpus
+    /// directory is `$MPIC_CORPUS_DIR`, defaulting to `tests/corpus/`
+    /// under the invoking crate's manifest.
+    pub corpus_name: Option<&'static str>,
 }
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            corpus_name: None,
+        }
+    }
+
+    /// Enables seed persistence/replay for this property under `name`.
+    pub fn with_corpus(mut self, name: &'static str) -> Self {
+        self.corpus_name = Some(name);
+        self
     }
 }
 
@@ -56,7 +73,7 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         // Real proptest defaults to 256; keep parity so un-configured
         // properties get comparable coverage.
-        ProptestConfig { cases: 256 }
+        ProptestConfig::with_cases(256)
     }
 }
 
@@ -71,14 +88,73 @@ impl TestRng {
     /// Deterministic stream for a given property (identified by its
     /// source location salt) and case index.
     pub fn for_case(salt: u64, case: u64) -> Self {
-        // Golden-ratio spacing decorrelates per-case streams; the salt
-        // decorrelates distinct properties so two tests with the same
-        // strategy shape do not replay identical inputs.
+        TestRng::from_seed_value(case_seed(salt, case))
+    }
+
+    /// Stream for an explicit seed — the replay path for corpus entries,
+    /// which must keep generating the same inputs even when the
+    /// property's source location (and thus its salt) moves.
+    pub fn from_seed_value(seed: u64) -> Self {
         TestRng {
-            inner: StdRng::seed_from_u64(
-                salt ^ 0xC0FF_EE00_D15E_A5E5 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            ),
+            inner: StdRng::seed_from_u64(seed),
         }
+    }
+}
+
+/// The seed a property's `case`-th random input stream is derived from.
+/// Golden-ratio spacing decorrelates per-case streams; the salt
+/// decorrelates distinct properties so two tests with the same strategy
+/// shape do not replay identical inputs.
+pub fn case_seed(salt: u64, case: u64) -> u64 {
+    salt ^ 0xC0FF_EE00_D15E_A5E5 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Seed-file persistence: the offline stand-in for real proptest's
+/// failure persistence. A corpus file (`<name>.seeds`) holds one hex
+/// seed per line (`#` comments allowed); committed files are replayed at
+/// the start of every run of the property, and newly failing seeds are
+/// appended so a CI failure becomes a permanent regression input.
+pub mod corpus {
+    use std::fs;
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    /// Path of the seed file for property `name` under `dir`.
+    pub fn seed_file(dir: &Path, name: &str) -> PathBuf {
+        dir.join(format!("{name}.seeds"))
+    }
+
+    /// Loads the committed seeds for `name`; a missing file is an empty
+    /// corpus, a malformed line is skipped (a corrupt corpus must never
+    /// turn the replay pass itself into the failure).
+    pub fn load(dir: &Path, name: &str) -> Vec<u64> {
+        let Ok(text) = fs::read_to_string(seed_file(dir, name)) else {
+            return Vec::new();
+        };
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                let l = l.strip_prefix("0x").unwrap_or(l);
+                u64::from_str_radix(l, 16).ok()
+            })
+            .collect()
+    }
+
+    /// Appends a failing seed to `name`'s corpus file (creating the
+    /// directory and file as needed); returns the path written, or
+    /// `None` if persistence failed — best-effort, the panic that
+    /// reports the failure carries the seed either way.
+    pub fn record(dir: &Path, name: &str, seed: u64) -> Option<PathBuf> {
+        fs::create_dir_all(dir).ok()?;
+        let path = seed_file(dir, name);
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .ok()?;
+        writeln!(f, "0x{seed:016x}").ok()?;
+        Some(path)
     }
 }
 
@@ -285,25 +361,56 @@ macro_rules! __proptest_parse {
     (@strat $cfg:tt; $body:block; [$($done:tt)*]; $name:ident; [$($acc:tt)*]; $tok:tt $($rest:tt)*) => {
         $crate::__proptest_parse!(@strat $cfg; $body; [$($done)*]; $name; [$($acc)* $tok]; $($rest)*)
     };
-    // Runner: N cases, fresh deterministic RNG per case, body runs in a
-    // Result-returning closure so `prop_assert*` can early-return.
+    // Runner: committed corpus seeds first, then N random cases, a
+    // fresh deterministic RNG per case; the body runs in a
+    // Result-returning closure so `prop_assert*` can early-return. A
+    // failing random case is appended to the corpus (when one is
+    // configured) so it replays on every future run.
     (@run ($cfg:expr); $body:block; [$(($name:ident; $($strat:tt)*))*]) => {{
         let __cfg: $crate::ProptestConfig = $cfg;
         let __salt = $crate::location_salt(file!(), line!(), column!());
-        for __case in 0..__cfg.cases {
-            let mut __rng = $crate::TestRng::for_case(__salt, __case as u64);
+        // `env!` expands in the invoking crate, so the default corpus
+        // lives beside that crate's own tests.
+        let __corpus_dir = ::std::path::PathBuf::from(
+            ::std::env::var("MPIC_CORPUS_DIR")
+                .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus").into()),
+        );
+        let __replay: ::std::vec::Vec<u64> = match __cfg.corpus_name {
+            ::core::option::Option::Some(__n) => $crate::corpus::load(&__corpus_dir, __n),
+            ::core::option::Option::None => ::std::vec::Vec::new(),
+        };
+        let __n_replay = __replay.len();
+        let __seeds = __replay
+            .into_iter()
+            .map(|s| (s, true))
+            .chain((0..__cfg.cases).map(|c| ($crate::case_seed(__salt, c as u64), false)));
+        for (__i, (__seed, __from_corpus)) in __seeds.enumerate() {
+            let mut __rng = $crate::TestRng::from_seed_value(__seed);
             $(let $name = $crate::Strategy::generate(&($($strat)*), &mut __rng);)*
             let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
                 $body
                 ::core::result::Result::Ok(())
             })();
             if let ::core::result::Result::Err(__err) = __result {
+                let __saved = match (__from_corpus, __cfg.corpus_name) {
+                    (false, ::core::option::Option::Some(__n)) => {
+                        $crate::corpus::record(&__corpus_dir, __n, __seed)
+                    }
+                    _ => ::core::option::Option::None,
+                };
                 panic!(
-                    "proptest case {}/{} failed: {}\n  inputs:{}",
-                    __case + 1,
-                    __cfg.cases,
+                    "proptest {} case {}/{} (seed 0x{:016x}) failed: {}\n  inputs:{}{}",
+                    if __from_corpus { "corpus" } else { "random" },
+                    __i + 1,
+                    __n_replay + __cfg.cases as usize,
+                    __seed,
                     __err,
                     String::new() $(+ &format!("\n    {} = {:?}", stringify!($name), $name))*,
+                    match __saved {
+                        ::core::option::Option::Some(p) =>
+                            format!("\n  seed persisted to {}", p.display()),
+                        ::core::option::Option::None => String::new(),
+                    },
                 );
             }
         }
@@ -339,7 +446,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "proptest case")]
+    #[should_panic(expected = "proptest random case")]
     fn failing_property_panics_with_inputs() {
         proptest!(ProptestConfig::with_cases(8), |(x in 0usize..10)| {
             prop_assert!(x > 100, "x was {}", x);
@@ -352,5 +459,62 @@ mod tests {
             prop_assert_eq!(x, 3);
             prop_assert_ne!(x, 4);
         });
+    }
+
+    #[test]
+    fn corpus_record_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("mpic-corpus-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(crate::corpus::load(&dir, "missing").is_empty());
+        let p1 = crate::corpus::record(&dir, "prop", 0xdead_beef).expect("record");
+        let p2 = crate::corpus::record(&dir, "prop", 0x1234).expect("record");
+        assert_eq!(p1, p2);
+        assert_eq!(crate::corpus::load(&dir, "prop"), vec![0xdead_beef, 0x1234]);
+        // Comments and malformed lines are skipped, bare hex accepted.
+        std::fs::write(
+            crate::corpus::seed_file(&dir, "hand"),
+            "# regression seeds\n0x10\n\nnot-a-seed\n20\n",
+        )
+        .unwrap();
+        assert_eq!(crate::corpus::load(&dir, "hand"), vec![0x10, 0x20]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_seeds_replay_before_random_cases() {
+        // Same seed -> same generated inputs, whether it arrives via the
+        // corpus replay path or the random case derivation.
+        let seed = crate::case_seed(crate::location_salt("x.rs", 1, 1), 3);
+        let gen = |mut rng: crate::TestRng| {
+            crate::Strategy::generate(&crate::collection::vec(0usize..100, 1..40), &mut rng)
+        };
+        let a = gen(crate::TestRng::from_seed_value(seed));
+        let b = gen(crate::TestRng::for_case(
+            crate::location_salt("x.rs", 1, 1),
+            3,
+        ));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest corpus case")]
+    fn failing_corpus_seed_is_reported_as_corpus_replay() {
+        let dir = std::env::temp_dir().join(format!("mpic-corpus-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::corpus::record(&dir, "always_fails", 0x42).unwrap();
+        std::env::set_var("MPIC_CORPUS_DIR", &dir);
+        let result = std::panic::catch_unwind(|| {
+            proptest!(
+                ProptestConfig::with_cases(0).with_corpus("always_fails"),
+                |(x in 0usize..10)| {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            );
+        });
+        std::env::remove_var("MPIC_CORPUS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(p) = result {
+            std::panic::resume_unwind(p);
+        }
     }
 }

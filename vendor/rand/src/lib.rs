@@ -174,6 +174,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The full internal state (SplitMix64 is a single counter-like
+        /// word). Together with [`StdRng::from_state`] this lets callers
+        /// checkpoint and resume a stream mid-sequence — `from_state(s)`
+        /// continues exactly where the `state() == s` generator was,
+        /// which `seed_from_u64` (a *fresh* stream) does not.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator mid-stream from a value captured with
+        /// [`StdRng::state`].
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // SplitMix64 (Steele, Lea & Flood): passes BigCrush, one add +
@@ -196,6 +213,18 @@ mod tests {
     fn deterministic_per_seed() {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
         for _ in 0..64 {
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
