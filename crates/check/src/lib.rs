@@ -1,0 +1,199 @@
+//! `mpic-check`: a dependency-free, loom-style bounded model checker
+//! for the exec layer's epoch/parking/fault protocol.
+//!
+//! The crate instantiates the *actual* pool protocol —
+//! `mpic_machine::exec::PoolCore`, the very code production runs as
+//! `WorkerPool` — over the instrumented [`sched::ShimSync`] facade, and
+//! explores bounded thread interleavings by depth-first search over
+//! scheduling decisions:
+//!
+//! * each run executes the scenario under a deterministic cooperative
+//!   scheduler ([`sched::Controller`]) that records every branch point;
+//! * [`explore`] replays prefixes of those decisions, incrementing the
+//!   deepest untried alternative each time, until the tree (pruned by
+//!   operation-conflict analysis and a preemption budget — see
+//!   [`sched`]) is exhausted or a schedule cap is hit.
+//!
+//! On every explored schedule the scenario asserts the four protocol
+//! invariants (no deadlock, no lost wakeup, acks collected exactly
+//! once, respawned pool indistinguishable from fresh); any violation —
+//! including a deadlock the scheduler itself detects — is reported with
+//! the full operation trace of the offending schedule.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+pub mod scenario;
+pub mod sched;
+
+use sched::{Controller, Op, RunOutcome};
+
+/// Exploration bounds for one [`explore`] call.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// CHESS-style budget: how many times a schedule may switch away
+    /// from a still-runnable thread. Forced switches are free.
+    pub max_preemptions: usize,
+    /// Hard cap on schedules explored (the run reports `exhausted =
+    /// false` when hit).
+    pub max_schedules: u64,
+    /// Per-schedule operation budget; exceeding it is reported as a
+    /// failure (a livelock would otherwise spin forever).
+    pub max_steps: usize,
+    /// Chaos knob for negative tests: swallow the n-th condvar
+    /// broadcast of every schedule, modeling a lost notification.
+    pub drop_wake: Option<u64>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            max_preemptions: 2,
+            max_schedules: 200_000,
+            max_steps: 20_000,
+            drop_wake: None,
+        }
+    }
+}
+
+/// A violated invariant, with the schedule that produced it.
+#[derive(Debug)]
+pub struct Failure {
+    /// What went wrong (deadlock report or scenario invariant message).
+    pub message: String,
+    /// 1-based index of the failing schedule in exploration order.
+    pub schedule: u64,
+    /// The full `(thread, operation)` trace of the failing schedule.
+    pub trace: Vec<(usize, Op)>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "schedule {}: {}", self.schedule, self.message)?;
+        for (i, (tid, op)) in self.trace.iter().enumerate() {
+            writeln!(f, "  [{i:>3}] t{tid} {op:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of exploring one scenario.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Whether the (pruned, budgeted) schedule tree was fully explored.
+    pub exhausted: bool,
+    /// First invariant violation found, if any (exploration stops at
+    /// the first failure so the trace stays minimal-ish).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// No invariant violated on any explored schedule.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+type Scenario = Arc<dyn Fn() -> Result<(), String> + Send + Sync>;
+
+/// Explorations are serialized process-wide: the controller is wired to
+/// controlled threads through a thread-local, and the panic hook is
+/// swapped for the duration of a run.
+static EXPLORE_GATE: Mutex<()> = Mutex::new(());
+
+/// Runs `scenario` under every schedule of the bounded exploration tree
+/// and reports the first invariant violation, if any.
+///
+/// The scenario returns `Err(message)` to report an invariant violation
+/// it detected itself; deadlocks, step-budget overruns and unexpected
+/// protocol panics are detected by the scheduler. Scenarios run many
+/// times and must be self-contained (fresh pool per call, no external
+/// state).
+pub fn explore(
+    cfg: &CheckConfig,
+    scenario: impl Fn() -> Result<(), String> + Send + Sync + 'static,
+) -> Report {
+    let _gate = EXPLORE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Controlled threads panic by design (injected ExecError faults,
+    // CheckAbort teardown on failing schedules); silence the default
+    // hook so an exploration doesn't spam stderr with expected unwinds.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let scenario: Scenario = Arc::new(scenario);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0u64;
+    let mut failure = None;
+    let mut exhausted = false;
+    loop {
+        let out = run_one(cfg, &prefix, &scenario);
+        schedules += 1;
+        if let Some(message) = out.failure {
+            failure = Some(Failure {
+                message,
+                schedule: schedules,
+                trace: out.trace,
+            });
+            break;
+        }
+        if schedules >= cfg.max_schedules {
+            break;
+        }
+        // DFS step: deepest decision with an untried alternative.
+        let mut next = None;
+        for i in (0..out.decisions.len()).rev() {
+            let d = &out.decisions[i];
+            if d.chosen_idx + 1 < d.candidates.len() {
+                let mut p: Vec<usize> = out.decisions[..i].iter().map(|e| e.chosen_idx).collect();
+                p.push(d.chosen_idx + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => {
+                exhausted = true;
+                break;
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    Report {
+        schedules,
+        exhausted,
+        failure,
+    }
+}
+
+/// Executes one schedule: a fresh controller replaying `prefix`, the
+/// scenario on a controlled root thread, and all its spawned threads.
+fn run_one(cfg: &CheckConfig, prefix: &[usize], scenario: &Scenario) -> RunOutcome {
+    let ctrl = Controller::new(
+        prefix.to_vec(),
+        cfg.max_preemptions,
+        cfg.max_steps,
+        cfg.drop_wake,
+    );
+    let c2 = Arc::clone(&ctrl);
+    let scen = Arc::clone(scenario);
+    let root = std::thread::Builder::new()
+        .name("mpic-check-root".into())
+        .spawn(move || {
+            sched::install(&c2, 0);
+            if c2.thread_begin(0) {
+                match catch_unwind(AssertUnwindSafe(|| scen())) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(msg)) => c2.record_failure(format!("invariant violated: {msg}")),
+                    Err(p) => c2.record_panic(0, p),
+                }
+            }
+            c2.thread_exit(0);
+        })
+        .expect("failed to spawn scenario root thread");
+    ctrl.start();
+    ctrl.wait_done();
+    let _ = root.join();
+    ctrl.take_outcome()
+}

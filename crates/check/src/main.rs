@@ -1,0 +1,73 @@
+//! `mpic-check` binary: explores the full worker × fault × dispatch
+//! matrix and exits non-zero on the first invariant violation.
+//!
+//! Per configuration it prints the number of schedules explored and
+//! whether the bounded tree was exhausted; on a violation it prints the
+//! violated invariant and the complete operation trace of the failing
+//! schedule, then exits 1. CI runs the release build of this binary as
+//! the `model-check` job.
+//!
+//! Environment knobs (all optional):
+//! * `MPIC_CHECK_PREEMPTIONS` — preemption budget per schedule
+//!   (default 2).
+//! * `MPIC_CHECK_MAX_SCHEDULES` — per-configuration schedule cap
+//!   (default 200000; configurations that hit it report `capped`).
+//! * `MPIC_CHECK_DROP_WAKE` — swallow the n-th condvar broadcast of
+//!   every schedule (chaos mode; the clean matrix is expected to FAIL
+//!   under this knob — that is the point).
+
+use mpic_check::{explore, CheckConfig};
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let mut cfg = CheckConfig::default();
+    if let Some(p) = env_u64("MPIC_CHECK_PREEMPTIONS") {
+        cfg.max_preemptions = p as usize;
+    }
+    if let Some(m) = env_u64("MPIC_CHECK_MAX_SCHEDULES") {
+        cfg.max_schedules = m;
+    }
+    cfg.drop_wake = env_u64("MPIC_CHECK_DROP_WAKE");
+
+    let matrix = mpic_check::scenario::full_matrix();
+    let configs = matrix.len();
+    println!(
+        "mpic-check: {configs} configurations, preemption budget {}, schedule cap {}",
+        cfg.max_preemptions, cfg.max_schedules
+    );
+    let start = std::time::Instant::now();
+    let mut total = 0u64;
+    let mut failed = false;
+    for sc in matrix {
+        let report = explore(&cfg, move || sc.run());
+        total += report.schedules;
+        let status = if report.failure.is_some() {
+            "FAILED"
+        } else if report.exhausted {
+            "ok (exhausted)"
+        } else {
+            "ok (capped)"
+        };
+        println!(
+            "  {:<34} {:>7} schedules  {}",
+            sc.label(),
+            report.schedules,
+            status
+        );
+        if let Some(f) = report.failure {
+            println!("{f}");
+            failed = true;
+            break;
+        }
+    }
+    println!(
+        "mpic-check: {total} schedules across {configs} configurations in {:.2?}",
+        start.elapsed()
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Checked scenarios: the *real* pool protocol driven under the mock
+//! scheduler, with the four protocol invariants asserted per schedule.
+//!
+//! A [`PoolScenario`] instantiates `PoolCore<ShimSync>` — the same
+//! generic code production monomorphises as `WorkerPool` — and walks it
+//! through `dispatches` broadcasts with an optional injected
+//! [`FaultPlan`]. On every schedule it checks:
+//!
+//! 1. **No deadlock** — implicit: the scheduler fails any schedule in
+//!    which unfinished threads have no enabled operation.
+//! 2. **No lost wakeup** — a special case of (1): a worker that misses
+//!    the dispatch broadcast strands the ack barrier, and a dispatcher
+//!    whose completion signal is lost parks forever.
+//! 3. **Acks collected exactly once** — after every dispatch the job ran
+//!    on each live worker exactly once and the pool is quiescent
+//!    (`active == 0`, no job in flight, dispatch counter advanced by
+//!    exactly one).
+//! 4. **Post-respawn pool indistinguishable from fresh** — after
+//!    [`PoolCore::respawn_dead`] repairs a killed worker, a
+//!    full-strength dispatch behaves exactly as on a fresh pool.
+//!
+//! Scenario assertions are reported as `Err(String)` rather than panics
+//! so the pool is dropped (and its threads joined) before the failure is
+//! recorded — the scheduler stays in control of teardown.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use mpic_machine::exec::{ExecError, FaultKind, FaultPlan, PoolCore};
+
+use crate::sched::{CheckAbort, ShimSync};
+
+/// One configuration of the checked matrix: pool size, dispatch count,
+/// optional injected fault.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolScenario {
+    /// Total workers (worker 0 is the dispatching thread).
+    pub workers: usize,
+    /// Broadcasts to run before the final verification dispatch.
+    pub dispatches: u64,
+    /// Fault to arm, if any (`fault.dispatch <= dispatches`).
+    pub fault: Option<FaultPlan>,
+}
+
+impl PoolScenario {
+    /// Stable one-line name for reports.
+    pub fn label(&self) -> String {
+        match self.fault {
+            None => format!("w={} d={} fault=none", self.workers, self.dispatches),
+            Some(p) => format!(
+                "w={} d={} fault={:?}@{}->w{}",
+                self.workers, self.dispatches, p.kind, p.dispatch, p.worker
+            ),
+        }
+    }
+
+    /// Runs the scenario once under the current schedule, returning the
+    /// first violated invariant.
+    pub fn run(&self) -> Result<(), String> {
+        let mut pool = PoolCore::<ShimSync>::new(self.workers);
+        if let Some(plan) = self.fault {
+            pool.inject_fault(plan);
+        }
+        // (dispatch id, worker id) for every job-closure invocation; a
+        // plain real mutex is fine — it is only held between yields.
+        let hits: Mutex<Vec<(u64, usize)>> = Mutex::new(Vec::new());
+        for d in 1..=self.dispatches {
+            let res = guarded(|| {
+                pool.broadcast(&|w| hits.lock().unwrap_or_else(|e| e.into_inner()).push((d, w)));
+            });
+            let fault_here = self.fault.filter(|p| p.dispatch == d);
+            match (res, fault_here) {
+                (Ok(()), None) => {
+                    let want: Vec<usize> = (0..self.workers).collect();
+                    let got = round(&hits, d);
+                    if got != want {
+                        return Err(format!(
+                            "dispatch {d}: job ran on workers {got:?}, want each of \
+                             {want:?} exactly once"
+                        ));
+                    }
+                }
+                (Ok(()), Some(p)) => {
+                    return Err(format!("armed fault {p:?} did not fire at dispatch {d}"));
+                }
+                (Err(payload), fault) => {
+                    let Some(e) = ExecError::from_payload(payload.as_ref()).cloned() else {
+                        return Err(format!(
+                            "dispatch {d} unwound without a structured ExecError"
+                        ));
+                    };
+                    let Some(plan) = fault else {
+                        return Err(format!("unexpected ExecError on clean dispatch {d}: {e}"));
+                    };
+                    if (e.worker, e.dispatch) != (plan.worker, d) {
+                        return Err(format!("misattributed fault: got {e}, plan {plan:?}"));
+                    }
+                    // Every worker except the faulted one must still have
+                    // run its share exactly once (the barrier drains).
+                    let want: Vec<usize> =
+                        (0..self.workers).filter(|&w| w != plan.worker).collect();
+                    let got = round(&hits, d);
+                    if got != want {
+                        return Err(format!(
+                            "faulted dispatch {d}: job ran on {got:?}, want {want:?}"
+                        ));
+                    }
+                    self.check_liveness_bookkeeping(&mut pool, plan)?;
+                }
+            }
+            // Invariant 3: quiescent after every dispatch, acks all
+            // collected, dispatch counter advanced by exactly one.
+            let (_epoch, dispatch, active, job) = pool.protocol_state();
+            if active != 0 || job {
+                return Err(format!(
+                    "not quiescent after dispatch {d}: active={active} job_in_flight={job}"
+                ));
+            }
+            if dispatch != d {
+                return Err(format!(
+                    "dispatch counter is {dispatch} after dispatch {d} \
+                     (refused attempts must not consume ids)"
+                ));
+            }
+        }
+        // Invariant 4: one more full-strength dispatch — on a repaired
+        // pool this is indistinguishable from a dispatch on a fresh one.
+        let d = self.dispatches + 1;
+        guarded(|| {
+            pool.broadcast(&|w| hits.lock().unwrap_or_else(|e| e.into_inner()).push((d, w)));
+        })
+        .map_err(|_| "final verification dispatch unwound".to_string())?;
+        let want: Vec<usize> = (0..self.workers).collect();
+        let got = round(&hits, d);
+        if got != want {
+            return Err(format!(
+                "final dispatch ran on {got:?}, want {want:?} — repaired pool \
+                 distinguishable from fresh"
+            ));
+        }
+        let (_epoch, dispatch, active, job) = pool.protocol_state();
+        if active != 0 || job || dispatch != d {
+            return Err(format!(
+                "pool not quiescent after final dispatch: dispatch={dispatch} \
+                 active={active} job_in_flight={job}"
+            ));
+        }
+        // Shutdown is part of the schedule too: Drop must wake and join
+        // every worker (a hang here is caught as a deadlock).
+        drop(pool);
+        Ok(())
+    }
+
+    /// Post-fault liveness bookkeeping: `Die` on a background worker
+    /// must be visible in `dead_workers()`, block dispatches with a
+    /// structured refusal, and be repaired by exactly one respawn;
+    /// `Panic` (and `Die` on worker 0, which degrades) must leave no
+    /// dead workers behind.
+    fn check_liveness_bookkeeping(
+        &self,
+        pool: &mut PoolCore<ShimSync>,
+        plan: FaultPlan,
+    ) -> Result<(), String> {
+        if plan.kind == FaultKind::Die && plan.worker != 0 {
+            let dead = pool.dead_workers();
+            if dead != vec![plan.worker] {
+                return Err(format!(
+                    "dead_workers() == {dead:?} after Die on worker {}",
+                    plan.worker
+                ));
+            }
+            match guarded(|| pool.broadcast(&|_| {})) {
+                Ok(()) => return Err("dispatch on a dead pool was not refused".into()),
+                Err(p) => {
+                    if ExecError::from_payload(p.as_ref()).is_none() {
+                        return Err("dead-pool refusal was not a structured ExecError".into());
+                    }
+                }
+            }
+            if pool.respawn_dead() != 1 {
+                return Err("respawn_dead() did not replace exactly one worker".into());
+            }
+            if !pool.dead_workers().is_empty() {
+                return Err("dead workers remain after respawn_dead()".into());
+            }
+        } else {
+            let dead = pool.dead_workers();
+            if !dead.is_empty() {
+                return Err(format!(
+                    "dead_workers() == {dead:?} after a {:?} fault that kills no thread",
+                    plan.kind
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The full checked matrix: 1–3 workers × 1–3 dispatches × (no fault ∪
+/// {Panic, Die} × {dispatching thread, last background worker} × every
+/// dispatch index). 69 configurations.
+pub fn full_matrix() -> Vec<PoolScenario> {
+    let mut out = Vec::new();
+    for workers in 1..=3usize {
+        for dispatches in 1..=3u64 {
+            out.push(PoolScenario {
+                workers,
+                dispatches,
+                fault: None,
+            });
+            // The two qualitatively distinct victims: the dispatching
+            // thread (fires on the caller, cannot die) and the last
+            // background worker (thread loss + respawn path).
+            let mut targets = vec![0];
+            if workers > 1 {
+                targets.push(workers - 1);
+            }
+            for kind in [FaultKind::Panic, FaultKind::Die] {
+                for &worker in &targets {
+                    for dispatch in 1..=dispatches {
+                        out.push(PoolScenario {
+                            workers,
+                            dispatches,
+                            fault: Some(FaultPlan {
+                                worker,
+                                dispatch,
+                                kind,
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sorted worker ids recorded for dispatch `d` (duplicates preserved, so
+/// "exactly once" shows up as an equality mismatch).
+fn round(hits: &Mutex<Vec<(u64, usize)>>, d: u64) -> Vec<usize> {
+    let mut ws: Vec<usize> = hits
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .filter(|e| e.0 == d)
+        .map(|e| e.1)
+        .collect();
+    ws.sort_unstable();
+    ws
+}
+
+/// `catch_unwind` that stays transparent to the scheduler's abort
+/// mechanism: a [`CheckAbort`] payload keeps unwinding (the scenario's
+/// own fault-handling must never swallow a run teardown).
+fn guarded<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn std::any::Any + Send>> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Err(p) if p.downcast_ref::<CheckAbort>().is_some() => resume_unwind(p),
+        r => r,
+    }
+}

@@ -1,4 +1,4 @@
-//! The six deny-by-default rule families.
+//! The eight deny-by-default rule families.
 //!
 //! * **L1** `safety-comment` — every `unsafe` keyword needs an adjacent
 //!   `// SAFETY:` (or `/// # Safety` doc section) stating the invariant
@@ -30,6 +30,20 @@
 //!   `*Counters` must carry `#[must_use]`: they are the receipts of the
 //!   emulated cost model, and dropping one on the floor silently
 //!   discards work that was charged for.
+//! * **L7** `raw-sync` — raw `std` synchronization primitives
+//!   (`std::sync::atomic`, `Condvar`, thread parking) are confined to
+//!   the sync facade (`machine/sync.rs`), the checked claim bitmap
+//!   (`machine/partition.rs`) and the model checker's scheduler
+//!   (`check/sched.rs`). Everywhere else synchronization must go
+//!   through the `SyncPrims` facade, so the model checker actually
+//!   exercises the protocol production runs — a raw primitive on the
+//!   side is a blind spot the checker cannot see.
+//! * **L8** `ordering-justify` — every explicit memory-ordering
+//!   selection (`Ordering::...`) in the files that are allowed atomics
+//!   must carry an adjacent comment (same line or immediately above,
+//!   L1-style adjacency) justifying why that ordering suffices. Test
+//!   regions are *not* exempt: a copy-pasted `Relaxed` in a test is how
+//!   unjustified orderings leak back into production code.
 //!
 //! All rules run on the lexed token stream from [`crate::lexer`], so
 //! string literals and comments can never produce false positives, and
@@ -60,11 +74,13 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 ];
 
 /// The deterministic execution layer: the one place thread primitives
-/// and relaxed atomics are legitimate (the worker pool's parking and the
-/// steal cursor), so rule L3 does not apply inside it.
+/// and relaxed atomics are legitimate (the worker pool's parking, the
+/// steal cursor, and the sync facade that wraps the primitives), so
+/// rule L3 does not apply inside it.
 const EXEC_LAYER: &[&str] = &[
     "crates/machine/src/exec.rs",
     "crates/machine/src/partition.rs",
+    "crates/machine/src/sync.rs",
 ];
 
 /// Crates whose outputs feed simulation results and therefore fall
@@ -80,6 +96,37 @@ const RESULT_BEARING_PREFIXES: &[&str] = &[
     "crates/solver/",
     "crates/push/",
     "crates/core/",
+];
+
+/// Files allowed to touch raw `std` synchronization primitives (rule
+/// L7): the production sync facade, the exec layer's debug claim
+/// bitmap, and the model checker's scheduler — which *implements* the
+/// instrumented shims and must use real primitives to do so. Everywhere
+/// else, synchronization goes through the `SyncPrims` facade so the
+/// model checker sees it.
+const RAW_SYNC_ALLOWLIST: &[&str] = &[
+    "crates/machine/src/sync.rs",
+    "crates/machine/src/partition.rs",
+    "crates/check/src/sched.rs",
+];
+
+/// Files under the ordering-justification contract (rule L8): exactly
+/// the first-party files that use atomics at all. Every `Ordering::`
+/// selection there needs an adjacent justification comment.
+const ORDERING_JUSTIFY_FILES: &[&str] = &[
+    "crates/machine/src/sync.rs",
+    "crates/machine/src/exec.rs",
+    "crates/machine/src/partition.rs",
+];
+
+/// Thread-parking identifiers denied by rule L7 when path- or
+/// method-qualified (`thread::park`, `handle.unpark()`).
+const PARK_FNS: &[&str] = &["park", "park_timeout", "unpark"];
+
+/// A justification comment for rule L8 must actually talk about memory
+/// ordering — any of these (case-insensitive) counts.
+const ORDERING_WORDS: &[&str] = &[
+    "ordering", "relaxed", "acquire", "release", "seqcst", "acqrel",
 ];
 
 /// Integer target types of an `as` cast (rule L5).
@@ -125,6 +172,10 @@ pub struct FileScope {
     pub result_bearing: bool,
     /// Integration test / example / bench harness file.
     pub test_file: bool,
+    /// May touch raw `std` sync primitives (rule L7 allowlist).
+    pub raw_sync_allowed: bool,
+    /// Under the ordering-justification contract (rule L8).
+    pub ordering_justify: bool,
 }
 
 impl FileScope {
@@ -139,6 +190,8 @@ impl FileScope {
                 || rel.contains("/tests/")
                 || rel.contains("/examples/")
                 || rel.contains("/benches/"),
+            raw_sync_allowed: RAW_SYNC_ALLOWLIST.contains(&rel),
+            ordering_justify: ORDERING_JUSTIFY_FILES.contains(&rel),
         }
     }
 }
@@ -263,6 +316,67 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
             }
         }
 
+        // L7: raw std sync primitives outside the facade allowlist.
+        // Test harness files and embedded test regions are exempt (the
+        // production protocol is what the checker must see through the
+        // facade; tests may scaffold freely).
+        if !scope.raw_sync_allowed
+            && !scope.test_file
+            && !in_test_region(&regions, ti)
+            && t.kind == TokKind::Ident
+        {
+            let prev_punct = |c: &str| {
+                ci.checked_sub(1).is_some_and(|p| {
+                    toks[code[p]].kind == TokKind::Punct && toks[code[p]].text == c
+                })
+            };
+            let raw = if t.text == "Condvar" {
+                Some("`Condvar`")
+            } else if t.text == "sync"
+                && punct(nxt(1), ":")
+                && punct(nxt(2), ":")
+                && ident(nxt(3), &["atomic"])
+            {
+                Some("`sync::atomic`")
+            } else if PARK_FNS.contains(&t.text.as_str()) && (prev_punct(":") || prev_punct(".")) {
+                Some("thread parking")
+            } else {
+                None
+            };
+            if let Some(what) = raw {
+                push(
+                    t.line,
+                    "L7-raw-sync",
+                    format!(
+                        "raw {what} outside the sync facade ({}); go through \
+                         machine::sync::SyncPrims so the model checker can \
+                         see this synchronization",
+                        RAW_SYNC_ALLOWLIST.join(", ")
+                    ),
+                );
+            }
+        }
+
+        // L8: every explicit `Ordering::` selection in the atomic-using
+        // files needs an adjacent justification comment. Test regions
+        // are deliberately NOT exempt.
+        if scope.ordering_justify
+            && t.kind == TokKind::Ident
+            && t.text == "Ordering"
+            && punct(nxt(1), ":")
+            && punct(nxt(2), ":")
+            && !has_ordering_comment(&toks, ti, &lines)
+        {
+            push(
+                t.line,
+                "L8-ordering-justify",
+                "`Ordering::` selection without an adjacent comment (same \
+                 line or immediately above) justifying why this memory \
+                 ordering suffices"
+                    .to_string(),
+            );
+        }
+
         // L5: float→int `as` casts in expression position, in
         // result-bearing, non-exec, non-test code.
         if scope.result_bearing
@@ -362,6 +476,40 @@ fn has_safety_comment(toks: &[Token], ti: usize, lines: &[&str]) -> bool {
         }
         if s.starts_with("//") || s.starts_with("/*") || s.starts_with('*') {
             if mentions_safety(s) {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+fn mentions_ordering(text: &str) -> bool {
+    let lower = text.to_lowercase();
+    ORDERING_WORDS.iter().any(|w| lower.contains(w))
+}
+
+/// L8 adjacency: a comment mentioning memory-ordering vocabulary on the
+/// same line as the `Ordering::` selection, or in the unbroken run of
+/// comment/attribute/blank lines directly above it. Same discipline as
+/// the L1 SAFETY scan: a justification elsewhere in the function does
+/// not cover this site.
+fn has_ordering_comment(toks: &[Token], ti: usize, lines: &[&str]) -> bool {
+    let line = toks[ti].line;
+    if toks
+        .iter()
+        .any(|t| t.is_comment() && t.line == line && mentions_ordering(&t.text))
+    {
+        return true;
+    }
+    for ln in (1..line).rev().take(40) {
+        let s = lines.get(ln - 1).map_or("", |l| l.trim_start());
+        if s.is_empty() || s.starts_with("#[") || s.starts_with("#!") {
+            continue;
+        }
+        if s.starts_with("//") || s.starts_with("/*") || s.starts_with('*') {
+            if mentions_ordering(s) {
                 return true;
             }
             continue;
@@ -843,14 +991,115 @@ mod tests {
         assert!(rules_fired("tests/helpers.rs", test_file).is_empty());
     }
 
+    // ---- L7 ----
+
+    #[test]
+    fn l7_raw_atomics_outside_the_facade_are_findings() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f() {}\n";
+        let fired = rules_fired("crates/core/src/recovery.rs", src);
+        assert!(fired.contains(&"L7-raw-sync"), "{fired:?}");
+    }
+
+    #[test]
+    fn l7_condvar_and_parking_are_findings() {
+        let src = "fn f(c: &Condvar, h: &H) { std::thread::park(); h.unpark(); let _ = c; }\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert_eq!(fired.iter().filter(|r| **r == "L7-raw-sync").count(), 3);
+    }
+
+    #[test]
+    fn l7_allowlisted_files_may_use_raw_primitives() {
+        let src =
+            "use std::sync::atomic::{AtomicU64, Ordering};\nstruct S { cv: std::sync::Condvar }\n";
+        for rel in [
+            "crates/machine/src/sync.rs",
+            "crates/machine/src/partition.rs",
+            "crates/check/src/sched.rs",
+        ] {
+            let fired = rules_fired(rel, src);
+            assert!(!fired.contains(&"L7-raw-sync"), "{rel}: {fired:?}");
+        }
+    }
+
+    #[test]
+    fn l7_primitive_names_in_strings_and_comments_are_ignored() {
+        let src = "// Condvar and std::sync::atomic and park() discussed here.\nfn f() -> &'static str { \"std::sync::atomic::Condvar park unpark\" }\n";
+        assert!(rules_fired("crates/lint/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l7_unqualified_park_identifiers_are_not_findings() {
+        // A local fn named `park` (no `::`/`.` qualifier) is not thread
+        // parking; only qualified calls are.
+        let src = "fn park(x: u32) -> u32 { x }\nfn f() -> u32 { park(3) }\n";
+        assert!(rules_fired("crates/lint/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l7_exempts_test_files_and_test_regions() {
+        let src = "use std::sync::atomic::AtomicU64;\nfn f(c: &Condvar) { let _ = c; }\n";
+        assert!(!rules_fired("tests/helpers.rs", src).contains(&"L7-raw-sync"));
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n}\n";
+        assert!(rules_fired("crates/check/src/lib.rs", in_test).is_empty());
+    }
+
+    // ---- L8 ----
+
+    const SYNC_FACADE: &str = "crates/machine/src/sync.rs";
+
+    #[test]
+    fn l8_bare_ordering_selection_is_a_finding() {
+        let src = "fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n";
+        let fired = rules_fired(SYNC_FACADE, src);
+        assert!(fired.contains(&"L8-ordering-justify"), "{fired:?}");
+    }
+
+    #[test]
+    fn l8_justified_orderings_pass() {
+        let same_line =
+            "fn f(c: &AtomicU64) -> u64 {\n    c.load(Ordering::Relaxed) // Relaxed: debug counter, barrier orders reads\n}\n";
+        assert!(rules_fired(SYNC_FACADE, same_line).is_empty());
+        let above = "fn f(c: &AtomicU64) -> u64 {\n    // Acquire pairs with the Release store in `publish`.\n    c.load(Ordering::Acquire)\n}\n";
+        assert!(rules_fired(SYNC_FACADE, above).is_empty());
+    }
+
+    #[test]
+    fn l8_comment_must_talk_about_memory_ordering() {
+        let src = "fn f(c: &AtomicU64) -> u64 {\n    // bump the counter\n    c.load(Ordering::Relaxed)\n}\n";
+        let fired = rules_fired(SYNC_FACADE, src);
+        assert!(fired.contains(&"L8-ordering-justify"), "{fired:?}");
+    }
+
+    #[test]
+    fn l8_applies_inside_test_regions() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n}\n";
+        let fired = rules_fired("crates/machine/src/exec.rs", in_test);
+        assert!(fired.contains(&"L8-ordering-justify"), "{fired:?}");
+    }
+
+    #[test]
+    fn l8_only_covers_the_atomic_using_files() {
+        // SeqCst so rule L3 stays quiet: this checks L8 scope alone.
+        let src = "fn f(c: &AtomicU64) -> u64 { c.load(Ordering::SeqCst) }\n";
+        assert!(!rules_fired("crates/core/src/recovery.rs", src).contains(&"L8-ordering-justify"));
+    }
+
     // ---- scope classification ----
 
     #[test]
     fn scope_taxonomy_matches_the_workspace_layout() {
         let exec = FileScope::classify("crates/machine/src/exec.rs");
         assert!(exec.unsafe_allowed && exec.exec_layer && exec.result_bearing);
+        assert!(!exec.raw_sync_allowed && exec.ordering_justify);
         let part = FileScope::classify("crates/machine/src/partition.rs");
         assert!(part.unsafe_allowed && part.exec_layer);
+        assert!(part.raw_sync_allowed && part.ordering_justify);
+        let sync = FileScope::classify("crates/machine/src/sync.rs");
+        assert!(sync.raw_sync_allowed && sync.ordering_justify && sync.exec_layer);
+        assert!(!sync.unsafe_allowed);
+        let sched = FileScope::classify("crates/check/src/sched.rs");
+        assert!(sched.raw_sync_allowed && !sched.ordering_justify);
+        assert!(!sched.result_bearing && !sched.unsafe_allowed);
         let fields = FileScope::classify("crates/grid/src/fields.rs");
         assert!(fields.unsafe_allowed && !fields.exec_layer && fields.result_bearing);
         let bench = FileScope::classify("crates/bench/src/bin/probe_parallel.rs");

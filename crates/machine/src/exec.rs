@@ -43,14 +43,12 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
 
 use crate::counters::MachineCounters;
 use crate::machine::Machine;
 use crate::partition::Partition;
 use crate::shard::shard_bounds;
+use crate::sync::{Arc, AtomicUsize, Ordering, StdSync, SyncPrims};
 
 /// Structured description of a dispatch that failed because a worker
 /// panicked or died.
@@ -204,13 +202,15 @@ struct Job(*const (dyn Fn(usize) + Sync));
 #[allow(unsafe_code)]
 unsafe impl Send for Job {}
 
-/// State shared between the dispatching thread and the parked workers.
-struct Shared {
-    state: Mutex<State>,
+/// State shared between the dispatching thread and the parked workers,
+/// generic over the [`SyncPrims`] implementation (real `std` primitives
+/// in production, instrumented shims under the model checker).
+struct SharedG<S: SyncPrims> {
+    state: S::Lock<State>,
     /// Workers park here between jobs.
-    work_cv: Condvar,
+    work_cv: S::Signal,
     /// The dispatcher parks here until `active` drains to zero.
-    done_cv: Condvar,
+    done_cv: S::Signal,
 }
 
 #[derive(Default)]
@@ -241,31 +241,39 @@ impl State {
     }
 }
 
-impl Shared {
-    /// Locks the state, recovering from poisoning: the pool's own
-    /// critical sections never panic, so a poisoned lock only means a
-    /// *job* panicked on another thread — the state itself is sound, and
-    /// panicking here (e.g. inside a Drop during unwinding) would abort.
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+impl<S: SyncPrims> SharedG<S> {
+    /// Locks the protocol state. (Poison recovery — a *job* panicking on
+    /// another thread must not wedge the pool's own critical sections —
+    /// lives in [`StdSync::lock`].)
+    fn lock(&self) -> S::Guard<'_, State> {
+        S::lock(&self.state)
     }
 }
 
 /// A persistent pool of `workers - 1` parked threads plus the calling
-/// thread (worker 0).
+/// thread (worker 0), generic over the [`SyncPrims`] facade.
 ///
 /// The pool is created once (e.g. owned by a `Simulation` for its whole
 /// lifetime) and reused by every phase of every step; between dispatches
-/// the threads block on a condvar, so an idle pool consumes no CPU. A
-/// pool of size 1 owns no threads at all and dispatches inline — the
-/// sequential configuration has zero synchronisation overhead.
-pub struct WorkerPool {
-    shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+/// the threads park on a [`SyncPrims::Signal`], so an idle pool consumes
+/// no CPU. A pool of size 1 owns no threads at all and dispatches
+/// inline — the sequential configuration has zero synchronisation
+/// overhead.
+///
+/// Production code uses the [`WorkerPool`] alias (`PoolCore<StdSync>`,
+/// monomorphised onto raw `std` primitives); the `mpic-check` model
+/// checker instantiates the *same* protocol over its instrumented shim
+/// scheduler.
+pub struct PoolCore<S: SyncPrims = StdSync> {
+    shared: Arc<SharedG<S>>,
+    threads: Vec<S::Thread>,
     workers: usize,
 }
 
-impl std::fmt::Debug for WorkerPool {
+/// The production pool: [`PoolCore`] monomorphised over [`StdSync`].
+pub type WorkerPool = PoolCore<StdSync>;
+
+impl<S: SyncPrims> std::fmt::Debug for PoolCore<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("workers", &self.workers)
@@ -273,27 +281,26 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
-impl WorkerPool {
+impl<S: SyncPrims> PoolCore<S> {
     /// Spawns a pool of `workers` (clamped to at least 1). The calling
     /// thread participates as worker 0, so only `workers - 1` threads
     /// are created.
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
+        let shared = Arc::new(SharedG {
+            state: S::lock_new(State {
                 fault: FaultPlan::from_env(),
                 ..State::default()
             }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
+            work_cv: S::signal_new(),
+            done_cv: S::signal_new(),
         });
         let threads = (1..workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("mpic-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, w, 0))
-                    .expect("failed to spawn pool worker")
+                S::spawn(format!("mpic-worker-{w}"), move || {
+                    worker_loop::<S>(&shared, w, 0)
+                })
             })
             .collect();
         Self {
@@ -342,9 +349,19 @@ impl WorkerPool {
         self.threads
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.is_finished())
+            .filter(|(_, t)| S::is_finished(t))
             .map(|(i, _)| i + 1)
             .collect()
+    }
+
+    /// Snapshot of the protocol bookkeeping — `(epoch, dispatch, active,
+    /// job_in_flight)` — for the model checker's quiescence invariants
+    /// (acks collected exactly once, respawned pool indistinguishable
+    /// from fresh). Not part of the stable API.
+    #[doc(hidden)]
+    pub fn protocol_state(&self) -> (u64, u64, usize, bool) {
+        let st = self.shared.lock();
+        (st.epoch, st.dispatch, st.active, st.job.is_some())
     }
 
     /// Replaces every terminated worker thread with a freshly spawned
@@ -360,26 +377,19 @@ impl WorkerPool {
         let epoch = self.shared.lock().epoch;
         let mut respawned = 0;
         for (i, slot) in self.threads.iter_mut().enumerate() {
-            if !slot.is_finished() {
+            if !S::is_finished(slot) {
                 continue;
             }
             let w = i + 1;
             let shared = Arc::clone(&self.shared);
-            let fresh = std::thread::Builder::new()
-                .name(format!("mpic-worker-{w}"))
-                .spawn(move || worker_loop(&shared, w, epoch))
-                .expect("failed to respawn pool worker");
+            let fresh = S::spawn(format!("mpic-worker-{w}"), move || {
+                worker_loop::<S>(&shared, w, epoch)
+            });
             let dead = std::mem::replace(slot, fresh);
-            let _ = dead.join();
+            S::join(dead);
             respawned += 1;
         }
         respawned
-    }
-
-    /// Binds this pool to a scheduling policy, yielding the lightweight
-    /// [`Exec`] handle the sharded phases take.
-    pub fn exec(&self, policy: SchedulerPolicy) -> Exec<'_> {
-        Exec::new(self, policy)
     }
 
     /// Runs `f(worker_id)` once on every worker (ids `0..workers()`,
@@ -450,7 +460,7 @@ impl WorkerPool {
             st.epoch += 1;
             st.active = self.threads.len();
             st.panic = None;
-            self.shared.work_cv.notify_all();
+            S::wake_all(&self.shared.work_cv);
             (st.dispatch, fault0)
         };
         // Worker 0's share runs under catch_unwind so the completion
@@ -470,11 +480,7 @@ impl WorkerPool {
         let background = {
             let mut st = self.shared.lock();
             while st.active > 0 {
-                st = self
-                    .shared
-                    .done_cv
-                    .wait(st)
-                    .unwrap_or_else(|e| e.into_inner());
+                st = S::wait(&self.shared.done_cv, &self.shared.state, st);
             }
             st.job = None;
             st.panic.take()
@@ -488,15 +494,23 @@ impl WorkerPool {
     }
 }
 
-impl Drop for WorkerPool {
+impl WorkerPool {
+    /// Binds this pool to a scheduling policy, yielding the lightweight
+    /// [`Exec`] handle the sharded phases take.
+    pub fn exec(&self, policy: SchedulerPolicy) -> Exec<'_> {
+        Exec::new(self, policy)
+    }
+}
+
+impl<S: SyncPrims> Drop for PoolCore<S> {
     fn drop(&mut self) {
         {
             let mut st = self.shared.lock();
             st.shutdown = true;
-            self.shared.work_cv.notify_all();
+            S::wake_all(&self.shared.work_cv);
         }
         for t in self.threads.drain(..) {
-            let _ = t.join();
+            S::join(t);
         }
     }
 }
@@ -504,7 +518,7 @@ impl Drop for WorkerPool {
 // Dereferences the lifetime-erased job pointer published by `broadcast`;
 // the SAFETY argument lives at the single deref site below.
 #[allow(unsafe_code)]
-fn worker_loop(shared: &Shared, id: usize, start_epoch: u64) {
+fn worker_loop<S: SyncPrims>(shared: &SharedG<S>, id: usize, start_epoch: u64) {
     // `start_epoch` is captured by the spawner *before* the thread
     // starts (0 at pool construction, the current quiescent epoch on
     // respawn): reading it here instead would race with an early
@@ -527,7 +541,7 @@ fn worker_loop(shared: &Shared, id: usize, start_epoch: u64) {
                         fault,
                     );
                 }
-                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                st = S::wait(&shared.work_cv, &shared.state, st);
             }
         };
         if let Some(plan) = fault {
@@ -546,7 +560,7 @@ fn worker_loop(shared: &Shared, id: usize, start_epoch: u64) {
                 }
                 st.active -= 1;
                 if st.active == 0 {
-                    shared.done_cv.notify_all();
+                    S::wake_all(&shared.done_cv);
                 }
                 return;
             }
@@ -572,7 +586,7 @@ fn worker_loop(shared: &Shared, id: usize, start_epoch: u64) {
         }
         st.active -= 1;
         if st.active == 0 {
-            shared.done_cv.notify_all();
+            S::wake_all(&shared.done_cv);
         }
     }
 }
@@ -700,6 +714,9 @@ impl<'a> Exec<'a> {
                 let k = steal_chunk(len, workers, self.steal_chunk);
                 let cursor = AtomicUsize::new(0);
                 self.pool.broadcast(&|_w| loop {
+                    // Relaxed ordering suffices: the cursor is a pure
+                    // claim ticket (its value publishes no other memory),
+                    // and the dispatch barrier orders item writes.
                     let lo = cursor.fetch_add(k, Ordering::Relaxed);
                     if lo >= len {
                         break;
@@ -831,6 +848,8 @@ impl<'a> Exec<'a> {
                     // once per dispatch by that worker alone.
                     let scr = unsafe { scratch_sl.grant(w) };
                     loop {
+                        // Relaxed ordering suffices: pure claim ticket,
+                        // same argument as the `for_each` cursor above.
                         let lo = cursor.fetch_add(k, Ordering::Relaxed);
                         if lo >= len {
                             break;
@@ -852,8 +871,22 @@ mod tests {
     use super::*;
     use crate::cost::MachineConfig;
     use crate::counters::Phase;
+    use crate::sync::AtomicU64;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    /// Bumps a per-test hit counter.
+    fn bump(c: &AtomicU64) {
+        // Relaxed ordering: plain hit counters — the tests only read
+        // them after the dispatch barrier, which orders the increments.
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a per-test hit counter (only after the dispatch barrier).
+    fn total(c: &AtomicU64) -> u64 {
+        // Relaxed ordering: see `bump` — reads happen after the barrier.
+        c.load(Ordering::Relaxed)
+    }
 
     fn charge_item(wm: &mut Machine, t: usize, item: &mut f64, scratch: &mut Vec<u64>) {
         wm.mem().flush_cache();
@@ -956,10 +989,10 @@ mod tests {
         let hits = AtomicU64::new(0);
         for _ in 0..100 {
             pool.broadcast(&|_| {
-                hits.fetch_add(1, Ordering::Relaxed);
+                bump(&hits);
             });
         }
-        assert_eq!(hits.load(Ordering::Relaxed), 300);
+        assert_eq!(total(&hits), 300);
     }
 
     #[test]
@@ -1001,9 +1034,9 @@ mod tests {
         // The pool must still dispatch cleanly afterwards.
         let hits = AtomicU64::new(0);
         pool.broadcast(&|_| {
-            hits.fetch_add(1, Ordering::Relaxed);
+            bump(&hits);
         });
-        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        assert_eq!(total(&hits), 3);
     }
 
     #[test]
@@ -1132,9 +1165,9 @@ mod tests {
             assert!(pool.dead_workers().is_empty());
             let hits = AtomicU64::new(0);
             pool.broadcast(&|_| {
-                hits.fetch_add(1, Ordering::Relaxed);
+                bump(&hits);
             });
-            assert_eq!(hits.load(Ordering::Relaxed), 4);
+            assert_eq!(total(&hits), 4);
         }
     }
 
@@ -1165,9 +1198,9 @@ mod tests {
         // Recovered: inline dispatches resume.
         let hits = AtomicU64::new(0);
         pool.broadcast(&|_| {
-            hits.fetch_add(1, Ordering::Relaxed);
+            bump(&hits);
         });
-        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(total(&hits), 1);
     }
 
     #[test]
@@ -1190,9 +1223,9 @@ mod tests {
         assert!(pool.dead_workers().is_empty());
         let hits = AtomicU64::new(0);
         pool.broadcast(&|_| {
-            hits.fetch_add(1, Ordering::Relaxed);
+            bump(&hits);
         });
-        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        assert_eq!(total(&hits), 4);
     }
 
     #[test]

@@ -51,17 +51,20 @@ pub mod machine;
 pub mod mem;
 pub mod partition;
 pub mod shard;
+pub mod sync;
 pub mod vreg;
 
 pub use cache::{CacheLevelConfig, CacheLevelState, CacheSim, CacheSimState, CacheStats};
 pub use cost::MachineConfig;
 pub use counters::{MachineCounters, PerfCounters, Phase};
 pub use exec::{
-    Exec, ExecError, FaultKind, FaultPlan, SchedulerPolicy, WorkerPool, INLINE_ITEM_THRESHOLD,
+    Exec, ExecError, FaultKind, FaultPlan, PoolCore, SchedulerPolicy, WorkerPool,
+    INLINE_ITEM_THRESHOLD,
 };
 pub use gpu::{GpuConfig, GpuDepositionReport, GpuModel};
 pub use machine::{Machine, TileId};
 pub use mem::{MemSystem, VAddr};
 pub use partition::Partition;
 pub use shard::shard_bounds;
+pub use sync::{StdSync, SyncPrims};
 pub use vreg::{VMask, VReg, VLANES};

@@ -119,6 +119,9 @@ impl<'a, T> Partition<'a, T> {
         {
             let (word, bit) = (i / 64, 1u64 << (i % 64));
             assert!(
+                // Relaxed ordering: the bitmap detects overlap through
+                // RMW atomicity in `claim`, not through ordering, and
+                // this debug probe publishes nothing.
                 self.claims[word].load(Ordering::Relaxed) & bit == 0,
                 "Partition read({i}) of an index that was granted &mut"
             );
@@ -137,6 +140,8 @@ impl<'a, T> Partition<'a, T> {
     #[cfg(debug_assertions)]
     fn claim(&self, i: usize) {
         let (word, bit) = (i / 64, 1u64 << (i % 64));
+        // Relaxed ordering: RMW atomicity alone detects the double
+        // grant (doc comment above); the bitmap carries no result data.
         let prev = self.claims[word].fetch_or(bit, Ordering::Relaxed);
         assert!(
             prev & bit == 0,
@@ -150,6 +155,8 @@ impl<'a, T> Partition<'a, T> {
     pub fn granted(&self) -> usize {
         self.claims
             .iter()
+            // Relaxed ordering: debug-only census of claim bits; no
+            // other memory is published through the bitmap.
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }

@@ -11,6 +11,11 @@
 //! * **Deterministic seeding.** Every `proptest!` run derives its RNG
 //!   stream from a fixed seed plus the case index, so CI failures
 //!   reproduce locally without a persistence file.
+//! * **Fuzz-lite mutation stage.** When a property has a corpus, every
+//!   committed seed is replayed *and* a deterministic set of byte-level
+//!   mutants of each seed runs before the random cases (see
+//!   [`corpus::mutants`]) — regressions get their input neighbourhood
+//!   probed on every run, not just the exact recorded seed.
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
@@ -48,10 +53,17 @@ pub struct ProptestConfig {
     pub cases: u32,
     /// When set, the runner replays every seed committed under
     /// `<corpus dir>/<name>.seeds` before the random cases, and appends
-    /// the seed of any failing random case to that file. The corpus
+    /// the seed of any failing non-corpus case to that file. The corpus
     /// directory is `$MPIC_CORPUS_DIR`, defaulting to `tests/corpus/`
     /// under the invoking crate's manifest.
     pub corpus_name: Option<&'static str>,
+    /// Fuzz-lite mutation stage: how many deterministic byte-level
+    /// mutants of each corpus seed to run between the corpus replay and
+    /// the random cases (see [`corpus::mutants`]). `None` derives the
+    /// count from `cases` via [`default_mutants`], so a
+    /// `MPIC_FUZZ_ITERS`-inflated case budget widens the mutation
+    /// neighbourhood too.
+    pub mutants_per_seed: Option<u32>,
 }
 
 impl ProptestConfig {
@@ -59,6 +71,7 @@ impl ProptestConfig {
         ProptestConfig {
             cases,
             corpus_name: None,
+            mutants_per_seed: None,
         }
     }
 
@@ -67,6 +80,22 @@ impl ProptestConfig {
         self.corpus_name = Some(name);
         self
     }
+
+    /// Overrides the per-corpus-seed mutant count (default: scaled from
+    /// `cases` by [`default_mutants`]).
+    pub fn with_mutants(mut self, k: u32) -> Self {
+        self.mutants_per_seed = Some(k);
+        self
+    }
+}
+
+/// Mutants derived per corpus seed when [`ProptestConfig::mutants_per_seed`]
+/// is unset: scales with the case budget (and therefore with
+/// `MPIC_FUZZ_ITERS` in the fuzz-lite harnesses, which feed that env var
+/// into `cases`) but stays bounded so a large sweep never turns the
+/// replay stage into the dominant cost.
+pub fn default_mutants(cases: u32) -> u32 {
+    (cases / 16).clamp(2, 64)
 }
 
 impl Default for ProptestConfig {
@@ -112,8 +141,10 @@ pub fn case_seed(salt: u64, case: u64) -> u64 {
 /// Seed-file persistence: the offline stand-in for real proptest's
 /// failure persistence. A corpus file (`<name>.seeds`) holds one hex
 /// seed per line (`#` comments allowed); committed files are replayed at
-/// the start of every run of the property, and newly failing seeds are
-/// appended so a CI failure becomes a permanent regression input.
+/// the start of every run of the property, then [`mutants`] of each
+/// committed seed probe the neighbourhood of the regression, and newly
+/// failing seeds are appended so a CI failure becomes a permanent
+/// regression input.
 pub mod corpus {
     use std::fs;
     use std::io::Write;
@@ -155,6 +186,37 @@ pub mod corpus {
             .ok()?;
         writeln!(f, "0x{seed:016x}").ok()?;
         Some(path)
+    }
+
+    /// One step of the splitmix64 generator — the small, dependency-free
+    /// stream the mutation stage draws its perturbations from.
+    pub fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// `k` deterministic byte-level mutants of a corpus `seed`: each
+    /// mutant xors exactly one byte of the seed with a nonzero
+    /// splitmix64-derived value, exploring the neighbourhood of a known
+    /// regression input. The stream is seeded from the corpus seed
+    /// itself, so the mutant set is a pure function of `(seed, k)` and
+    /// replays identically run to run — a failing mutant is as
+    /// reproducible as the corpus entry it came from.
+    pub fn mutants(seed: u64, k: usize) -> Vec<u64> {
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        (0..k)
+            .map(|_| {
+                let r = splitmix64(&mut state);
+                let byte = (r % 8) as u32;
+                // Force the low bit so the xor byte is nonzero: every
+                // mutant genuinely differs from its base seed.
+                let xor = ((r >> 8) & 0xFF) | 1;
+                seed ^ (xor << (byte * 8))
+            })
+            .collect()
     }
 }
 
@@ -361,11 +423,13 @@ macro_rules! __proptest_parse {
     (@strat $cfg:tt; $body:block; [$($done:tt)*]; $name:ident; [$($acc:tt)*]; $tok:tt $($rest:tt)*) => {
         $crate::__proptest_parse!(@strat $cfg; $body; [$($done)*]; $name; [$($acc)* $tok]; $($rest)*)
     };
-    // Runner: committed corpus seeds first, then N random cases, a
-    // fresh deterministic RNG per case; the body runs in a
-    // Result-returning closure so `prop_assert*` can early-return. A
-    // failing random case is appended to the corpus (when one is
-    // configured) so it replays on every future run.
+    // Runner: committed corpus seeds first, then the fuzz-lite mutation
+    // stage (deterministic byte-level mutants of each corpus seed), then
+    // N random cases — a fresh deterministic RNG per case; the body runs
+    // in a Result-returning closure so `prop_assert*` can early-return.
+    // A failing mutant or random case is appended to the corpus (when
+    // one is configured) so it replays on every future run; corpus
+    // replays are never re-recorded.
     (@run ($cfg:expr); $body:block; [$(($name:ident; $($strat:tt)*))*]) => {{
         let __cfg: $crate::ProptestConfig = $cfg;
         let __salt = $crate::location_salt(file!(), line!(), column!());
@@ -380,29 +444,49 @@ macro_rules! __proptest_parse {
             ::core::option::Option::None => ::std::vec::Vec::new(),
         };
         let __n_replay = __replay.len();
+        let __k_mut = __cfg
+            .mutants_per_seed
+            .unwrap_or_else(|| $crate::default_mutants(__cfg.cases))
+            as usize;
+        let __mutants: ::std::vec::Vec<u64> = __replay
+            .iter()
+            .flat_map(|&s| $crate::corpus::mutants(s, __k_mut))
+            .collect();
+        let __n_total = __n_replay + __mutants.len() + __cfg.cases as usize;
+        // Origin tag: 0 = corpus replay, 1 = mutant, 2 = random.
         let __seeds = __replay
             .into_iter()
-            .map(|s| (s, true))
-            .chain((0..__cfg.cases).map(|c| ($crate::case_seed(__salt, c as u64), false)));
-        for (__i, (__seed, __from_corpus)) in __seeds.enumerate() {
+            .map(|s| (s, 0u8))
+            .chain(__mutants.into_iter().map(|s| (s, 1u8)))
+            .chain((0..__cfg.cases).map(|c| ($crate::case_seed(__salt, c as u64), 2u8)));
+        for (__i, (__seed, __origin)) in __seeds.enumerate() {
             let mut __rng = $crate::TestRng::from_seed_value(__seed);
             $(let $name = $crate::Strategy::generate(&($($strat)*), &mut __rng);)*
+            // The closure gives `prop_assert*` an early-return target;
+            // a body without one makes the immediate call look
+            // redundant to clippy, but the shape must stay uniform.
+            #[allow(clippy::redundant_closure_call)]
             let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
                 $body
                 ::core::result::Result::Ok(())
             })();
             if let ::core::result::Result::Err(__err) = __result {
-                let __saved = match (__from_corpus, __cfg.corpus_name) {
-                    (false, ::core::option::Option::Some(__n)) => {
+                let __saved = match (__origin, __cfg.corpus_name) {
+                    (0u8, _) => ::core::option::Option::None,
+                    (_, ::core::option::Option::Some(__n)) => {
                         $crate::corpus::record(&__corpus_dir, __n, __seed)
                     }
                     _ => ::core::option::Option::None,
                 };
                 panic!(
                     "proptest {} case {}/{} (seed 0x{:016x}) failed: {}\n  inputs:{}{}",
-                    if __from_corpus { "corpus" } else { "random" },
+                    match __origin {
+                        0u8 => "corpus",
+                        1u8 => "mutant",
+                        _ => "random",
+                    },
                     __i + 1,
-                    __n_replay + __cfg.cases as usize,
+                    __n_total,
                     __seed,
                     __err,
                     String::new() $(+ &format!("\n    {} = {:?}", stringify!($name), $name))*,
@@ -420,6 +504,14 @@ macro_rules! __proptest_parse {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serialises the tests that set `MPIC_CORPUS_DIR` — the env var is
+    /// process-global and the default test runner is parallel.
+    fn env_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn ranges_tuples_and_vecs_generate_in_bounds() {
@@ -499,13 +591,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest corpus case")]
     fn failing_corpus_seed_is_reported_as_corpus_replay() {
+        let _env = env_lock();
         let dir = std::env::temp_dir().join(format!("mpic-corpus-replay-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         crate::corpus::record(&dir, "always_fails", 0x42).unwrap();
         std::env::set_var("MPIC_CORPUS_DIR", &dir);
         let result = std::panic::catch_unwind(|| {
             proptest!(
-                ProptestConfig::with_cases(0).with_corpus("always_fails"),
+                // Zero mutants so the corpus replay itself is the first
+                // (and only) failing case.
+                ProptestConfig::with_cases(0)
+                    .with_corpus("always_fails")
+                    .with_mutants(0),
                 |(x in 0usize..10)| {
                     prop_assert!(x > 100, "x was {}", x);
                 }
@@ -516,5 +613,115 @@ mod tests {
         if let Err(p) = result {
             std::panic::resume_unwind(p);
         }
+    }
+
+    /// Mutant derivation is a pure function of `(seed, k)`, every mutant
+    /// differs from its base in exactly one byte, and distinct bases get
+    /// distinct neighbourhoods.
+    #[test]
+    fn conf_fuzz_mutant_derivation_is_deterministic() {
+        let base = 0xDEAD_BEEF_1234_5678u64;
+        let a = crate::corpus::mutants(base, 8);
+        let b = crate::corpus::mutants(base, 8);
+        assert_eq!(a, b, "mutant set must replay identically");
+        assert_eq!(a.len(), 8);
+        for &m in &a {
+            let diff = m ^ base;
+            assert_ne!(diff, 0, "mutant equals its base seed");
+            assert_eq!(
+                diff.to_le_bytes().iter().filter(|&&x| x != 0).count(),
+                1,
+                "mutation must flip exactly one byte (diff 0x{diff:016x})"
+            );
+        }
+        assert_ne!(
+            crate::corpus::mutants(0x1, 8),
+            crate::corpus::mutants(0x2, 8)
+        );
+        assert!(crate::corpus::mutants(base, 0).is_empty());
+    }
+
+    /// The derived mutant count follows the case budget (and hence
+    /// `MPIC_FUZZ_ITERS`, which the fuzz harnesses feed into `cases`)
+    /// between the floor of 2 and the cap of 64.
+    #[test]
+    fn default_mutant_count_scales_with_case_budget() {
+        assert_eq!(crate::default_mutants(0), 2);
+        assert_eq!(crate::default_mutants(48), 3);
+        assert_eq!(crate::default_mutants(1024), 64);
+        assert_eq!(crate::default_mutants(u32::MAX), 64);
+    }
+
+    /// End-to-end case accounting: with a 2-seed corpus, K mutants per
+    /// seed and N random cases, the body runs exactly 2 + 2K + N times.
+    #[test]
+    fn mutation_stage_runs_between_corpus_and_random() {
+        let _env = env_lock();
+        let dir = std::env::temp_dir().join(format!("mpic-corpus-count-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::corpus::record(&dir, "count_prop", 0x7).unwrap();
+        crate::corpus::record(&dir, "count_prop", 0x8).unwrap();
+        std::env::set_var("MPIC_CORPUS_DIR", &dir);
+        let hits = std::cell::Cell::new(0usize);
+        proptest!(
+            ProptestConfig::with_cases(4)
+                .with_corpus("count_prop")
+                .with_mutants(5),
+            |(x in 0usize..10)| {
+                let _ = x;
+                hits.set(hits.get() + 1);
+            }
+        );
+        std::env::remove_var("MPIC_CORPUS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(hits.get(), 2 + 2 * 5 + 4);
+    }
+
+    /// A failing mutant is labelled as such and its seed is persisted to
+    /// the corpus — a corpus replay, by contrast, is never re-recorded.
+    #[test]
+    fn failing_mutant_is_reported_and_recorded() {
+        let _env = env_lock();
+        let dir = std::env::temp_dir().join(format!("mpic-corpus-mutant-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::corpus::record(&dir, "mutant_prop", 0x42).unwrap();
+        // The value the committed seed generates: the property accepts
+        // exactly that value, so the corpus replay passes and the first
+        // mutant (a different seed, hence a different draw) fails.
+        let base_draw = {
+            let mut rng = crate::TestRng::from_seed_value(0x42);
+            crate::Strategy::generate(&(0usize..1_000_000), &mut rng)
+        };
+        std::env::set_var("MPIC_CORPUS_DIR", &dir);
+        let result = std::panic::catch_unwind(|| {
+            proptest!(
+                ProptestConfig::with_cases(0)
+                    .with_corpus("mutant_prop")
+                    .with_mutants(3),
+                |(x in 0usize..1_000_000)| {
+                    prop_assert_eq!(x, base_draw);
+                }
+            );
+        });
+        std::env::remove_var("MPIC_CORPUS_DIR");
+        let msg = match &result {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "<non-string panic>".into()),
+            Ok(()) => String::new(),
+        };
+        let recorded = crate::corpus::load(&dir, "mutant_prop");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(result.is_err(), "a mutant draw should have failed");
+        assert!(
+            msg.contains("proptest mutant case"),
+            "failure not attributed to the mutation stage: {msg}"
+        );
+        assert_eq!(
+            recorded,
+            vec![0x42, crate::corpus::mutants(0x42, 3)[0]],
+            "the failing mutant seed must be appended to the corpus"
+        );
     }
 }
