@@ -1,37 +1,42 @@
 //! Host-performance probe for the unified execution layer and the
 //! cell-run batched hot path: runs the uniform-plasma FullOpt workload
-//! at several worker counts under each scheduler policy — with the
-//! batched path ON and OFF — verifies the determinism contract, and
-//! records host wall-clock numbers in `BENCH_step.json` so the perf
-//! trajectory of the step loop is tracked in-repo.
+//! at several worker counts under each scheduler policy — across the
+//! execution modes per-particle, batched-scalar and batched-SIMD —
+//! verifies the determinism contract, and records host wall-clock
+//! numbers in `BENCH_step.json` so the perf trajectory of the step
+//! loop is tracked in-repo.
 //!
 //! Gates enforced (exit code nonzero on any failure, so every
 //! invocation doubles as a CI gate):
 //!
-//! * **Determinism** — within each batching mode, every (worker count,
+//! * **Determinism** — within each execution mode, every (worker count,
 //!   scheduler) combination must reproduce the mode's first run bit for
 //!   bit: all nine field arrays AND per-phase emulated cycles.
 //! * **Cross-mode value parity** — FullOpt's batched path is value-exact
 //!   (the gather caches read-only node blocks; the matrix kernel is
-//!   run-based either way), so currents and fields must ALSO match the
-//!   per-particle path bitwise. Cycles are excluded: charging fewer of
-//!   them is the point.
+//!   run-based either way), and the lane-parallel SIMD path preserves
+//!   every add order bitwise — so currents and fields must match the
+//!   per-particle path bitwise across ALL modes. Cycles are excluded:
+//!   charging fewer of them is the point.
 //! * **Baseline counter parity** — the WarpX direct-scatter kernel runs
 //!   the same within-mode sweep (its batched currents regroup FP adds,
 //!   so no cross-mode bit check there).
 //! * **Perf regression** — before overwriting `BENCH_step.json`, the
 //!   committed record is read back: if the host CPU count matches the
 //!   recorded run, a fresh single-thread ms/step more than 25% above
-//!   the committed value (per batching mode) fails the probe. A
+//!   the committed value (per execution mode) fails the probe. A
 //!   differing CPU count skips the gate (numbers from a different host
 //!   class are not comparable).
 //!
 //! Usage: `probe_parallel [ppc] [steps] [workers-csv] [--scheduler
-//! static|stealing] [--batching on|off]` (defaults: 8, 3, `1,2,4,7`,
-//! both policies, both batching modes). Passing an explicit worker
-//! list or restricting the policy/batching skips the `BENCH_step.json`
-//! write and the regression gate, so auxiliary runs never clobber the
-//! tracked record.
+//! static|stealing] [--batching on|off] [--simd on|off]` (defaults: 8,
+//! 3, `1,2,4,7`, both policies, modes per-particle + batched-scalar +
+//! batched-SIMD). Passing an explicit worker list or restricting the
+//! policy/batching/simd skips the `BENCH_step.json` write and the
+//! regression gate, so auxiliary runs never clobber the tracked
+//! record. `--simd on` implies the batched sweep: SIMD is a mode *of*
+//! the batched hot path, so the `(batching off, simd on)` combination
+//! is never run (it is a configuration no-op by contract).
 
 use std::time::Instant;
 
@@ -46,11 +51,15 @@ const CELLS: [usize; 3] = [32, 32, 32];
 /// direct-scatter kernel is the slowest configuration per particle).
 const BASELINE_CELLS: [usize; 3] = [16, 16, 16];
 
-/// Sequential host ms/step of this workload measured at the commit
-/// before the parallel pipeline landed (PR 1 tree, same container
-/// class). Kept as the fixed reference point for the
-/// `single_thread_vs_pre_pr` ratio below.
-const PRE_PR_SEQUENTIAL_MS_PER_STEP: f64 = 286.4;
+/// Sequential host ms/step of this workload: the unbatched 1-worker
+/// configuration, whose arithmetic has been bit-identical since the
+/// PR 1 tree. Re-baselined (286.4 -> 235.0) when `target-cpu=native`
+/// became the committed codegen default: the old number was measured
+/// without hardware FMA and had already drifted ~5% against the same
+/// container class, so it no longer priced the code actually built.
+/// Median of three 3-step runs; container noise is +/-10%, which the
+/// perf gate's tolerance below absorbs.
+const PRE_PR_SEQUENTIAL_MS_PER_STEP: f64 = 235.0;
 
 /// Spawn/join cycles per default-configuration step that the pre-pool
 /// scheme paid (and the pool replaces with condvar wakes): gather+push,
@@ -69,10 +78,21 @@ fn batching_label(on: bool) -> &'static str {
     }
 }
 
+/// Human/JSON label of an execution mode: `off` (per-particle), `on`
+/// (batched scalar), `on+simd` (batched lane-parallel).
+fn mode_label(batching: bool, simd: bool) -> &'static str {
+    match (batching, simd) {
+        (false, _) => "off",
+        (true, false) => "on",
+        (true, true) => "on+simd",
+    }
+}
+
 struct ProbeResult {
     workers: usize,
     policy: SchedulerPolicy,
     batching: bool,
+    simd: bool,
     host_ms_per_step: f64,
     emulated_ms_per_step: f64,
     /// Bit patterns of jx, jy, jz (worker-count invariance gate).
@@ -89,6 +109,7 @@ fn run_probe(
     workers: usize,
     policy: SchedulerPolicy,
     batching: bool,
+    simd: bool,
     ppc: usize,
     steps: usize,
 ) -> ProbeResult {
@@ -96,6 +117,7 @@ fn run_probe(
     sim.cfg.num_workers = workers;
     sim.cfg.scheduler = policy;
     sim.cfg.batching = batching;
+    sim.cfg.simd = simd;
     sim.step(); // Warm-up: first-touch, pool growth, cold host caches.
     let skip = sim.report().len();
     let t0 = Instant::now();
@@ -117,6 +139,7 @@ fn run_probe(
         workers,
         policy,
         batching,
+        simd,
         host_ms_per_step,
         emulated_ms_per_step,
         currents: [&sim.fields.jx, &sim.fields.jy, &sim.fields.jz]
@@ -135,25 +158,28 @@ fn run_probe(
     }
 }
 
-/// Compares every run against the first **of its batching mode**:
-/// currents, fields and per-phase cycles must be bit-identical across
-/// worker counts and scheduler policies. Returns whether the whole set
-/// is clean.
+/// Compares every run against the first **of its execution mode**
+/// (per-particle, batched-scalar or batched-SIMD): currents, fields
+/// and per-phase cycles must be bit-identical across worker counts and
+/// scheduler policies. Returns whether the whole set is clean.
 fn check_parity(label: &str, results: &[ProbeResult]) -> bool {
     let mut ok = true;
-    for batching in [false, true] {
-        let group: Vec<&ProbeResult> = results.iter().filter(|r| r.batching == batching).collect();
+    for (batching, simd) in [(false, false), (true, false), (true, true)] {
+        let group: Vec<&ProbeResult> = results
+            .iter()
+            .filter(|r| r.batching == batching && r.simd == simd)
+            .collect();
         let Some(base) = group.first() else {
             continue;
         };
         for r in &group[1..] {
             let what = format!(
-                "{}w/{} and {}w/{} (batching {})",
+                "{}w/{} and {}w/{} (mode {})",
                 base.workers,
                 base.policy.label(),
                 r.workers,
                 r.policy.label(),
-                batching_label(batching),
+                mode_label(batching, simd),
             );
             for (name, i) in [("jx", 0), ("jy", 1), ("jz", 2)] {
                 if r.currents[i] != base.currents[i] {
@@ -202,33 +228,49 @@ fn cross_mode_gate_sound(steps: usize) -> bool {
     1 + steps < min_interval
 }
 
-/// Cross-mode value parity: batched vs per-particle FullOpt must agree
-/// bitwise in currents AND fields (cycles excluded by design). Only
-/// meaningful when both modes were swept.
+/// Cross-mode value parity: batched-scalar AND batched-SIMD FullOpt
+/// must agree bitwise with the per-particle path in currents AND
+/// fields (cycles excluded by design). Each mode present in the sweep
+/// is compared against the first mode's representative; with fewer
+/// than two modes there is nothing to compare.
 fn check_cross_mode_values(label: &str, results: &[ProbeResult]) -> bool {
-    let off = results.iter().find(|r| !r.batching);
-    let on = results.iter().find(|r| r.batching);
-    let (Some(off), Some(on)) = (off, on) else {
+    let Some(base) = results.first() else {
         return true;
     };
     let mut ok = true;
-    for (name, i) in [("jx", 0), ("jy", 1), ("jz", 2)] {
-        if off.currents[i] != on.currents[i] {
-            eprintln!("FAIL [{label}]: {name} differs between batching off and on");
-            ok = false;
+    for (batching, simd) in [(false, false), (true, false), (true, true)] {
+        if (batching, simd) == (base.batching, base.simd) {
+            continue;
         }
-    }
-    for (name, i) in [
-        ("ex", 0),
-        ("ey", 1),
-        ("ez", 2),
-        ("bx", 3),
-        ("by", 4),
-        ("bz", 5),
-    ] {
-        if off.fields[i] != on.fields[i] {
-            eprintln!("FAIL [{label}]: {name} differs between batching off and on");
-            ok = false;
+        let Some(r) = results
+            .iter()
+            .find(|r| r.batching == batching && r.simd == simd)
+        else {
+            continue;
+        };
+        let what = format!(
+            "mode {} and mode {}",
+            mode_label(base.batching, base.simd),
+            mode_label(batching, simd)
+        );
+        for (name, i) in [("jx", 0), ("jy", 1), ("jz", 2)] {
+            if base.currents[i] != r.currents[i] {
+                eprintln!("FAIL [{label}]: {name} differs between {what}");
+                ok = false;
+            }
+        }
+        for (name, i) in [
+            ("ex", 0),
+            ("ey", 1),
+            ("ez", 2),
+            ("bx", 3),
+            ("by", 4),
+            ("bz", 5),
+        ] {
+            if base.fields[i] != r.fields[i] {
+                eprintln!("FAIL [{label}]: {name} differs between {what}");
+                ok = false;
+            }
         }
     }
     ok
@@ -276,9 +318,10 @@ fn json_number_after(text: &str, key: &str) -> Option<f64> {
 
 /// Reads the committed BENCH_step.json and extracts the gate inputs:
 /// the recorded host CPU count plus each single-thread (workers == 1)
-/// result as `(batching_label, host_ms_per_step)`. Records written
-/// before the batching sweep existed carry no `batching` field and are
-/// treated as per-particle ("off").
+/// result as `(mode_label, host_ms_per_step)`. Records written before
+/// the batching sweep existed carry no `batching` field and are
+/// treated as per-particle ("off"); records written before the SIMD
+/// sweep carry no `simd` field and are treated as scalar.
 fn read_committed_gate(path: &str) -> Option<(usize, Vec<(String, f64)>)> {
     let text = std::fs::read_to_string(path).ok()?;
     let cpus = json_number_after(&text, "\"host_cpus\"")? as usize;
@@ -286,11 +329,10 @@ fn read_committed_gate(path: &str) -> Option<(usize, Vec<(String, f64)>)> {
     for line in text.lines() {
         // The trailing comma pins exactly 1 (not 10, 16, ...).
         if line.contains("\"workers\": 1,") && line.contains("\"host_ms_per_step\"") {
-            let mode = if line.contains("\"batching\": \"on\"") {
-                "on"
-            } else {
-                "off"
-            };
+            let mode = mode_label(
+                line.contains("\"batching\": \"on\""),
+                line.contains("\"simd\": \"on\""),
+            );
             if let Some(ms) = json_number_after(line, "\"host_ms_per_step\"") {
                 entries.push((mode.to_string(), ms));
             }
@@ -305,6 +347,7 @@ fn read_committed_gate(path: &str) -> Option<(usize, Vec<(String, f64)>)> {
 fn main() {
     let mut policy_flag: Option<SchedulerPolicy> = None;
     let mut batching_flag: Option<bool> = None;
+    let mut simd_flag: Option<bool> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -321,6 +364,13 @@ fn main() {
                 "off" => false,
                 other => panic!("unknown batching {other:?} (expected on|off)"),
             });
+        } else if a == "--simd" {
+            let v = args.next().expect("--simd needs on|off");
+            simd_flag = Some(match v.as_str() {
+                "on" => true,
+                "off" => false,
+                other => panic!("unknown simd {other:?} (expected on|off)"),
+            });
         } else {
             positional.push(a);
         }
@@ -336,7 +386,10 @@ fn main() {
             })
             .collect()
     });
-    let write_bench = custom_workers.is_none() && policy_flag.is_none() && batching_flag.is_none();
+    let write_bench = custom_workers.is_none()
+        && policy_flag.is_none()
+        && batching_flag.is_none()
+        && simd_flag.is_none();
     let policies: Vec<SchedulerPolicy> = match policy_flag {
         Some(p) => vec![p],
         None => vec![SchedulerPolicy::Static, SchedulerPolicy::Stealing],
@@ -345,6 +398,23 @@ fn main() {
         Some(b) => vec![b],
         None => vec![false, true],
     };
+    let simd_modes: Vec<bool> = match simd_flag {
+        Some(s) => vec![s],
+        None => vec![false, true],
+    };
+    // Execution modes: the cross product minus `(batching off, simd
+    // on)` — SIMD is a mode of the batched sweep, and that combination
+    // is a configuration no-op by contract. Canonical sweep: off, on,
+    // on+simd.
+    let modes: Vec<(bool, bool)> = batching_modes
+        .iter()
+        .flat_map(|&b| simd_modes.iter().map(move |&s| (b, s)))
+        .filter(|&(b, s)| b || !s)
+        .collect();
+    if modes.is_empty() {
+        eprintln!("--batching off --simd on selects no execution mode (SIMD requires batching)");
+        std::process::exit(1);
+    }
     let mut worker_counts = custom_workers.unwrap_or_else(|| vec![1, 2, 4, 7]);
     // Always carry the sequential reference: parity against a 1-worker
     // run is the point of the gate.
@@ -359,20 +429,21 @@ fn main() {
     let committed = read_committed_gate("BENCH_step.json");
 
     let policy_labels: Vec<&str> = policies.iter().map(|p| p.label()).collect();
-    let mode_labels: Vec<&str> = batching_modes.iter().map(|&b| batching_label(b)).collect();
+    let mode_labels: Vec<&str> = modes.iter().map(|&(b, s)| mode_label(b, s)).collect();
     println!(
-        "== probe_parallel: uniform {CELLS:?} ppc {ppc}, FullOpt/CIC, {steps} steps, workers {worker_counts:?}, schedulers {policy_labels:?}, batching {mode_labels:?} =="
+        "== probe_parallel: uniform {CELLS:?} ppc {ppc}, FullOpt/CIC, {steps} steps, workers {worker_counts:?}, schedulers {policy_labels:?}, modes {mode_labels:?} =="
     );
     println!("host CPUs available: {host_cpus}");
     println!(
         "{:>8} {:>10} {:>9} {:>14} {:>16} {:>12}",
-        "workers", "scheduler", "batching", "host ms/step", "emulated ms/step", "particles"
+        "workers", "scheduler", "mode", "host ms/step", "emulated ms/step", "particles"
     );
 
     // The 1-worker run is policy-independent (inline dispatch), so run
-    // it once per batching mode; multi-worker counts sweep every policy.
+    // it once per execution mode; multi-worker counts sweep every
+    // policy.
     let mut results: Vec<ProbeResult> = Vec::new();
-    for &batching in &batching_modes {
+    for &(batching, simd) in &modes {
         for &w in &worker_counts {
             let run_policies: &[SchedulerPolicy] = if w == 1 { &policies[..1] } else { &policies };
             for &policy in run_policies {
@@ -382,6 +453,7 @@ fn main() {
                     w,
                     policy,
                     batching,
+                    simd,
                     ppc,
                     steps,
                 );
@@ -389,7 +461,7 @@ fn main() {
                     "{:>8} {:>10} {:>9} {:>14.1} {:>16.3} {:>12}",
                     r.workers,
                     r.policy.label(),
-                    batching_label(r.batching),
+                    mode_label(r.batching, r.simd),
                     r.host_ms_per_step,
                     r.emulated_ms_per_step,
                     r.particles
@@ -399,10 +471,10 @@ fn main() {
         }
     }
 
-    // Determinism gate, per batching mode.
+    // Determinism gate, per execution mode.
     let deterministic = check_parity("FullOpt", &results);
     println!(
-        "determinism (fields + per-phase cycles, workers {worker_counts:?} x {policy_labels:?} x batching {mode_labels:?}): {}",
+        "determinism (fields + per-phase cycles, workers {worker_counts:?} x {policy_labels:?} x modes {mode_labels:?}): {}",
         if deterministic {
             "BIT-IDENTICAL"
         } else {
@@ -410,14 +482,15 @@ fn main() {
         }
     );
 
-    // Cross-mode value parity: FullOpt batched is value-exact — as long
-    // as both modes took the same global-sort schedule, which is only
-    // guaranteed while the adaptive policy cannot have fired.
+    // Cross-mode value parity: FullOpt batched (scalar and SIMD) is
+    // value-exact — as long as all modes took the same global-sort
+    // schedule, which is only guaranteed while the adaptive policy
+    // cannot have fired.
     let cross_mode = if cross_mode_gate_sound(steps) {
         let ok = check_cross_mode_values("FullOpt", &results);
-        if batching_modes.len() == 2 {
+        if modes.len() > 1 {
             println!(
-                "batched vs per-particle values (currents + fields): {}",
+                "cross-mode values (currents + fields, modes {mode_labels:?}): {}",
                 if ok { "BIT-IDENTICAL" } else { "FAILED" }
             );
         }
@@ -431,9 +504,9 @@ fn main() {
         true
     };
 
-    // Direct-scatter counter-parity gate (within each batching mode).
+    // Direct-scatter counter-parity gate (within each execution mode).
     let mut baseline_results: Vec<ProbeResult> = Vec::new();
-    for &batching in &batching_modes {
+    for &(batching, simd) in &modes {
         for &w in &worker_counts {
             let run_policies: &[SchedulerPolicy] = if w == 1 { &policies[..1] } else { &policies };
             for &policy in run_policies {
@@ -443,6 +516,7 @@ fn main() {
                     w,
                     policy,
                     batching,
+                    simd,
                     ppc.min(4),
                     2,
                 ));
@@ -451,7 +525,7 @@ fn main() {
     }
     let baseline_parity = check_parity("Baseline", &baseline_results);
     println!(
-        "baseline direct-scatter counter parity (workers {worker_counts:?} x {policy_labels:?} x batching {mode_labels:?}): {}",
+        "baseline direct-scatter counter parity (workers {worker_counts:?} x {policy_labels:?} x modes {mode_labels:?}): {}",
         if baseline_parity {
             "BIT-IDENTICAL"
         } else {
@@ -461,25 +535,25 @@ fn main() {
 
     let base = &results[0];
     let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
-    let single_thread = |batching: bool| -> Option<&ProbeResult> {
+    let single_thread = |batching: bool, simd: bool| -> Option<&ProbeResult> {
         results
             .iter()
-            .find(|r| r.workers == 1 && r.batching == batching)
+            .find(|r| r.workers == 1 && r.batching == batching && r.simd == simd)
     };
     let s1 = base.host_ms_per_step;
-    let best_at = |w: usize, batching: bool| -> f64 {
+    let best_at = |w: usize, batching: bool, simd: bool| -> f64 {
         results
             .iter()
-            .filter(|r| r.workers == w && r.batching == batching)
+            .filter(|r| r.workers == w && r.batching == batching && r.simd == simd)
             .map(|r| r.host_ms_per_step)
             .fold(f64::INFINITY, f64::min)
     };
-    let s_max = best_at(max_workers, base.batching);
+    let s_max = best_at(max_workers, base.batching, base.simd);
     let speedup_max = s1 / s_max;
     let vs_pre_pr = PRE_PR_SEQUENTIAL_MS_PER_STEP / s1;
     println!(
-        "{max_workers}-worker speedup over 1-worker (batching {}, best policy): {speedup_max:.2}x",
-        batching_label(base.batching)
+        "{max_workers}-worker speedup over 1-worker (mode {}, best policy): {speedup_max:.2}x",
+        mode_label(base.batching, base.simd)
     );
     println!(
         "1-worker speedup over pre-PR sequential baseline ({PRE_PR_SEQUENTIAL_MS_PER_STEP} ms/step): {vs_pre_pr:.2}x"
@@ -489,7 +563,7 @@ fn main() {
     // per-particle, host and emulated.
     let mut batched_host_speedup = None;
     let mut batched_emulated_speedup = None;
-    if let (Some(off), Some(on)) = (single_thread(false), single_thread(true)) {
+    if let (Some(off), Some(on)) = (single_thread(false, false), single_thread(true, false)) {
         let host = off.host_ms_per_step / on.host_ms_per_step;
         let emulated = off.emulated_ms_per_step / on.emulated_ms_per_step;
         println!(
@@ -502,6 +576,25 @@ fn main() {
         );
         batched_host_speedup = Some(host);
         batched_emulated_speedup = Some(emulated);
+    }
+
+    // The headline of the SIMD sweep: single-thread batched-SIMD vs
+    // batched-scalar, host and emulated.
+    let mut simd_host_speedup = None;
+    let mut simd_emulated_speedup = None;
+    if let (Some(scalar), Some(simd)) = (single_thread(true, false), single_thread(true, true)) {
+        let host = scalar.host_ms_per_step / simd.host_ms_per_step;
+        let emulated = scalar.emulated_ms_per_step / simd.emulated_ms_per_step;
+        println!(
+            "single-thread batched-SIMD vs batched-scalar: host {host:.2}x, emulated {emulated:.2}x \
+             ({:.1} -> {:.1} host ms/step, {:.3} -> {:.3} emulated ms/step)",
+            scalar.host_ms_per_step,
+            simd.host_ms_per_step,
+            scalar.emulated_ms_per_step,
+            simd.emulated_ms_per_step
+        );
+        simd_host_speedup = Some(host);
+        simd_emulated_speedup = Some(emulated);
     }
 
     // Dispatch-overhead saving of the persistent pool vs the per-phase
@@ -519,7 +612,10 @@ fn main() {
     let canary = results
         .iter()
         .filter(|r| {
-            r.batching == base.batching && r.workers > base.workers && r.workers <= host_cpus
+            r.batching == base.batching
+                && r.simd == base.simd
+                && r.workers > base.workers
+                && r.workers <= host_cpus
         })
         .max_by_key(|r| r.workers)
         .map(|r| r.workers);
@@ -531,7 +627,7 @@ fn main() {
             true
         }
         Some(w) => {
-            let speedup = s1 / best_at(w, base.batching);
+            let speedup = s1 / best_at(w, base.batching, base.simd);
             if speedup < 1.3 {
                 eprintln!(
                     "WARN: {host_cpus}-CPU host but {w}-worker speedup is only {speedup:.2}x (<1.3x): the tile pipeline may be serialized"
@@ -555,17 +651,20 @@ fn main() {
             ),
             Some((_, entries)) => {
                 for (mode, old_ms) in entries {
-                    let fresh = single_thread(mode == "on").map(|r| r.host_ms_per_step);
+                    let fresh = results
+                        .iter()
+                        .find(|r| r.workers == 1 && mode_label(r.batching, r.simd) == mode)
+                        .map(|r| r.host_ms_per_step);
                     let Some(fresh) = fresh else { continue };
                     if fresh > old_ms * GATE_TOLERANCE {
                         eprintln!(
-                            "FAIL [perf gate]: single-thread batching={mode} regressed >{:.0}%: {fresh:.1} ms/step vs committed {old_ms:.1}",
+                            "FAIL [perf gate]: single-thread mode={mode} regressed >{:.0}%: {fresh:.1} ms/step vs committed {old_ms:.1}",
                             (GATE_TOLERANCE - 1.0) * 100.0
                         );
                         gate_failed = true;
                     } else {
                         println!(
-                            "perf gate: single-thread batching={mode} ok ({fresh:.1} ms/step vs committed {old_ms:.1}, tolerance {:.0}%)",
+                            "perf gate: single-thread mode={mode} ok ({fresh:.1} ms/step vs committed {old_ms:.1}, tolerance {:.0}%)",
                             (GATE_TOLERANCE - 1.0) * 100.0
                         );
                     }
@@ -590,10 +689,11 @@ fn main() {
         json.push_str("  \"results\": [\n");
         for (i, r) in results.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"workers\": {}, \"scheduler\": \"{}\", \"batching\": \"{}\", \"host_ms_per_step\": {:.2}, \"emulated_ms_per_step\": {:.4}}}{}\n",
+                "    {{\"workers\": {}, \"scheduler\": \"{}\", \"batching\": \"{}\", \"simd\": \"{}\", \"host_ms_per_step\": {:.2}, \"emulated_ms_per_step\": {:.4}}}{}\n",
                 r.workers,
                 r.policy.label(),
                 batching_label(r.batching),
+                batching_label(r.simd),
                 r.host_ms_per_step,
                 r.emulated_ms_per_step,
                 if i + 1 < results.len() { "," } else { "" }
@@ -606,6 +706,11 @@ fn main() {
         if let (Some(h), Some(e)) = (batched_host_speedup, batched_emulated_speedup) {
             json.push_str(&format!(
                 "  \"speedup_batched_vs_per_particle_1w\": {{\"host\": {h:.3}, \"emulated\": {e:.3}}},\n"
+            ));
+        }
+        if let (Some(h), Some(e)) = (simd_host_speedup, simd_emulated_speedup) {
+            json.push_str(&format!(
+                "  \"speedup_simd_vs_scalar_1w\": {{\"host\": {h:.3}, \"emulated\": {e:.3}}},\n"
             ));
         }
         json.push_str(&format!(
@@ -652,7 +757,7 @@ fn main() {
         }
     } else {
         println!(
-            "custom worker list / scheduler / batching restriction: skipping BENCH_step.json write and perf gate"
+            "custom worker list / scheduler / batching / simd restriction: skipping BENCH_step.json write and perf gate"
         );
     }
 

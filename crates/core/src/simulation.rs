@@ -5,7 +5,7 @@ use mpic_deposit::{canonical_flops_per_particle, AddrMap, Depositor, ShapeOrder,
 use mpic_grid::constants::C;
 use mpic_grid::{Array3, FieldArrays, GridGeometry, TileLayout};
 use mpic_machine::{
-    CacheLevelState, CacheSimState, Machine, PerfCounters, Phase, VAddr, WorkerPool,
+    vect::W, CacheLevelState, CacheSimState, Machine, PerfCounters, Phase, VAddr, WorkerPool,
 };
 use mpic_particles::{
     Departure, Gpma, GpmaState, ParticleContainer, ParticleSoA, ParticleTile, PendingMove,
@@ -13,8 +13,9 @@ use mpic_particles::{
 };
 use mpic_push::boris::{boris_push, charge_push, BorisCoeffs};
 use mpic_push::gather::{
-    charge_gather, charge_gather_run, gather_fields_with_cell, gather_from_block, load_node_block,
-    GatherCost, NodeBlock,
+    charge_gather, charge_gather_run, charge_gather_run_reuse, gather_fields_with_cell,
+    gather_from_block, gather_from_block_lanes, load_node_block, GatherCost, NodeBlock,
+    MAX_STENCIL_NODES,
 };
 use mpic_push::PushScratch;
 use mpic_solver::{BoundaryKind, MaxwellSolver, SolverKind};
@@ -233,7 +234,10 @@ impl Simulation {
         // The batching knob is read from cfg each step (probes retarget
         // it between steps); the depositor ANDs it with its sorting
         // strategy, so unsorted configurations keep the reference sweep.
+        // The simd knob rides the same re-read and is ANDed with
+        // batching inside the depositor and the push dispatch.
         self.depositor.set_batching(self.cfg.batching);
+        self.depositor.set_simd(self.cfg.simd);
 
         // --- Gather + push + particle boundaries -----------------------
         self.push_particles();
@@ -344,6 +348,9 @@ impl Simulation {
         // (whose sampled address stream is the paper's unsorted-gather
         // cost signal) regardless of the knob.
         let batched = self.cfg.batching && self.depositor.strategy().provides_sorted_order();
+        // SIMD is a mode *of* the batched sweep (lane-width packs over a
+        // run's particles), so it inherits the same sorted-order guard.
+        let simd = batched && self.cfg.simd;
         let workers = self.pool.workers();
         if self.push_scratch.len() < workers {
             self.push_scratch.resize_with(workers, PushScratch::default);
@@ -357,7 +364,21 @@ impl Simulation {
             &mut self.electrons.tiles,
             &mut self.push_scratch,
             |wm, _t, tile, scratch| {
-                if batched {
+                if simd {
+                    push_tile_batched_simd(
+                        wm,
+                        geom,
+                        order,
+                        fields,
+                        &field_addrs,
+                        &boris,
+                        absorbing,
+                        zlo,
+                        zhi,
+                        tile,
+                        scratch,
+                    );
+                } else if batched {
                     push_tile_batched(
                         wm,
                         geom,
@@ -715,8 +736,8 @@ impl Simulation {
     /// Restores the state captured by [`Simulation::snapshot`] into this
     /// simulation, which must have been built from the same
     /// configuration (geometry, solver, kernel, timestep — runtime knobs
-    /// like `num_workers`, `scheduler` and `batching` may differ; they
-    /// shape host execution, not simulation state).
+    /// like `num_workers`, `scheduler`, `batching` and `simd` may
+    /// differ; they shape host execution, not simulation state).
     ///
     /// Corrupt, truncated or incompatible input returns a structured
     /// [`SnapshotError`] and never panics. Every fallible decode and
@@ -1327,6 +1348,226 @@ fn push_tile_batched(
         let _ = tile.gpma.apply_pending_moves(&tile.cells);
     }
     charge_push(wm, scratch.live.len());
+}
+
+/// The lane-parallel variant of [`push_tile_batched`]
+/// ([`SimConfig::simd`]): same GPMA-sorted sweep and same run discovery
+/// from each particle's located cell, but a run's particles are buffered
+/// as `(slot, frac)` pairs and interpolated in lane-width packs from the
+/// cached node block when the run closes
+/// ([`gather_from_block_lanes`]); ragged tails use the scalar block
+/// gather, which is bitwise the same computation. Each lane holds one
+/// particle's six accumulators, so E/B values — and with them positions,
+/// momenta and removals — are bit-identical to the batched-scalar sweep.
+/// Gather *pricing* is where the lane-parallel mode differs: the
+/// previous run's stencil block stays in lane registers across the
+/// run boundary, so [`charge_gather_run_reuse`] charges only the cache
+/// lines the new stencil adds — and it prices them with the state-free
+/// streaming model (a flat bandwidth cost per line, no cache-sim walk),
+/// so the charge is a pure function of the run's node indices
+/// (sorted-cell order makes consecutive stencils overlap heavily).
+/// The reuse state is tile-local — reset at tile start and advanced in
+/// run order, which the GPMA sweep fixes independently of worker count
+/// or scheduler policy — so Gather cycles stay bit-identical across
+/// workers x policies, and on overlap-heavy workloads strictly below
+/// the scalar mode's walking price (on a grid small enough to sit in
+/// L1 the flat streamed cost can instead come out slightly above the
+/// mostly-hit walk — see the scalar->simd snapshot conformance test).
+/// Deferring
+/// the Boris push to run close is safe: gathers are read-only and each
+/// particle's writeback touches only its own SoA slots, so no buffered
+/// particle can observe another's push.
+fn push_tile_batched_simd(
+    wm: &mut Machine,
+    geom: &GridGeometry,
+    order: ShapeOrder,
+    fields: &FieldArrays,
+    field_addrs: &[VAddr; 6],
+    boris: &BorisCoeffs,
+    absorbing: bool,
+    zlo: f64,
+    zhi: f64,
+    tile: &mut ParticleTile,
+    scratch: &mut PushScratch,
+) {
+    scratch.clear();
+    scratch.live.extend(tile.gpma.iter_sorted().map(|(_, p)| p));
+    if scratch.live.is_empty() {
+        return;
+    }
+    wm.mem().flush_cache();
+    let mut block = NodeBlock::new();
+    // Register-reuse state: the node list of the last flushed run's
+    // block. Tile-local and advanced in GPMA run order, so the charge
+    // stream is identical for every worker count and policy.
+    let mut prev_idx = [0usize; MAX_STENCIL_NODES];
+    let mut prev_n = 0usize;
+    // No cell has this value after wrapping, so the first particle
+    // always opens a run.
+    let mut run_cell = [usize::MAX; 3];
+    for &p in &scratch.live {
+        let (x, y, z) = (tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
+        let (located, frac) = geom.locate(x, y, z);
+        let cell = geom.wrap_cell(located);
+        if cell != run_cell {
+            flush_run_simd(
+                wm,
+                geom,
+                order,
+                field_addrs,
+                boris,
+                absorbing,
+                zlo,
+                zhi,
+                tile,
+                &block,
+                &scratch.run_slots,
+                &scratch.run_frac,
+                &prev_idx[..prev_n],
+                &mut scratch.removals,
+            );
+            if !scratch.run_slots.is_empty() {
+                prev_n = block.nodes;
+                prev_idx[..prev_n].copy_from_slice(&block.idx[..prev_n]);
+            }
+            scratch.run_slots.clear();
+            scratch.run_frac.clear();
+            load_node_block(geom, order, fields, cell, &mut block);
+            run_cell = cell;
+        }
+        scratch.run_slots.push(p);
+        scratch.run_frac.push(frac);
+    }
+    flush_run_simd(
+        wm,
+        geom,
+        order,
+        field_addrs,
+        boris,
+        absorbing,
+        zlo,
+        zhi,
+        tile,
+        &block,
+        &scratch.run_slots,
+        &scratch.run_frac,
+        &prev_idx[..prev_n],
+        &mut scratch.removals,
+    );
+    scratch.run_slots.clear();
+    scratch.run_frac.clear();
+    for &(p, bin) in &scratch.removals {
+        tile.gpma.queue_remove(p, bin);
+        tile.cells[p] = INVALID_PARTICLE_ID;
+        tile.soa.remove(p);
+    }
+    if !scratch.removals.is_empty() {
+        let _ = tile.gpma.apply_pending_moves(&tile.cells);
+    }
+    charge_push(wm, scratch.live.len());
+}
+
+/// Closes one buffered same-cell run of the SIMD sweep: charges the run
+/// gather with run-to-run register reuse (`prev_idx` is the node list of
+/// the previously flushed block — cache lines it covers stay in lane
+/// registers and charge nothing), then interpolates full lane packs with
+/// [`gather_from_block_lanes`] and the ragged tail with the scalar
+/// [`gather_from_block`], pushing particles in buffer (= GPMA) order so
+/// the removal sequence matches the scalar sweep.
+fn flush_run_simd(
+    wm: &mut Machine,
+    geom: &GridGeometry,
+    order: ShapeOrder,
+    field_addrs: &[VAddr; 6],
+    boris: &BorisCoeffs,
+    absorbing: bool,
+    zlo: f64,
+    zhi: f64,
+    tile: &mut ParticleTile,
+    block: &NodeBlock,
+    slots: &[usize],
+    fracs: &[[f64; 3]],
+    prev_idx: &[usize],
+    removals: &mut Vec<(usize, usize)>,
+) {
+    if slots.is_empty() {
+        return;
+    }
+    charge_gather_run_reuse(
+        wm,
+        GatherCost::default(),
+        slots.len(),
+        field_addrs,
+        &block.idx[..block.nodes],
+        prev_idx,
+    );
+    let mut i = 0;
+    while i + W <= slots.len() {
+        let mut e = [[0.0; 3]; W];
+        let mut b = [[0.0; 3]; W];
+        gather_from_block_lanes(order, block, &fracs[i..i + W], &mut e, &mut b);
+        for l in 0..W {
+            apply_push(
+                boris,
+                geom,
+                absorbing,
+                zlo,
+                zhi,
+                tile,
+                removals,
+                slots[i + l],
+                e[l],
+                b[l],
+            );
+        }
+        i += W;
+    }
+    // Scalar remainder loop (bitwise the same interpolation).
+    for l in i..slots.len() {
+        let (e, b) = gather_from_block(order, block, fracs[l]);
+        apply_push(
+            boris, geom, absorbing, zlo, zhi, tile, removals, slots[l], e, b,
+        );
+    }
+}
+
+/// Boris push + boundary handling + SoA writeback of one particle:
+/// statement-for-statement the tail of [`push_tile_batched`]'s particle
+/// loop, factored out so the lane-pack and remainder arms of the SIMD
+/// sweep share it.
+fn apply_push(
+    boris: &BorisCoeffs,
+    geom: &GridGeometry,
+    absorbing: bool,
+    zlo: f64,
+    zhi: f64,
+    tile: &mut ParticleTile,
+    removals: &mut Vec<(usize, usize)>,
+    p: usize,
+    e: [f64; 3],
+    b: [f64; 3],
+) {
+    let (mut x, mut y, mut z) = (tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
+    let (mut ux, mut uy, mut uz) = (tile.soa.ux[p], tile.soa.uy[p], tile.soa.uz[p]);
+    boris_push(
+        boris, e, b, &mut ux, &mut uy, &mut uz, &mut x, &mut y, &mut z,
+    );
+    let wrapped = geom.wrap_position([x, y, z]);
+    x = wrapped[0];
+    y = wrapped[1];
+    if absorbing {
+        if z < zlo || z >= zhi {
+            removals.push((p, tile.cells[p]));
+        }
+    } else {
+        z = wrapped[2];
+    }
+    tile.soa.x[p] = x;
+    tile.soa.y[p] = y;
+    tile.soa.z[p] = z;
+    tile.soa.ux[p] = ux;
+    tile.soa.uy[p] = uy;
+    tile.soa.uz[p] = uz;
 }
 
 #[cfg(test)]

@@ -133,6 +133,7 @@ pub fn uniform_plasma_config(
         num_workers: 1,
         scheduler: mpic_machine::SchedulerPolicy::Static,
         batching: false,
+        simd: false,
     }
 }
 
@@ -185,6 +186,7 @@ pub fn lwfa_config(
         num_workers: 1,
         scheduler: mpic_machine::SchedulerPolicy::Static,
         batching: false,
+        simd: false,
     }
 }
 

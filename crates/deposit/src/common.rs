@@ -84,7 +84,20 @@ pub fn node_coord(
     cell_d: usize,
     a: usize,
 ) -> usize {
-    let v = (cell_d as i64 + order.start_offset() + a as i64).rem_euclid(geom.n_cells[d] as i64);
+    let n = geom.n_cells[d] as i64;
+    let mut v = cell_d as i64 + order.start_offset() + a as i64;
+    // In-bounds cells land at most one period outside [0, n): a
+    // conditional add/sub replaces the `rem_euclid` division on the hot
+    // path (this runs per stencil node per particle), with the division
+    // kept as the fallback for out-of-range callers.
+    if v < 0 {
+        v += n;
+    } else if v >= n {
+        v -= n;
+    }
+    if !(0..n).contains(&v) {
+        v = v.rem_euclid(n);
+    }
     v as usize + geom.guard
 }
 
@@ -353,6 +366,15 @@ pub struct TileScratch {
 /// scattered chunks are charged as gathers, so the locality benefit of
 /// sorting is priced from the actual index stream.
 ///
+/// With `simd` set (the lane-parallel mode, see `SimConfig::simd`), the
+/// vectorised staging branches price their attribute loads by the
+/// state-free streaming model instead of walking the cache simulator:
+/// seven parallel unit-stride SoA streams are exactly what the
+/// prefetcher services at bandwidth, and the pure-function charge keeps
+/// the mode bit-reproducible from the tile data alone. The scalar
+/// staging style ignores the flag (a scalar loop has no lanes to
+/// stream).
+///
 /// Charged to [`Phase::Preprocess`].
 pub fn stage_tile(
     m: &mut Machine,
@@ -365,6 +387,7 @@ pub fn stage_tile(
     soa_addr: &[VAddr; 7],
     staging_addr: VAddr,
     prep: PrepStyle,
+    simd: bool,
     st: &mut Staging,
 ) {
     let _ = staging_addr; // Retained for future cache-priced staging.
@@ -416,12 +439,15 @@ pub fn stage_tile(
                     let chunk = &iteration[p..p + lanes];
                     let contiguous = chunk.windows(2).all(|w| w[1] == w[0] + 1);
                     // 7 attribute loads: unit-stride when the iteration
-                    // order is compacted, gathers when GPMA-indexed.
+                    // order is compacted, gathers when GPMA-indexed. The
+                    // lane-parallel mode prices both shapes by the
+                    // state-free streaming model.
                     for a in soa_addr {
-                        if contiguous {
-                            m.v_touch_load(a.offset_f64(chunk[0]), lanes);
-                        } else {
-                            m.v_touch_gather(*a, chunk);
+                        match (contiguous, simd) {
+                            (true, false) => m.v_touch_load(a.offset_f64(chunk[0]), lanes),
+                            (true, true) => m.v_touch_load_streamed(a.offset_f64(chunk[0]), lanes),
+                            (false, false) => m.v_touch_gather(*a, chunk),
+                            (false, true) => m.v_touch_gather_streamed(*a, chunk),
                         }
                     }
                     // Arithmetic: gamma+velocity (6), locate (6), weights

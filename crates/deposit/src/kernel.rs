@@ -62,6 +62,16 @@ pub struct TileCtx<'a> {
     /// order (unsorted input falls back to the per-particle reference
     /// sweep — run batching cannot amortise length-1 runs).
     pub batched: bool,
+    /// Whether the batched path should run its lane-parallel (SIMD)
+    /// inner loops: `W`-wide node chunks in the run-block accumulation,
+    /// state-free streamed pricing of the staging loads and rhocell
+    /// accumulate passes, and the fused rhocell→grid reduction charge.
+    /// Only ever set together with `batched` (the per-particle path has
+    /// no runs to chunk). Deposited values are bit-identical to the
+    /// batched-scalar path; the memory-bound phase charges (Preprocess,
+    /// Compute on rhocell kernels, Reduce) are strictly cheaper under
+    /// the streaming prices. See `SimConfig::simd`.
+    pub simd: bool,
 }
 
 /// A current-deposition kernel variant.
@@ -127,6 +137,9 @@ pub struct Depositor {
     /// Whether kernels run their cell-run batched hot path (see
     /// [`Depositor::set_batching`]).
     batching: bool,
+    /// Whether the batched path runs its lane-parallel inner loops (see
+    /// [`Depositor::set_simd`]).
+    simd: bool,
     /// Per-worker reusable tile buffers (index = worker id).
     scratch: Vec<TileScratch>,
     /// Per-tile sparse outputs of direct-scatter kernels (index = tile).
@@ -147,6 +160,7 @@ impl Depositor {
             rhocells: Vec::new(),
             order,
             batching: false,
+            simd: false,
             scratch: Vec::new(),
             tile_currents: Vec::new(),
         }
@@ -171,6 +185,20 @@ impl Depositor {
     /// Whether the batched kernel paths are selected.
     pub fn batching(&self) -> bool {
         self.batching
+    }
+
+    /// Selects the lane-parallel (SIMD) inner loops of the batched
+    /// kernel paths (`SimConfig::simd`). ANDed with batching: the flag
+    /// engages only where a cell-run batched sweep runs at all, so
+    /// `simd` without `batching` (or on an unsorted strategy) is a
+    /// no-op, and the per-particle path stays the bitwise reference.
+    pub fn set_simd(&mut self, simd: bool) {
+        self.simd = simd;
+    }
+
+    /// Whether the lane-parallel batched inner loops are selected.
+    pub fn simd(&self) -> bool {
+        self.simd
     }
 
     /// Shape order in use.
@@ -381,6 +409,9 @@ impl Depositor {
         // Unsorted-input fallback: run batching needs cell-grouped
         // staging order, so the knob only engages on sorted strategies.
         let batched = self.batching && sorted;
+        // SIMD only exists inside the batched sweeps; per-particle mode
+        // ignores the knob entirely.
+        let simd = self.simd && batched;
         let j_addr = [addrs.jx, addrs.jy, addrs.jz];
         let n_tiles = container.tiles.len();
         let workers = exec.workers().clamp(1, n_tiles.max(1));
@@ -397,8 +428,8 @@ impl Depositor {
                 &mut self.scratch,
                 |wm, t, rho, scratch| {
                     deposit_tile_worker(
-                        wm, kernel, order, sorted, batched, geom, layout, container, addrs, j_addr,
-                        t, rho, scratch,
+                        wm, kernel, order, sorted, batched, simd, geom, layout, container, addrs,
+                        j_addr, t, rho, scratch,
                     );
                 },
             );
@@ -432,8 +463,8 @@ impl Depositor {
                 &mut self.scratch,
                 |wm, t, tj, scratch| {
                     scatter_tile_worker(
-                        wm, kernel, order, sorted, batched, geom, layout, container, addrs, j_addr,
-                        t, tj, scratch,
+                        wm, kernel, order, sorted, batched, simd, geom, layout, container, addrs,
+                        j_addr, t, tj, scratch,
                     );
                 },
             );
@@ -454,6 +485,7 @@ fn stage_tile_scratch(
     wm: &mut Machine,
     order: ShapeOrder,
     sorted: bool,
+    simd: bool,
     geom: &GridGeometry,
     tile: &Tile,
     container: &ParticleContainer,
@@ -482,6 +514,7 @@ fn stage_tile_scratch(
         &addrs.soa[t],
         addrs.staging,
         kernel.prep_style(),
+        simd,
         &mut scratch.staging,
     );
 }
@@ -496,6 +529,7 @@ fn deposit_tile_worker(
     order: ShapeOrder,
     sorted: bool,
     batched: bool,
+    simd: bool,
     geom: &GridGeometry,
     layout: &TileLayout,
     container: &ParticleContainer,
@@ -511,7 +545,7 @@ fn deposit_tile_worker(
     wm.mem().flush_cache();
     let tile = layout.tile(t);
     stage_tile_scratch(
-        wm, order, sorted, geom, tile, container, addrs, t, kernel, scratch,
+        wm, order, sorted, simd, geom, tile, container, addrs, t, kernel, scratch,
     );
     let ctx = TileCtx {
         geom,
@@ -519,6 +553,7 @@ fn deposit_tile_worker(
         order,
         staging_addr: addrs.staging,
         batched,
+        simd,
     };
     rho.clear();
     {
@@ -528,7 +563,15 @@ fn deposit_tile_worker(
         };
         kernel.deposit_tile(wm, &ctx, &scratch.staging, &mut out);
     }
-    rho.charge_reduction(wm, geom, tile, addrs.rhocell[t], j_addr);
+    // The SIMD mode folds all three components per cell in one fused
+    // traversal; the scalar mode sweeps per component. Same functional
+    // result (values are applied in `apply_to_grid` either way) — only
+    // the Reduce-phase charge differs.
+    if simd {
+        rho.charge_reduction_fused(wm, geom, tile, addrs.rhocell[t], j_addr);
+    } else {
+        rho.charge_reduction(wm, geom, tile, addrs.rhocell[t], j_addr);
+    }
 }
 
 /// Processes one tile end-to-end on a worker for a direct-scatter
@@ -544,6 +587,7 @@ fn scatter_tile_worker(
     order: ShapeOrder,
     sorted: bool,
     batched: bool,
+    simd: bool,
     geom: &GridGeometry,
     layout: &TileLayout,
     container: &ParticleContainer,
@@ -560,7 +604,7 @@ fn scatter_tile_worker(
     wm.mem().flush_cache();
     let tile = layout.tile(t);
     stage_tile_scratch(
-        wm, order, sorted, geom, tile, container, addrs, t, kernel, scratch,
+        wm, order, sorted, simd, geom, tile, container, addrs, t, kernel, scratch,
     );
     let ctx = TileCtx {
         geom,
@@ -568,6 +612,7 @@ fn scatter_tile_worker(
         order,
         staging_addr: addrs.staging,
         batched,
+        simd,
     };
     let dims = geom.dims_with_guard();
     // Disjoint field borrows: the kernel reads `staging` while writing

@@ -124,7 +124,6 @@ fn deposit_run_cic(
     rho_addr: mpic_machine::VAddr,
     rho: &mut Rhocell,
 ) {
-    let _ = ctx;
     for comp in 0..3 {
         m.t_zero(COMP_TILE[comp]);
     }
@@ -187,10 +186,21 @@ fn deposit_run_cic(
         let contrib = VReg(vals);
         let base = rho.index(comp, cell, 0);
         let addr = rho_addr.offset_f64(base);
-        let cur = m.v_load(addr, rho.cell_slice(comp, cell));
+        // Rhocell accumulate: sorted runs visit consecutive cells, so
+        // these slices form an ascending dense sweep — the lane-parallel
+        // mode prices it as a stream instead of walking the cache.
+        let cur = if ctx.simd {
+            m.v_load_streamed(addr, rho.cell_slice(comp, cell))
+        } else {
+            m.v_load(addr, rho.cell_slice(comp, cell))
+        };
         let sum = m.v_add(cur, contrib);
         let slice = rho.cell_slice_mut(comp, cell);
-        m.v_store(addr, sum, slice, 8);
+        if ctx.simd {
+            m.v_store_streamed(addr, sum, slice, 8);
+        } else {
+            m.v_store(addr, sum, slice, 8);
+        }
     }
 }
 
@@ -274,14 +284,22 @@ fn deposit_run_qsp(
                 let contrib = VReg(vals);
                 let base = rho.index(comp, cell, node0);
                 let addr = rho_addr.offset_f64(base);
-                let cur = m.v_load(addr, &rho.cell_slice(comp, cell)[node0..node0 + 8]);
+                // Streamed under SIMD, as in the CIC extraction.
+                let cur = if ctx.simd {
+                    m.v_load_streamed(addr, &rho.cell_slice(comp, cell)[node0..node0 + 8])
+                } else {
+                    m.v_load(addr, &rho.cell_slice(comp, cell)[node0..node0 + 8])
+                };
                 let sum = m.v_add(cur, contrib);
                 let slice = rho.cell_slice_mut(comp, cell);
-                m.v_store(addr, sum, &mut slice[node0..node0 + 8], 8);
+                if ctx.simd {
+                    m.v_store_streamed(addr, sum, &mut slice[node0..node0 + 8], 8);
+                } else {
+                    m.v_store(addr, sum, &mut slice[node0..node0 + 8], 8);
+                }
             }
         }
     }
-    let _ = ctx;
 }
 
 /// TSC (order 2): handled with the QSP machinery over a 3-wide support —
@@ -350,14 +368,22 @@ fn deposit_run_tsc(
                 let contrib = VReg(vals);
                 let base = rho.index(comp, cell, node0);
                 let addr = rho_addr.offset_f64(base);
-                let cur = m.v_load(addr, &rho.cell_slice(comp, cell)[node0..node0 + 3]);
+                // Streamed under SIMD, as in the CIC extraction.
+                let cur = if ctx.simd {
+                    m.v_load_streamed(addr, &rho.cell_slice(comp, cell)[node0..node0 + 3])
+                } else {
+                    m.v_load(addr, &rho.cell_slice(comp, cell)[node0..node0 + 3])
+                };
                 let sum = m.v_add(cur, contrib);
                 let slice = rho.cell_slice_mut(comp, cell);
-                m.v_store(addr, sum, &mut slice[node0..node0 + 3], 3);
+                if ctx.simd {
+                    m.v_store_streamed(addr, sum, &mut slice[node0..node0 + 3], 3);
+                } else {
+                    m.v_store(addr, sum, &mut slice[node0..node0 + 3], 3);
+                }
             }
         }
     }
-    let _ = ctx;
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 use mpic_grid::{Array3, GridGeometry, Tile};
 use mpic_machine::{Machine, Phase, VAddr, VLANES};
 
-use crate::common::{node_index, Staged};
+use crate::common::node_coord;
 use crate::shape::ShapeOrder;
 
 /// Per-tile rhocell accumulators for Jx, Jy and Jz.
@@ -120,21 +120,27 @@ impl Rhocell {
     ) {
         let s = self.order.support();
         // Node offsets are identical for every particle binned in this
-        // cell; a pseudo-staged record carries the geometry.
-        let pseudo = Staged {
-            cell: tile.global_cell(cell),
-            wq: [0.0; 3],
-            sx: [0.0; 4],
-            sy: [0.0; 4],
-            sz: [0.0; 4],
-        };
+        // cell, and within the cell each axis contributes only `s`
+        // distinct wrapped coordinates — compute those once per axis and
+        // expand the s^3 product without any per-node div/mod (this runs
+        // per cell in the reduction, three times per step).
+        let gc = tile.global_cell(cell);
         let dims = geom.dims_with_guard();
-        for (nd, slot) in idx.iter_mut().enumerate().take(self.nodes) {
-            let a = nd % s;
-            let b = (nd / s) % s;
-            let c = nd / (s * s);
-            let g = node_index(geom, &pseudo, self.order, a, b, c);
-            *slot = (g[2] * dims[1] + g[1]) * dims[0] + g[0];
+        let mut coord = [[0usize; 4]; 3];
+        for (d, cd) in coord.iter_mut().enumerate() {
+            for (a, v) in cd.iter_mut().enumerate().take(s) {
+                *v = node_coord(geom, self.order, d, gc[d], a);
+            }
+        }
+        let mut nd = 0;
+        for c in 0..s {
+            for b in 0..s {
+                let row = (coord[2][c] * dims[1] + coord[1][b]) * dims[0];
+                for a in 0..s {
+                    idx[nd] = row + coord[0][a];
+                    nd += 1;
+                }
+            }
         }
     }
 
@@ -202,6 +208,86 @@ impl Rhocell {
                         node += n;
                     }
                 }
+            }
+        });
+    }
+
+    /// Fused-traversal cost mirror of [`Rhocell::charge_reduction`]: the
+    /// lane-parallel (SIMD) reduction folds each cell's per-node vectors
+    /// across **all active components in one pass** instead of sweeping
+    /// the cell once per component, and this charge prices that stream
+    /// through [`Machine::v_touch_reduce_block`] — scatter address
+    /// generation paid once per node (not once per node per component)
+    /// and each component's distinct destination cache lines charged
+    /// once. The functional values are identical either way (the grid
+    /// writes happen in [`Rhocell::apply_to_grid`], which both modes
+    /// share), so selecting this charge changes *only* the
+    /// [`Phase::Reduce`] counters. The all-zero skip test and its
+    /// `s_ops(1)` charge are replicated per component exactly as in the
+    /// per-component sweep, so sparse-tile pricing stays aligned.
+    ///
+    /// Consecutive cells in the sweep have heavily overlapping stencils,
+    /// and the fused fold keeps the previous cell's destination lines in
+    /// the store buffer: when the preceding folded cell had the **same
+    /// active-component set**, its node list is passed as the reuse block
+    /// and already-written lines charge nothing
+    /// ([`Machine::v_touch_reduce_block_reuse`]). The reuse state lives
+    /// inside one invocation (per tile, per call), advancing in cell
+    /// order, so the charge stream is deterministic across worker counts
+    /// and scheduler policies.
+    pub fn charge_reduction_fused(
+        &self,
+        m: &mut Machine,
+        geom: &GridGeometry,
+        tile: &Tile,
+        rho_addr: VAddr,
+        j_addr: [VAddr; 3],
+    ) {
+        m.in_phase(Phase::Reduce, |m| {
+            let mut idx = [0usize; Self::MAX_NODES];
+            let mut prev_idx = [0usize; Self::MAX_NODES];
+            let mut prev_live = false;
+            let mut prev_mask = 0u8;
+            for cell in 0..self.n_cells {
+                // Partial-active cells fold only their live components:
+                // the component pair lists feed v_touch_reduce_block.
+                let mut srcs = [VAddr(0); 3];
+                let mut dsts = [VAddr(0); 3];
+                let mut active = 0usize;
+                let mut mask = 0u8;
+                for comp in 0..3 {
+                    let slice_start = self.index(comp, cell, 0);
+                    let src = &self.data[slice_start..slice_start + self.nodes];
+                    if src.iter().all(|&v| v == 0.0) {
+                        m.s_ops(1);
+                        continue;
+                    }
+                    srcs[active] = rho_addr.offset_f64(slice_start);
+                    dsts[active] = j_addr[comp];
+                    active += 1;
+                    mask |= 1 << comp;
+                }
+                if active == 0 {
+                    continue;
+                }
+                self.cell_node_indices(geom, tile, cell, &mut idx);
+                // Reuse is only sound when the destination list pairs up
+                // with the previous fold's — i.e. the same components
+                // were live there.
+                let prev = if prev_live && prev_mask == mask {
+                    &prev_idx[..self.nodes]
+                } else {
+                    &[][..]
+                };
+                m.v_touch_reduce_block_reuse(
+                    &srcs[..active],
+                    &dsts[..active],
+                    &idx[..self.nodes],
+                    prev,
+                );
+                prev_idx[..self.nodes].copy_from_slice(&idx[..self.nodes]);
+                prev_live = true;
+                prev_mask = mask;
             }
         });
     }
@@ -339,5 +425,75 @@ mod tests {
         let r = Rhocell::new(ShapeOrder::Qsp, 512);
         assert_eq!(r.len(), 3 * 512 * 64);
         assert_eq!(r.nodes_per_cell(), 64);
+    }
+
+    #[test]
+    fn fused_reduction_charge_undercuts_per_component_sweep() {
+        // Same accumulator content, fresh machines: the fused traversal
+        // must charge strictly fewer Reduce cycles — shared address
+        // generation and once-per-line destination touches are the
+        // saving the SIMD reduction mode claims.
+        let (geom, tile, _) = setup();
+        let mut r = Rhocell::new(ShapeOrder::Cic, tile.num_cells());
+        // A mix of fully-active and partial-active cells.
+        for cell in [0usize, 1, 9, 100] {
+            for comp in 0..3 {
+                if cell == 9 && comp > 0 {
+                    continue; // Cell 9: Jx only (partial-active fold).
+                }
+                for node in 0..8 {
+                    r.add(comp, cell, node, 0.5 + cell as f64 + node as f64);
+                }
+            }
+        }
+        let dims = geom.dims_with_guard();
+        let len = dims[0] * dims[1] * dims[2];
+        let charge = |fused: bool| -> f64 {
+            let mut m = Machine::new(MachineConfig::lx2());
+            let rho_addr = m.mem().alloc_f64(r.len());
+            let ja = [
+                m.mem().alloc_f64(len),
+                m.mem().alloc_f64(len),
+                m.mem().alloc_f64(len),
+            ];
+            if fused {
+                r.charge_reduction_fused(&mut m, &geom, &tile, rho_addr, ja);
+            } else {
+                r.charge_reduction(&mut m, &geom, &tile, rho_addr, ja);
+            }
+            m.counters().cycles(Phase::Reduce)
+        };
+        let swept = charge(false);
+        let fused = charge(true);
+        assert!(
+            fused < swept,
+            "fused {fused} must undercut per-component {swept}"
+        );
+    }
+
+    #[test]
+    fn fused_reduction_charge_matches_sweep_on_empty_tiles() {
+        // An all-zero rhocell charges only the per-component skip test,
+        // identically in both modes: sparse-tile pricing stays aligned.
+        let (geom, tile, _) = setup();
+        let r = Rhocell::new(ShapeOrder::Cic, tile.num_cells());
+        let dims = geom.dims_with_guard();
+        let len = dims[0] * dims[1] * dims[2];
+        let charge = |fused: bool| -> u64 {
+            let mut m = Machine::new(MachineConfig::lx2());
+            let rho_addr = m.mem().alloc_f64(r.len());
+            let ja = [
+                m.mem().alloc_f64(len),
+                m.mem().alloc_f64(len),
+                m.mem().alloc_f64(len),
+            ];
+            if fused {
+                r.charge_reduction_fused(&mut m, &geom, &tile, rho_addr, ja);
+            } else {
+                r.charge_reduction(&mut m, &geom, &tile, rho_addr, ja);
+            }
+            m.counters().cycles(Phase::Reduce).to_bits()
+        };
+        assert_eq!(charge(false), charge(true));
     }
 }

@@ -16,7 +16,7 @@
 //! iteration the rhocell working set stays cache-resident, which is the
 //! paper's `Rhocell+IncrSort` observation.
 
-use mpic_machine::{Machine, Phase, VAddr, VReg, VLANES};
+use mpic_machine::{Lanes, Machine, Phase, VAddr, VReg, VLANES};
 use mpic_particles::cell_runs;
 
 use crate::common::{PrepStyle, Staging};
@@ -175,32 +175,61 @@ fn deposit_tile_batched(
                 while node < nodes {
                     let w = (nodes - node).min(VLANES);
                     m.v_ops(1); // Fold sz into the chunk.
-                    for comp in 0..3 {
-                        m.v_ops(1); // Effective-current multiply.
-                        m.v_issue(1); // Block accumulate (L1-resident).
-                        for l in 0..w {
+                    if ctx.simd {
+                        // Lane-parallel block accumulate: same products,
+                        // same per-(comp, node) add order, identical
+                        // charge calls — bitwise equal to the scalar arm.
+                        let mut svals = [0.0; VLANES];
+                        for (l, v) in svals.iter_mut().enumerate().take(w) {
                             let nd = node + l;
-                            let ab = nd % (s * s);
-                            let c = nd / (s * s);
-                            let sval = sxy[ab] * st.s(2, c, p);
-                            block[comp][nd] += sval * wq[comp];
+                            *v = sxy[nd % (s * s)] * st.s(2, nd / (s * s), p);
+                        }
+                        let svals = Lanes(svals);
+                        for comp in 0..3 {
+                            m.v_ops(1); // Effective-current multiply.
+                            m.v_issue(1); // Block accumulate (L1-resident).
+                            Lanes::from_slice(&block[comp][node..node + w])
+                                .mul_acc(svals, Lanes::splat(wq[comp]))
+                                .write_to(&mut block[comp][node..node + w], w);
+                        }
+                    } else {
+                        for comp in 0..3 {
+                            m.v_ops(1); // Effective-current multiply.
+                            m.v_issue(1); // Block accumulate (L1-resident).
+                            for l in 0..w {
+                                let nd = node + l;
+                                let ab = nd % (s * s);
+                                let c = nd / (s * s);
+                                let sval = sxy[ab] * st.s(2, c, p);
+                                block[comp][nd] += sval * wq[comp];
+                            }
                         }
                     }
                     node += w;
                 }
             }
             // One load/add/store pass over the cell's rhocell slice per
-            // run — the per-particle path pays this per particle.
+            // run — the per-particle path pays this per particle. Sorted
+            // runs visit consecutive cells, so under SIMD the pass is
+            // priced as a dense ascending stream instead of a cache walk.
             for comp in 0..3 {
                 let mut node = 0;
                 while node < nodes {
                     let w = (nodes - node).min(VLANES);
                     let base = rho.index(comp, cell, node);
                     let addr = rho_addr.offset_f64(base);
-                    let cur = m.v_load(addr, &rho.cell_slice(comp, cell)[node..node + w]);
+                    let cur = if ctx.simd {
+                        m.v_load_streamed(addr, &rho.cell_slice(comp, cell)[node..node + w])
+                    } else {
+                        m.v_load(addr, &rho.cell_slice(comp, cell)[node..node + w])
+                    };
                     let sum = m.v_add(cur, VReg::from_slice(&block[comp][node..node + w]));
                     let slice = rho.cell_slice_mut(comp, cell);
-                    m.v_store(addr, sum, &mut slice[node..node + w], w);
+                    if ctx.simd {
+                        m.v_store_streamed(addr, sum, &mut slice[node..node + w], w);
+                    } else {
+                        m.v_store(addr, sum, &mut slice[node..node + w], w);
+                    }
                     node += w;
                 }
             }
@@ -286,6 +315,7 @@ mod tests {
                 } else {
                     PrepStyle::Autovec
                 },
+                false,
                 &mut st,
             );
             let mut rho = crate::rhocell::Rhocell::new(ShapeOrder::Cic, tile.num_cells());
@@ -296,6 +326,7 @@ mod tests {
                 order: ShapeOrder::Cic,
                 staging_addr: staging,
                 batched: false,
+                simd: false,
             };
             let mut out = TileOutput::Rho {
                 rho_addr,

@@ -15,12 +15,12 @@
 //! even though it was designed without sorting in mind.
 
 use mpic_grid::{Array3, GridGeometry};
-use mpic_machine::{Machine, Phase, VReg, VLANES};
+use mpic_machine::{Lanes, Machine, Phase, VReg, VLANES};
 use mpic_particles::{cell_runs, ParticleContainer};
 
 use crate::common::{node_index, stage_particle, PrepStyle, Staging, TouchedNodes};
 use crate::kernel::{DepositionKernel, TileCtx, TileOutput};
-use crate::shape::{ShapeOrder, MAX_NODES_3D};
+use crate::shape::{ShapeOrder, MAX_NODES_3D, MAX_SUPPORT};
 
 /// Computes the exact current deposition of every live particle onto
 /// guarded nodal arrays (x fastest). Pure reference; no cost model.
@@ -206,27 +206,31 @@ fn deposit_tile_batched(
             // Accumulate the run into the block in particle order; the
             // block is stack/L1-resident, so only arithmetic and issue
             // costs are charged — the memory the batching saves.
-            let mut p0 = run.start;
-            while p0 < run.end {
-                let lanes = (run.end - p0).min(VLANES);
-                m.v_issue(3 * s + 3); // Staged re-loads (cache-blocked).
-                for c in 0..s {
-                    for b in 0..s {
-                        for a in 0..s {
-                            let nd = (c * s + b) * s + a;
-                            m.v_ops(2); // Tensor shape product per chunk.
-                            m.v_ops(3); // Effective-current multiplies.
-                            m.v_issue(3); // Block accumulates (L1-resident).
-                            for p in p0..p0 + lanes {
-                                let w = st.s(0, a, p) * st.s(1, b, p) * st.s(2, c, p);
-                                for comp in 0..3 {
-                                    block[comp][nd] += w * st.wq[comp][p];
+            if ctx.simd {
+                accumulate_run_simd(m, st, s, nodes, run.start, run.end, &mut block);
+            } else {
+                let mut p0 = run.start;
+                while p0 < run.end {
+                    let lanes = (run.end - p0).min(VLANES);
+                    m.v_issue(3 * s + 3); // Staged re-loads (cache-blocked).
+                    for c in 0..s {
+                        for b in 0..s {
+                            for a in 0..s {
+                                let nd = (c * s + b) * s + a;
+                                m.v_ops(2); // Tensor shape product per chunk.
+                                m.v_ops(3); // Effective-current multiplies.
+                                m.v_issue(3); // Block accumulates (L1-resident).
+                                for p in p0..p0 + lanes {
+                                    let w = st.s(0, a, p) * st.s(1, b, p) * st.s(2, c, p);
+                                    for comp in 0..3 {
+                                        block[comp][nd] += w * st.wq[comp][p];
+                                    }
                                 }
                             }
                         }
                     }
+                    p0 += lanes;
                 }
-                p0 += lanes;
             }
             // Apply the block to the accumulator once per run: the only
             // scattered grid traffic left, priced per distinct node with
@@ -249,6 +253,67 @@ fn deposit_tile_batched(
         }
         m.use_intrinsics_model();
     });
+}
+
+/// Lane-parallel accumulation of one same-cell run into the stencil
+/// block ([`TileCtx::simd`]). Values are computed particle-outer with
+/// node-chunked [`Lanes`] arithmetic: for every (component, node) pair
+/// the adds still land in ascending particle order and the shape
+/// product keeps the scalar path's `(sx*sy)*sz` association, so the
+/// finished block is bit-identical to the scalar accumulation. The
+/// charge stream mirrors the scalar chunk loop call for call, so every
+/// Compute-phase counter is bitwise unchanged by the mode.
+fn accumulate_run_simd(
+    m: &mut Machine,
+    st: &Staging,
+    s: usize,
+    nodes: usize,
+    start: usize,
+    end: usize,
+    block: &mut [[f64; MAX_NODES_3D]; 3],
+) {
+    let mut p0 = start;
+    while p0 < end {
+        let lanes = (end - p0).min(VLANES);
+        m.v_issue(3 * s + 3); // Staged re-loads (cache-blocked).
+        for _nd in 0..nodes {
+            m.v_ops(2); // Tensor shape product per chunk.
+            m.v_ops(3); // Effective-current multiplies.
+            m.v_issue(3); // Block accumulates (L1-resident).
+        }
+        for p in p0..p0 + lanes {
+            // The s*s x-y products once per particle; folding sz in per
+            // node keeps the (sx*sy)*sz association of the scalar loop.
+            let mut sxy = [0.0; MAX_SUPPORT * MAX_SUPPORT];
+            for b in 0..s {
+                for a in 0..s {
+                    sxy[b * s + a] = st.s(0, a, p) * st.s(1, b, p);
+                }
+            }
+            let wq = [
+                Lanes::splat(st.wq[0][p]),
+                Lanes::splat(st.wq[1][p]),
+                Lanes::splat(st.wq[2][p]),
+            ];
+            let mut node = 0;
+            while node < nodes {
+                let w = (nodes - node).min(VLANES);
+                let mut w3 = [0.0; VLANES];
+                for (l, v) in w3.iter_mut().enumerate().take(w) {
+                    let nd = node + l;
+                    *v = sxy[nd % (s * s)] * st.s(2, nd / (s * s), p);
+                }
+                let w3 = Lanes(w3);
+                for comp in 0..3 {
+                    Lanes::from_slice(&block[comp][node..node + w])
+                        .mul_acc(w3, wq[comp])
+                        .write_to(&mut block[comp][node..node + w], w);
+                }
+                node += w;
+            }
+        }
+        p0 += lanes;
+    }
 }
 
 #[cfg(test)]

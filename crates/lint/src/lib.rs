@@ -6,7 +6,7 @@
 //! [`Partition`](../mpic_machine/partition/index.html), the guard-cell
 //! fill). Neither is something rustc checks for us — so this crate
 //! does, with a hand-rolled lexer (no external parser dependencies) and
-//! eight deny-by-default rules; see [`rules`] for the catalogue.
+//! nine deny-by-default rules; see [`rules`] for the catalogue.
 //!
 //! Run it as `cargo run --release -p mpic-lint`; exit status 1 means
 //! findings. CI runs it as a required job, and the crate's own test

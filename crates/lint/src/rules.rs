@@ -1,4 +1,4 @@
-//! The eight deny-by-default rule families.
+//! The nine deny-by-default rule families.
 //!
 //! * **L1** `safety-comment` — every `unsafe` keyword needs an adjacent
 //!   `// SAFETY:` (or `/// # Safety` doc section) stating the invariant
@@ -44,6 +44,16 @@
 //!   L1-style adjacency) justifying why that ordering suffices. Test
 //!   regions are *not* exempt: a copy-pasted `Relaxed` in a test is how
 //!   unjustified orderings leak back into production code.
+//! * **L9** `vector-width` — lane widths have exactly one source of
+//!   truth: `crates/machine/src/vect.rs`. A lane-width-named constant
+//!   (`W`, `VLANES`, `LANES`, `LANE_WIDTH`, `SIMD_WIDTH`) initialised
+//!   from a *numeric literal* anywhere else drifts silently when the
+//!   emulated VPU width changes — derive it (`= crate::vect::W`)
+//!   instead, which the rule deliberately cannot see. Raw
+//!   `std::arch`/`core::arch` reaches outside the vect module are
+//!   denied for the same reason: platform intrinsics hard-code a width
+//!   the portable wrappers abstract. Test regions are *not* exempt — a
+//!   hard-coded `8` in a test is exactly how width assumptions fossilise.
 //!
 //! All rules run on the lexed token stream from [`crate::lexer`], so
 //! string literals and comments can never produce false positives, and
@@ -123,6 +133,16 @@ const ORDERING_JUSTIFY_FILES: &[&str] = &[
 /// method-qualified (`thread::park`, `handle.unpark()`).
 const PARK_FNS: &[&str] = &["park", "park_timeout", "unpark"];
 
+/// The one file allowed to define lane-width literals and touch
+/// `std::arch`/`core::arch` (rule L9): the portable lane-pack module
+/// that *is* the workspace's single source of vector width.
+const VECT_MODULE: &[&str] = &["crates/machine/src/vect.rs"];
+
+/// Constant names that denote a vector lane width (rule L9). Defining
+/// one of these from a numeric literal outside the vect module forks
+/// the width; deriving it (`= crate::vect::W`) is the sanctioned form.
+const LANE_WIDTH_NAMES: &[&str] = &["W", "VLANES", "LANES", "LANE_WIDTH", "SIMD_WIDTH"];
+
 /// A justification comment for rule L8 must actually talk about memory
 /// ordering — any of these (case-insensitive) counts.
 const ORDERING_WORDS: &[&str] = &[
@@ -176,6 +196,9 @@ pub struct FileScope {
     pub raw_sync_allowed: bool,
     /// Under the ordering-justification contract (rule L8).
     pub ordering_justify: bool,
+    /// May define lane-width literals and use `std::arch`/`core::arch`
+    /// (rule L9 allowlist — the vect module itself).
+    pub lane_source: bool,
 }
 
 impl FileScope {
@@ -192,6 +215,7 @@ impl FileScope {
                 || rel.contains("/benches/"),
             raw_sync_allowed: RAW_SYNC_ALLOWLIST.contains(&rel),
             ordering_justify: ORDERING_JUSTIFY_FILES.contains(&rel),
+            lane_source: VECT_MODULE.contains(&rel),
         }
     }
 }
@@ -446,6 +470,71 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
                     "`#[allow(...)]` without a justification comment (same \
                      line or immediately above the attribute stack)"
                         .to_string(),
+                );
+            }
+        }
+
+        // L9: vector-width hygiene. Lane widths have one source of
+        // truth (the vect module); test regions are deliberately NOT
+        // exempt — a hard-coded width in a test fossilises the
+        // assumption the portable wrappers exist to prevent.
+        if !scope.lane_source && t.kind == TokKind::Ident {
+            if t.text == "const"
+                && nxt(1).is_some_and(|n| {
+                    n.kind == TokKind::Ident && LANE_WIDTH_NAMES.contains(&n.text.as_str())
+                })
+            {
+                // Scan past the type annotation to the initialiser; a
+                // numeric-literal RHS is the fork L9 denies, while a
+                // derived RHS (`= crate::vect::W`) is invisible to the
+                // rule by design. Generic `const W: usize` parameters
+                // terminate at `>`/`,` and carry no `=` Num either.
+                let mut k = 2;
+                while k < 12 {
+                    match nxt(k) {
+                        Some(p) if p.kind == TokKind::Punct && p.text == "=" => break,
+                        Some(p)
+                            if p.kind == TokKind::Punct
+                                && matches!(p.text.as_str(), ";" | "}" | ">" | ",") =>
+                        {
+                            k = 12;
+                        }
+                        Some(_) => k += 1,
+                        None => k = 12,
+                    }
+                }
+                if k < 12
+                    && punct(nxt(k), "=")
+                    && nxt(k + 1).is_some_and(|n| n.kind == TokKind::Num)
+                {
+                    push(
+                        t.line,
+                        "L9-vector-width",
+                        format!(
+                            "lane-width constant `{}` hard-codes a numeric \
+                             width; derive it from the vect module \
+                             (`crate::vect::W` / `mpic_machine::vect::W`) so \
+                             the workspace has one lane-width source of truth",
+                            nxt(1).map_or(String::new(), |n| n.text.clone())
+                        ),
+                    );
+                }
+            }
+            if (t.text == "std" || t.text == "core")
+                && punct(nxt(1), ":")
+                && punct(nxt(2), ":")
+                && ident(nxt(3), &["arch"])
+            {
+                push(
+                    t.line,
+                    "L9-vector-width",
+                    format!(
+                        "raw `{}::arch` intrinsics outside the vect module \
+                         ({}) hard-code a platform vector width; use the \
+                         portable lane-pack wrappers instead",
+                        t.text,
+                        VECT_MODULE.join(", ")
+                    ),
                 );
             }
         }
@@ -1087,6 +1176,59 @@ mod tests {
     // ---- scope classification ----
 
     #[test]
+    fn l9_hardcoded_lane_width_const_is_a_finding() {
+        for name in ["W", "VLANES", "LANES", "LANE_WIDTH", "SIMD_WIDTH"] {
+            let src = format!("pub const {name}: usize = 8;\n");
+            let fired = rules_fired(ORDINARY, &src);
+            assert!(fired.contains(&"L9-vector-width"), "{name}: {fired:?}");
+        }
+    }
+
+    #[test]
+    fn l9_derived_lane_width_is_sanctioned() {
+        let src = "pub const VLANES: usize = crate::vect::W;\n";
+        assert!(rules_fired("crates/machine/src/vreg.rs", src).is_empty());
+        assert!(rules_fired(ORDINARY, src).is_empty());
+    }
+
+    #[test]
+    fn l9_vect_module_may_define_the_width() {
+        let src = "pub const W: usize = 8;\n";
+        assert!(rules_fired("crates/machine/src/vect.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l9_other_consts_and_generic_width_params_are_fine() {
+        let src = "pub const MAX_NODES: usize = 64;\nfn f<const W: usize>() {}\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
+    }
+
+    #[test]
+    fn l9_arch_intrinsics_outside_vect_are_findings() {
+        let src = "use std::arch::x86_64::_mm512_add_pd;\nfn f() { core::arch::asm!(\"nop\"); }\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert_eq!(
+            fired.iter().filter(|r| **r == "L9-vector-width").count(),
+            2,
+            "{fired:?}"
+        );
+        assert!(rules_fired("crates/machine/src/vect.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l9_applies_inside_test_regions_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    const LANES: usize = 4;\n}\n";
+        let fired = rules_fired(ORDINARY, src);
+        assert!(fired.contains(&"L9-vector-width"), "{fired:?}");
+    }
+
+    #[test]
+    fn l9_mentions_in_strings_and_comments_are_ignored() {
+        let src = "// const W: usize = 8; and std::arch are discussed only.\nfn f() -> &'static str { \"const VLANES: usize = 8;\" }\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
+    }
+
+    #[test]
     fn scope_taxonomy_matches_the_workspace_layout() {
         let exec = FileScope::classify("crates/machine/src/exec.rs");
         assert!(exec.unsafe_allowed && exec.exec_layer && exec.result_bearing);
@@ -1110,5 +1252,8 @@ mod tests {
         assert!(test.test_file);
         let facade = FileScope::classify("src/lib.rs");
         assert!(facade.result_bearing && !facade.unsafe_allowed);
+        let vect = FileScope::classify("crates/machine/src/vect.rs");
+        assert!(vect.lane_source && vect.result_bearing && !vect.unsafe_allowed);
+        assert!(!exec.lane_source && !facade.lane_source);
     }
 }

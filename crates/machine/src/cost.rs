@@ -59,6 +59,15 @@ pub struct MachineConfig {
     pub l2_hit_cy: f64,
     /// Cycles for a DRAM access after overlap (memory-level parallelism).
     pub dram_cy: f64,
+    /// Bandwidth-limited cycles per cache line charged by the
+    /// *state-free streaming* price of lane-parallel block transfers
+    /// (the `SimConfig::simd` hot paths). Wide loads and stores issued
+    /// back to back behave like an established prefetch stream: the fill
+    /// pipeline hides per-line latency and only the line's share of
+    /// sustained bandwidth remains. Matches the cache model's streamed
+    /// (prefetched) DRAM cost so the two pricing regimes agree on what a
+    /// perfectly streamed line costs.
+    pub simd_stream_line_cy: f64,
     /// Efficiency factor applied to compiler auto-vectorised loops
     /// relative to hand-written intrinsics (<= 1.0). The paper's Table 1
     /// shows the auto-vectorised rhocell preprocessing running at roughly
@@ -103,6 +112,8 @@ impl MachineConfig {
             l1_hit_cy: 0.5,
             l2_hit_cy: 12.0,
             dram_cy: 80.0,
+            // = dram_cy x 0.15, the cache model's streamed-miss cost.
+            simd_stream_line_cy: 12.0,
             autovec_efficiency: 0.30,
         }
     }

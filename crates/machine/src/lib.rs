@@ -52,6 +52,7 @@ pub mod mem;
 pub mod partition;
 pub mod shard;
 pub mod sync;
+pub mod vect;
 pub mod vreg;
 
 pub use cache::{CacheLevelConfig, CacheLevelState, CacheSim, CacheSimState, CacheStats};
@@ -67,4 +68,5 @@ pub use mem::{MemSystem, VAddr};
 pub use partition::Partition;
 pub use shard::shard_bounds;
 pub use sync::{StdSync, SyncPrims};
+pub use vect::Lanes;
 pub use vreg::{VMask, VReg, VLANES};

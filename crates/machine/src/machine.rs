@@ -368,6 +368,96 @@ impl Machine {
         dst[..n].copy_from_slice(&reg.0[..n]);
     }
 
+    // ------------------------------------------------------------------
+    // State-free streaming prices (the `SimConfig::simd` hot paths)
+    // ------------------------------------------------------------------
+    //
+    // The lane-parallel mode prices its memory traffic as *streams*, not
+    // as individual cache transactions: wide accesses issued back to
+    // back overlap their fills like an established prefetch stream, so
+    // each spanned line charges its share of sustained bandwidth
+    // (`simd_stream_line_cy`, further overlapped by `GATHER_MLP` for
+    // read streams) instead of a latency that depends on what happens to
+    // be resident. The charge is a pure function of the address stream —
+    // no cache-simulator state is read or written — which both prices
+    // the mode's deep out-of-order overlap and keeps every SIMD charge
+    // bit-reproducible from the tile data alone.
+
+    /// Number of cache lines spanned by `[addr, addr + bytes)` — the
+    /// address-only counterpart of a cache access, used by the
+    /// state-free streaming prices.
+    fn lines_spanned(&self, addr: VAddr, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let line = self.mem.line_bytes();
+        (addr.0 + bytes - 1) / line - addr.0 / line + 1
+    }
+
+    /// Contiguous vector load at the state-free streaming price
+    /// (functional twin of [`Machine::v_load`] for the SIMD hot paths).
+    pub fn v_load_streamed(&mut self, addr: VAddr, src: &[f64]) -> VReg {
+        let n = src.len().min(VLANES);
+        let cy = Self::GATHER_MLP
+            * self.cfg.simd_stream_line_cy
+            * self.lines_spanned(addr, (n * 8) as u64) as f64;
+        self.ctr.add_cycles(self.phase, cy);
+        self.ctr.vector_ops += 1;
+        VReg::from_slice(&src[..n])
+    }
+
+    /// Contiguous vector store at the state-free streaming price
+    /// (functional twin of [`Machine::v_store`]): write-combining
+    /// buffers retire back-to-back wide stores at stream bandwidth, so
+    /// stores get the same overlap discount as read streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > VLANES` or `dst.len() < n`.
+    pub fn v_store_streamed(&mut self, addr: VAddr, reg: VReg, dst: &mut [f64], n: usize) {
+        assert!(n <= VLANES);
+        let cy = Self::GATHER_MLP
+            * self.cfg.simd_stream_line_cy
+            * self.lines_spanned(addr, (n * 8) as u64) as f64;
+        self.ctr.add_cycles(self.phase, cy);
+        self.ctr.vector_ops += 1;
+        dst[..n].copy_from_slice(&reg.0[..n]);
+    }
+
+    /// Cost-only contiguous vector load at the state-free streaming
+    /// price (twin of [`Machine::v_touch_load`]).
+    pub fn v_touch_load_streamed(&mut self, addr: VAddr, lanes: usize) {
+        let cy = Self::GATHER_MLP
+            * self.cfg.simd_stream_line_cy
+            * self.lines_spanned(addr, (lanes.min(VLANES) * 8) as u64) as f64;
+        self.ctr.add_cycles(self.phase, cy);
+        self.ctr.vector_ops += 1;
+    }
+
+    /// Cost-only indexed gather at the state-free streaming price (twin
+    /// of [`Machine::v_touch_gather`]): per-lane issue cost plus each
+    /// distinct line at the overlapped stream price.
+    pub fn v_touch_gather_streamed(&mut self, base: VAddr, idx: &[usize]) {
+        self.ctr.vector_ops += 1;
+        let take = idx.len().min(VLANES);
+        let line = self.mem.line_bytes();
+        let mut lines = [0u64; VLANES];
+        let mut n = 0usize;
+        'lanes: for &i in &idx[..take] {
+            let l = base.offset_f64(i).0 / line;
+            for &seen in &lines[..n] {
+                if seen == l {
+                    continue 'lanes;
+                }
+            }
+            lines[n] = l;
+            n += 1;
+        }
+        let cy = self.cfg.gather_lane_cy * take as f64
+            + Self::GATHER_MLP * self.cfg.simd_stream_line_cy * n as f64;
+        self.ctr.add_cycles(self.phase, cy);
+    }
+
     /// Memory-level-parallelism factor of the gather unit: the per-line
     /// miss latencies of one gather overlap, so only this fraction of
     /// each line's cost is charged (scatters, being read-modify-write,
@@ -522,19 +612,222 @@ impl Machine {
         // Stack-resident line dedup: collect, sort, visit distinct lines
         // ascending (the order the coalescing unit would).
         let mut lines = [0u64; Self::RUN_BLOCK_MAX];
-        for (slot, &i) in lines.iter_mut().zip(idx) {
-            *slot = base.offset_f64(i).0 / line;
-        }
-        let lines = &mut lines[..idx.len()];
-        lines.sort_unstable();
+        let n = Self::collect_lines(&mut lines, base, idx, line);
         let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
         let mut prev = u64::MAX;
-        for &l in lines.iter() {
+        for &l in &lines[..n] {
             if l != prev {
                 cy += Self::GATHER_MLP * self.mem.access(VAddr(l * line), 1);
                 prev = l;
             }
         }
+        self.ctr.add_cycles(self.phase, cy);
+    }
+
+    /// Reuse-aware run-scoped gather touch — the SIMD hot path's pricing
+    /// of consecutive same-tile runs. Like
+    /// [`Machine::v_touch_gather_block`] it charges per distinct cache
+    /// line of the block, with two differences that together are what
+    /// the lane-parallel mode buys:
+    ///
+    /// * lines already covered by `prev_idx` (the preceding run's
+    ///   stencil block, which the kernel keeps resident in lane
+    ///   registers) are priced as register rotations — no memory
+    ///   transaction at all. Sorted input visits adjacent cells, whose
+    ///   stencils overlap node for node, so most of a run's block load
+    ///   collapses;
+    /// * each *new* line is charged the state-free streaming price
+    ///   (`GATHER_MLP x simd_stream_line_cy`) instead of a cache walk:
+    ///   the block loads of consecutive runs form a dense ascending
+    ///   sweep of the tile's field arrays, exactly the access shape the
+    ///   stream prefetcher services at bandwidth. The charge is a pure
+    ///   function of `(base, idx, prev_idx)`.
+    ///
+    /// Per-lane gather issue cost is still paid for every element of
+    /// `idx` — address generation does not amortise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len()` or `prev_idx.len()` exceeds
+    /// [`Machine::RUN_BLOCK_MAX`].
+    pub fn v_touch_gather_block_reuse(&mut self, base: VAddr, idx: &[usize], prev_idx: &[usize]) {
+        assert!(
+            idx.len() <= Self::RUN_BLOCK_MAX && prev_idx.len() <= Self::RUN_BLOCK_MAX,
+            "block exceeds RUN_BLOCK_MAX"
+        );
+        if idx.is_empty() {
+            return;
+        }
+        self.ctr.vector_ops += idx.len().div_ceil(VLANES) as u64;
+        let line = self.mem.line_bytes();
+        let mut cur = [0u64; Self::RUN_BLOCK_MAX];
+        let cur_n = Self::collect_lines(&mut cur, base, idx, line);
+        let mut prev = [0u64; Self::RUN_BLOCK_MAX];
+        let prev_n = Self::collect_lines(&mut prev, base, prev_idx, line);
+        let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
+        let new_line_cy = Self::GATHER_MLP * self.cfg.simd_stream_line_cy;
+        let mut p = 0usize;
+        let mut last = u64::MAX;
+        for &l in &cur[..cur_n] {
+            if l == last {
+                continue;
+            }
+            last = l;
+            while p < prev_n && prev[p] < l {
+                p += 1;
+            }
+            if p < prev_n && prev[p] == l {
+                continue; // Register-resident from the previous run.
+            }
+            cy += new_line_cy;
+        }
+        self.ctr.add_cycles(self.phase, cy);
+    }
+
+    /// Fills `buf` with the (sorted, possibly duplicated) cache-line ids
+    /// of `base[idx]`; callers skip duplicates while walking ascending.
+    /// Stencil node lists arrive ascending except for cells straddling a
+    /// periodic wrap, so the sort is skipped when a single pass confirms
+    /// the order (the common case on the hot path).
+    fn collect_lines(
+        buf: &mut [u64; Self::RUN_BLOCK_MAX],
+        base: VAddr,
+        idx: &[usize],
+        line: u64,
+    ) -> usize {
+        let mut sorted = true;
+        let mut last = 0u64;
+        for (slot, &i) in buf.iter_mut().zip(idx) {
+            let l = base.offset_f64(i).0 / line;
+            sorted &= l >= last;
+            last = l;
+            *slot = l;
+        }
+        if !sorted {
+            buf[..idx.len()].sort_unstable();
+        }
+        idx.len()
+    }
+
+    /// Fused rhocell→grid reduction touch: charges folding one cell's
+    /// per-node source vectors into up to three scattered destination
+    /// components in a **single traversal** of the node list, instead of
+    /// one sweep per component. The fusion is what the SIMD reduction
+    /// path buys, and this mirror is how the emulated cost model sees
+    /// it:
+    ///
+    /// * per-lane scatter address generation (`gather_lane_cy`) is paid
+    ///   **once** across all components — the node indices are shared,
+    ///   so the fused loop computes each address a single time where the
+    ///   per-component sweeps recompute it per component;
+    /// * each component's contiguous source slice is still streamed in
+    ///   [`VLANES`]-wide chunks (the rhocell layout is dense per cell),
+    ///   priced per spanned line at the state-free streaming cost with
+    ///   read-stream overlap;
+    /// * each component's **distinct destination cache lines** are
+    ///   charged one full stream-line cost each — read-modify-write
+    ///   traffic gets no overlap discount, but a line shared by several
+    ///   stencil nodes is touched once instead of once per node.
+    ///
+    /// Like every SIMD-mode price, the charge is a pure function of the
+    /// call's inputs: no cache-simulator state is read or written.
+    ///
+    /// `srcs[k]`/`dsts[k]` pair component `k`'s contiguous source base
+    /// with its scattered destination base; passing fewer than three
+    /// pairs prices a partial-component fold. `idx` holds the
+    /// destination offsets shared by every component. Empty `idx` is
+    /// free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srcs.len() != dsts.len()`, if no components are given,
+    /// or if `idx.len() > RUN_BLOCK_MAX`.
+    pub fn v_touch_reduce_block(&mut self, srcs: &[VAddr], dsts: &[VAddr], idx: &[usize]) {
+        self.v_touch_reduce_block_reuse(srcs, dsts, idx, &[]);
+    }
+
+    /// Reuse-aware variant of [`Machine::v_touch_reduce_block`]: the SIMD
+    /// reduction sweeps a tile's cells in order, and consecutive cells'
+    /// stencils overlap — destination cache lines already folded by the
+    /// preceding cell (`prev_idx`, its node list) still sit in the store
+    /// buffer, so the lane-parallel kernel merges into them without a
+    /// fresh read-modify-write transaction. Those lines charge nothing;
+    /// every other line is priced by the state-free streaming model (an
+    /// empty `prev_idx` is bitwise identical to the plain fused reduce).
+    /// Callers must only pass `prev_idx` when the preceding fold covered
+    /// the same components; the contiguous per-cell source streams never
+    /// reuse (each cell owns its slice).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Machine::v_touch_reduce_block`], plus
+    /// `prev_idx.len() <= RUN_BLOCK_MAX`.
+    pub fn v_touch_reduce_block_reuse(
+        &mut self,
+        srcs: &[VAddr],
+        dsts: &[VAddr],
+        idx: &[usize],
+        prev_idx: &[usize],
+    ) {
+        assert_eq!(
+            srcs.len(),
+            dsts.len(),
+            "source/destination component lists must pair up"
+        );
+        assert!(!srcs.is_empty(), "reduce needs at least one component");
+        assert!(
+            idx.len() <= Self::RUN_BLOCK_MAX && prev_idx.len() <= Self::RUN_BLOCK_MAX,
+            "block exceeds RUN_BLOCK_MAX"
+        );
+        if idx.is_empty() {
+            return;
+        }
+        let comps = srcs.len();
+        self.ctr.vector_ops += (comps * idx.len().div_ceil(VLANES)) as u64;
+        // Shared address generation: one lane penalty per node, not per
+        // node per component.
+        let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
+        // Contiguous source streams, one per component: the rhocell
+        // layout keeps each cell's node slice dense, and the cell sweep
+        // walks those slices in ascending order — a textbook stream,
+        // charged per spanned line with read-stream overlap.
+        for &src in srcs {
+            let mut node = 0;
+            while node < idx.len() {
+                let n = (idx.len() - node).min(VLANES);
+                cy += Self::GATHER_MLP
+                    * self.cfg.simd_stream_line_cy
+                    * self.lines_spanned(src.offset_f64(node), (n * 8) as u64) as f64;
+                node += n;
+            }
+        }
+        // Scattered destinations: each distinct new line once per
+        // component at the full stream cost — read-modify-write traffic
+        // gets no read-overlap discount — unless the preceding cell's
+        // fold left the line in the store buffer.
+        let line = self.mem.line_bytes();
+        for &dst in dsts {
+            let mut lines = [0u64; Self::RUN_BLOCK_MAX];
+            let n = Self::collect_lines(&mut lines, dst, idx, line);
+            let mut prev_lines = [0u64; Self::RUN_BLOCK_MAX];
+            let prev_n = Self::collect_lines(&mut prev_lines, dst, prev_idx, line);
+            let mut p = 0usize;
+            let mut last = u64::MAX;
+            for &l in &lines[..n] {
+                if l == last {
+                    continue;
+                }
+                last = l;
+                while p < prev_n && prev_lines[p] < l {
+                    p += 1;
+                }
+                if p < prev_n && prev_lines[p] == l {
+                    continue; // Store-buffer resident from the last fold.
+                }
+                cy += self.cfg.simd_stream_line_cy;
+            }
+        }
+        self.ctr.flops_issued += (comps * idx.len()) as f64;
         self.ctr.add_cycles(self.phase, cy);
     }
 
@@ -871,6 +1164,200 @@ mod tests {
         let base = m.mem().alloc_f64(128);
         let idx = vec![0usize; Machine::RUN_BLOCK_MAX + 1];
         m.v_touch_gather_block(base, &idx);
+    }
+
+    #[test]
+    fn touch_reduce_block_empty_is_free() {
+        let mut m = machine();
+        let src = m.mem().alloc_f64(64);
+        let dst = m.mem().alloc_f64(64);
+        m.v_touch_reduce_block(&[src], &[dst], &[]);
+        assert_eq!(m.counters().total_cycles(), 0.0);
+        assert_eq!(m.counters().vector_ops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RUN_BLOCK_MAX")]
+    fn touch_reduce_block_rejects_oversized_blocks() {
+        let mut m = machine();
+        let src = m.mem().alloc_f64(128);
+        let dst = m.mem().alloc_f64(128);
+        let idx = vec![0usize; Machine::RUN_BLOCK_MAX + 1];
+        m.v_touch_reduce_block(&[src], &[dst], &idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "must pair up")]
+    fn touch_reduce_block_rejects_mismatched_components() {
+        let mut m = machine();
+        let src = m.mem().alloc_f64(8);
+        let dst = m.mem().alloc_f64(8);
+        m.v_touch_reduce_block(&[src, src], &[dst], &[0, 1]);
+    }
+
+    #[test]
+    fn touch_reduce_block_accounting_scales_with_components() {
+        // flops = comps * len; vector_ops = comps * ceil(len / VLANES).
+        let mut m = machine();
+        let srcs: Vec<VAddr> = (0..3).map(|_| m.mem().alloc_f64(16)).collect();
+        let dsts: Vec<VAddr> = (0..3).map(|_| m.mem().alloc_f64(4096)).collect();
+        let idx: Vec<usize> = (0..12).collect();
+        m.set_phase(Phase::Reduce);
+        m.v_touch_reduce_block(&srcs, &dsts, &idx);
+        assert_eq!(m.counters().flops_issued, 36.0);
+        assert_eq!(m.counters().vector_ops, 3 * 2);
+        assert!(m.counters().cycles(Phase::Reduce) > 0.0);
+    }
+
+    #[test]
+    fn touch_reduce_block_is_cheaper_than_per_component_sweeps() {
+        // The fused fold must charge strictly less than the equivalent
+        // per-component load + scatter-add sweeps it replaces: address
+        // generation is shared and destination lines are touched once
+        // per component instead of once per node per component.
+        let cfg = MachineConfig::lx2();
+        let mut fused = Machine::new(cfg.clone());
+        let mut swept = Machine::new(cfg);
+        let fsrcs: Vec<VAddr> = (0..3).map(|_| fused.mem().alloc_f64(64)).collect();
+        let fdsts: Vec<VAddr> = (0..3).map(|_| fused.mem().alloc_f64(65536)).collect();
+        let ssrcs: Vec<VAddr> = (0..3).map(|_| swept.mem().alloc_f64(64)).collect();
+        let sdsts: Vec<VAddr> = (0..3).map(|_| swept.mem().alloc_f64(65536)).collect();
+        // A CIC stencil's 8 nodes: two x-neighbours per (y, z) corner.
+        let idx: Vec<usize> = [0usize, 1, 33, 34, 1089, 1090, 1122, 1123].to_vec();
+        fused.set_phase(Phase::Reduce);
+        swept.set_phase(Phase::Reduce);
+        fused.v_touch_reduce_block(&fsrcs, &fdsts, &idx);
+        for comp in 0..3 {
+            let mut node = 0;
+            while node < idx.len() {
+                let n = (idx.len() - node).min(VLANES);
+                swept.v_touch_load(ssrcs[comp].offset_f64(node), n);
+                swept.v_touch_scatter_add(sdsts[comp], &idx[node..node + n]);
+                node += n;
+            }
+        }
+        let f = fused.counters().cycles(Phase::Reduce);
+        let s = swept.counters().cycles(Phase::Reduce);
+        assert!(f < s, "fused {f} must undercut swept {s}");
+        // Same functional FLOP throughput is issued either way.
+        assert_eq!(fused.counters().flops_issued, swept.counters().flops_issued);
+    }
+
+    #[test]
+    fn streamed_reuse_touches_are_state_free_and_undercut_cold_walks() {
+        // The SIMD block touches are pure functions of their inputs:
+        // the same call charges bit-identical cycles on a cold machine
+        // and on one whose cache was warmed over the very same region,
+        // and it neither reads nor perturbs cache statistics. The
+        // streaming price also undercuts the cache-walking plain gather
+        // from a cold (per-tile flushed) cache — the state it would
+        // actually start from on the hot path.
+        let cfg = MachineConfig::lx2();
+        let mut cold = Machine::new(cfg.clone());
+        let mut warm = Machine::new(cfg.clone());
+        let cb = cold.mem().alloc_f64(4096);
+        let wb = warm.mem().alloc_f64(4096);
+        for i in 0..512 {
+            warm.mem().access(wb.offset_f64(i * 8), 8);
+        }
+        let warm_l1 = warm.mem().l1_stats();
+        let idx = [0usize, 1, 33, 34, 1089, 1090, 1122, 1123, 5, 6];
+        cold.set_phase(Phase::Gather);
+        warm.set_phase(Phase::Gather);
+        cold.v_touch_gather_block_reuse(cb, &idx, &[]);
+        warm.v_touch_gather_block_reuse(wb, &idx, &[]);
+        let csrc = cold.mem().alloc_f64(16);
+        let wsrc = warm.mem().alloc_f64(16);
+        cold.set_phase(Phase::Reduce);
+        warm.set_phase(Phase::Reduce);
+        cold.v_touch_reduce_block_reuse(&[csrc], &[cb], &idx, &[]);
+        warm.v_touch_reduce_block_reuse(&[wsrc], &[wb], &idx, &[]);
+        assert_eq!(
+            cold.counters().total_cycles().to_bits(),
+            warm.counters().total_cycles().to_bits()
+        );
+        assert_eq!(cold.counters().vector_ops, warm.counters().vector_ops);
+        assert_eq!(cold.counters().flops_issued, warm.counters().flops_issued);
+        // No cache transactions were issued by either touch.
+        let after = warm.mem().l1_stats();
+        assert_eq!(warm_l1.hits + warm_l1.misses, after.hits + after.misses);
+        // Plain reduce is defined as reuse with an empty carried block.
+        let mut plain = Machine::new(cfg);
+        let pb = plain.mem().alloc_f64(4096);
+        plain.set_phase(Phase::Gather);
+        plain.v_touch_gather_block(pb, &idx);
+        let psrc = plain.mem().alloc_f64(16);
+        plain.set_phase(Phase::Reduce);
+        plain.v_touch_reduce_block(&[psrc], &[pb], &idx);
+        assert_eq!(
+            plain.counters().cycles(Phase::Reduce).to_bits(),
+            cold.counters().cycles(Phase::Reduce).to_bits()
+        );
+        // The streaming gather price undercuts the cold cache walk.
+        assert!(
+            cold.counters().cycles(Phase::Gather) < plain.counters().cycles(Phase::Gather),
+            "streamed {} must undercut cold walk {}",
+            cold.counters().cycles(Phase::Gather),
+            plain.counters().cycles(Phase::Gather)
+        );
+    }
+
+    #[test]
+    fn reuse_skips_lines_covered_by_previous_block() {
+        // With the previous block covering every line, only the lane
+        // issue penalty remains on the gather side; the reduce side
+        // keeps its contiguous source streams but drops all destination
+        // walks. Partial overlap lands strictly between the extremes.
+        let cfg = MachineConfig::lx2();
+        let lane = cfg.gather_lane_cy;
+        let mut m = Machine::new(cfg.clone());
+        let base = m.mem().alloc_f64(4096);
+        let idx = [0usize, 1, 33, 34, 1089, 1090, 1122, 1123];
+        m.set_phase(Phase::Gather);
+        m.v_touch_gather_block_reuse(base, &idx, &idx);
+        let full = m.counters().cycles(Phase::Gather);
+        assert!(
+            (full - lane * idx.len() as f64).abs() < 1e-12,
+            "full overlap must leave only lane issue cost, got {full}"
+        );
+        // Partial overlap: prev covers the low half of the stencil.
+        let mut part = Machine::new(cfg.clone());
+        let pb = part.mem().alloc_f64(4096);
+        part.set_phase(Phase::Gather);
+        part.v_touch_gather_block_reuse(pb, &idx, &[0, 1, 33, 34]);
+        let mut none = Machine::new(cfg);
+        let nb = none.mem().alloc_f64(4096);
+        none.set_phase(Phase::Gather);
+        none.v_touch_gather_block(nb, &idx);
+        let p = part.counters().cycles(Phase::Gather);
+        let n = none.counters().cycles(Phase::Gather);
+        assert!(full < p && p < n, "expected {full} < {p} < {n}");
+    }
+
+    #[test]
+    fn reduce_reuse_full_prev_drops_destination_walks() {
+        let cfg = MachineConfig::lx2();
+        let mut fresh = Machine::new(cfg.clone());
+        let mut reused = Machine::new(cfg);
+        let idx = [0usize, 1, 33, 34, 1089, 1090, 1122, 1123];
+        let fs: Vec<VAddr> = (0..3).map(|_| fresh.mem().alloc_f64(16)).collect();
+        let fd: Vec<VAddr> = (0..3).map(|_| fresh.mem().alloc_f64(65536)).collect();
+        let rs: Vec<VAddr> = (0..3).map(|_| reused.mem().alloc_f64(16)).collect();
+        let rd: Vec<VAddr> = (0..3).map(|_| reused.mem().alloc_f64(65536)).collect();
+        fresh.set_phase(Phase::Reduce);
+        reused.set_phase(Phase::Reduce);
+        fresh.v_touch_reduce_block(&fs, &fd, &idx);
+        reused.v_touch_reduce_block_reuse(&rs, &rd, &idx, &idx);
+        let f = fresh.counters().cycles(Phase::Reduce);
+        let r = reused.counters().cycles(Phase::Reduce);
+        assert!(r < f, "reused fold {r} must undercut fresh fold {f}");
+        // Functional accounting is identical: reuse is a pricing-only
+        // distinction, the same vector work is issued.
+        assert_eq!(
+            fresh.counters().flops_issued,
+            reused.counters().flops_issued
+        );
+        assert_eq!(fresh.counters().vector_ops, reused.counters().vector_ops);
     }
 
     #[test]

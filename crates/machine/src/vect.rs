@@ -1,0 +1,175 @@
+//! The single definition of the host SIMD lane width, plus a minimal
+//! fixed-width lane-pack wrapper for the lane-parallel host loops of
+//! the batched hot kernels.
+//!
+//! Everything here is stable Rust: [`Lanes`] is a plain `[f64; W]`
+//! new-type whose operations are straight-line per-lane loops the
+//! compiler can autovectorize — no unstable `portable_simd` feature, no
+//! `std::arch` intrinsics (mpic-lint rule L9 fences both to this file).
+//! Kernels that want a lane-parallel inner loop chunk their particles
+//! into [`W`]-wide packs, run the packed loop, and finish with a scalar
+//! remainder loop over the ragged tail; the README's hot-path section
+//! documents the layout and equivalence contract.
+//!
+//! The wrapper exists for *host* throughput only. Emulated-cost vector
+//! state lives in [`crate::VReg`], whose operations charge the cycle
+//! model; `Lanes` arithmetic is cost-free by design, because the SIMD
+//! execution mode must replicate the scalar mode's charge stream
+//! call-for-call (the bit-identity contract covers counters too).
+
+/// Host SIMD lane width, in `f64` lanes, of every lane-parallel hot
+/// loop in the workspace — and the **only** place a lane width may be
+/// spelled as a numeric literal (mpic-lint rule L9). The emulated
+/// machine's [`crate::VLANES`] derives from this constant, as must any
+/// kernel-local chunk width: eight f64 lanes is one 512-bit vector
+/// register on the modelled LX2 VPU and two-to-four registers on
+/// commodity AVX2/NEON hosts, all of which unroll cleanly from the same
+/// fixed-width arrays.
+pub const W: usize = 8;
+
+/// A pack of [`W`] `f64` lanes processed together by a lane-parallel
+/// host loop. Plain data: `Lanes(pub [f64; W])`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lanes(pub [f64; W]);
+
+impl Default for Lanes {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl Lanes {
+    /// All-zero pack.
+    #[inline]
+    pub fn zero() -> Self {
+        Lanes([0.0; W])
+    }
+
+    /// Broadcasts `x` to all lanes.
+    #[inline]
+    pub fn splat(x: f64) -> Self {
+        Lanes([x; W])
+    }
+
+    /// Builds a pack from a slice, zero-padding missing lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() > W`.
+    #[inline]
+    pub fn from_slice(s: &[f64]) -> Self {
+        assert!(s.len() <= W, "slice wider than a lane pack");
+        let mut r = [0.0; W];
+        r[..s.len()].copy_from_slice(s);
+        Lanes(r)
+    }
+
+    /// Lane accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= W`.
+    #[inline]
+    pub fn lane(&self, l: usize) -> f64 {
+        self.0[l]
+    }
+
+    /// Lane-wise `self + a * b` — written as separate multiply and add
+    /// (NOT `f64::mul_add`), so every lane reproduces the scalar
+    /// reference's round-to-nearest-per-operation results bit for bit.
+    #[inline]
+    #[must_use]
+    pub fn mul_acc(self, a: Lanes, b: Lanes) -> Lanes {
+        let mut r = self.0;
+        for (l, slot) in r.iter_mut().enumerate() {
+            *slot += a.0[l] * b.0[l];
+        }
+        Lanes(r)
+    }
+
+    /// Writes the first `n` lanes to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > W` or `dst.len() < n`.
+    #[inline]
+    pub fn write_to(&self, dst: &mut [f64], n: usize) {
+        assert!(n <= W);
+        dst[..n].copy_from_slice(&self.0[..n]);
+    }
+}
+
+impl std::ops::Add for Lanes {
+    type Output = Lanes;
+
+    /// Lane-wise `self + rhs`.
+    #[inline]
+    fn add(self, rhs: Lanes) -> Lanes {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(rhs.0) {
+            *a += b;
+        }
+        Lanes(r)
+    }
+}
+
+impl std::ops::Mul for Lanes {
+    type Output = Lanes;
+
+    /// Lane-wise `self * rhs`.
+    #[inline]
+    fn mul(self, rhs: Lanes) -> Lanes {
+        let mut r = self.0;
+        for (a, b) in r.iter_mut().zip(rhs.0) {
+            *a *= b;
+        }
+        Lanes(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_width_matches_the_emulated_vpu() {
+        // `VLANES` is derived, not duplicated: one definition site.
+        assert_eq!(crate::VLANES, W);
+    }
+
+    #[test]
+    fn from_slice_zero_pads_the_tail() {
+        let l = Lanes::from_slice(&[1.0, 2.0]);
+        assert_eq!(l.lane(0), 1.0);
+        assert_eq!(l.lane(1), 2.0);
+        assert_eq!(l.lane(W - 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than a lane pack")]
+    fn from_slice_rejects_oversized_input() {
+        let wide = vec![0.0; W + 1];
+        let _ = Lanes::from_slice(&wide);
+    }
+
+    #[test]
+    fn arithmetic_is_per_lane_and_unfused() {
+        let a = Lanes::splat(0.1);
+        let b = Lanes::splat(0.2);
+        let s = a + b;
+        let p = a * b;
+        // Bitwise the same as the scalar expression, lane by lane.
+        assert_eq!(s.lane(3), 0.1 + 0.2);
+        assert_eq!(p.lane(7), 0.1 * 0.2);
+        let acc = Lanes::splat(1.0).mul_acc(a, b);
+        assert_eq!(acc.lane(0), 1.0 + 0.1 * 0.2);
+    }
+
+    #[test]
+    fn write_to_copies_exactly_n_lanes() {
+        let l = Lanes::splat(4.0);
+        let mut dst = [0.0; 3];
+        l.write_to(&mut dst, 3);
+        assert_eq!(dst, [4.0; 3]);
+    }
+}

@@ -5,8 +5,11 @@
 //! methods so that every operation is charged to the cost model; the
 //! helpers here are cost-free constructors and lane accessors.
 
-/// Number of f64 lanes in a 512-bit VPU register.
-pub const VLANES: usize = 8;
+/// Number of f64 lanes in a 512-bit VPU register. Derived from the
+/// workspace's single lane-width definition ([`crate::vect::W`], rule
+/// L9): the emulated VPU and the lane-parallel host loops deliberately
+/// share one width.
+pub const VLANES: usize = crate::vect::W;
 
 /// A VPU vector register value (8 x f64).
 #[derive(Debug, Clone, Copy, PartialEq)]

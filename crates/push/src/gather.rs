@@ -2,7 +2,7 @@
 
 use mpic_deposit::{stage_particle, ShapeOrder};
 use mpic_grid::{FieldArrays, GridGeometry};
-use mpic_machine::{Machine, Phase, VAddr};
+use mpic_machine::{vect::W, Lanes, Machine, Phase, VAddr};
 
 /// Per-step cost parameters of the gather sweep (charged coarsely: the
 //  gather is not the paper's optimisation target, but its time must
@@ -219,6 +219,66 @@ pub fn gather_from_block(
     (e, b)
 }
 
+/// Interpolates `(E, B)` for up to [`W`] particles at once from a cached
+/// [`NodeBlock`] — the lane-parallel half of the SIMD gather
+/// (`SimConfig::simd`). Each lane is one particle: the six accumulators
+/// are per lane, the node loop runs in the same `(c, b, a)` order as
+/// [`gather_from_block`], and each lane's weight keeps the
+/// `(sx * sy) * sz` association, so every particle's result is
+/// bit-identical to its own [`gather_from_block`] call (no cross-lane
+/// arithmetic exists to regroup). `fracs.len()` selects the active lane
+/// count; callers chunk runs into full-width packs and finish ragged
+/// tails with the scalar routine.
+///
+/// # Panics
+/// If `fracs` is wider than a lane pack or the output slices are
+/// shorter than `fracs`.
+pub fn gather_from_block_lanes(
+    order: ShapeOrder,
+    block: &NodeBlock,
+    fracs: &[[f64; 3]],
+    e_out: &mut [[f64; 3]],
+    b_out: &mut [[f64; 3]],
+) {
+    let s = order.support();
+    let n = fracs.len();
+    assert!(n <= W, "more particles than lanes in one pack");
+    assert!(
+        e_out.len() >= n && b_out.len() >= n,
+        "output slices shorter than the lane pack"
+    );
+    // Per-lane shape weights, evaluated exactly as the scalar gather
+    // evaluates them.
+    let mut sw = [[[0.0f64; 4]; 3]; W];
+    for (l, f) in fracs.iter().enumerate() {
+        order.weights(f[0], &mut sw[l][0]);
+        order.weights(f[1], &mut sw[l][1]);
+        order.weights(f[2], &mut sw[l][2]);
+    }
+    let mut acc = [Lanes::zero(); 6];
+    for c in 0..s {
+        for bb in 0..s {
+            for a in 0..s {
+                let nd = (c * s + bb) * s + a;
+                let mut wl = [0.0; W];
+                for (l, w) in wl.iter_mut().enumerate().take(n) {
+                    *w = sw[l][0][a] * sw[l][1][bb] * sw[l][2][c];
+                }
+                let wl = Lanes(wl);
+                for (comp, lane_acc) in acc.iter_mut().enumerate() {
+                    *lane_acc = lane_acc.mul_acc(wl, Lanes::splat(block.vals[comp][nd]));
+                }
+            }
+        }
+    }
+    for l in 0..n {
+        for d in 0..3 {
+            e_out[l][d] = acc[d].lane(l);
+            b_out[l][d] = acc[3 + d].lane(l);
+        }
+    }
+}
+
 /// Charges the gather cost of one same-cell run of `n` particles whose
 /// stencil block (node indices `node_idx`) was loaded **once** for the
 /// whole run: each field array pays one run-scoped block gather (every
@@ -236,6 +296,35 @@ pub fn charge_gather_run(
     m.in_phase(Phase::Gather, |m| {
         for addr in field_addrs {
             m.v_touch_gather_block(*addr, node_idx);
+        }
+        let chunks = n.div_ceil(8);
+        m.v_ops(cost.v_ops_per_chunk * chunks);
+        m.record_flops((n * node_idx.len() * 6 * 2) as f64);
+    });
+}
+
+/// Reuse-aware variant of [`charge_gather_run`] for the lane-parallel
+/// path: the SIMD push walks a tile's runs in sorted-cell order, so the
+/// previous run's stencil block (`prev_idx`, its node list) is still
+/// resident in lane registers — cache lines it covers are rotated in
+/// place instead of re-gathered, and only the **new** lines are charged,
+/// at the state-free streaming price (see
+/// [`Machine::v_touch_gather_block_reuse`]): the block loads of
+/// consecutive sorted runs sweep the field arrays in ascending order,
+/// which the stream prefetcher services at bandwidth. The functional
+/// accounting (vector ops, FLOPs) matches [`charge_gather_run`] exactly;
+/// only the memory price differs.
+pub fn charge_gather_run_reuse(
+    m: &mut Machine,
+    cost: GatherCost,
+    n: usize,
+    field_addrs: &[VAddr; 6],
+    node_idx: &[usize],
+    prev_idx: &[usize],
+) {
+    m.in_phase(Phase::Gather, |m| {
+        for addr in field_addrs {
+            m.v_touch_gather_block_reuse(*addr, node_idx, prev_idx);
         }
         let chunks = n.div_ceil(8);
         m.v_ops(cost.v_ops_per_chunk * chunks);
@@ -361,6 +450,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lane_gather_matches_scalar_block_gather_bitwise() {
+        // Every lane of the SIMD gather must reproduce its own scalar
+        // gather_from_block result bit for bit, at full width and on
+        // ragged tails (1, W-1, W lanes).
+        let (geom, mut fields) = setup();
+        let [nx, ny, nz] = fields.ex.shape();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let v = (i * 13 + j * 5 + k * 3) as f64 * 0.021 - 0.9;
+                    fields.ex.set(i, j, k, v);
+                    fields.ey.set(i, j, k, v * 1.5 - 0.2);
+                    fields.ez.set(i, j, k, (v * 0.7).cos());
+                    fields.bx.set(i, j, k, -v);
+                    fields.by.set(i, j, k, v * v * 0.05);
+                    fields.bz.set(i, j, k, 1.0 / (2.0 + v * v));
+                }
+            }
+        }
+        for order in [ShapeOrder::Cic, ShapeOrder::Tsc, ShapeOrder::Qsp] {
+            let mut block = NodeBlock::new();
+            let (cell, _) = geom.locate(3.4e-6, 4.1e-6, 1.9e-6);
+            let cell = geom.wrap_cell(cell);
+            load_node_block(&geom, order, &fields, cell, &mut block);
+            let fracs: Vec<[f64; 3]> = (0..W)
+                .map(|t| {
+                    let f = t as f64 / W as f64;
+                    [f * 0.9 + 0.05, (1.0 - f) * 0.8 + 0.1, f * f * 0.7 + 0.2]
+                })
+                .collect();
+            for n in [1, W - 1, W] {
+                let mut e = vec![[0.0; 3]; n];
+                let mut b = vec![[0.0; 3]; n];
+                gather_from_block_lanes(order, &block, &fracs[..n], &mut e, &mut b);
+                for (l, frac) in fracs[..n].iter().enumerate() {
+                    let (e_want, b_want) = gather_from_block(order, &block, *frac);
+                    for d in 0..3 {
+                        assert_eq!(
+                            e[l][d].to_bits(),
+                            e_want[d].to_bits(),
+                            "{order:?} n={n} lane {l} E[{d}]"
+                        );
+                        assert_eq!(
+                            b[l][d].to_bits(),
+                            b_want[d].to_bits(),
+                            "{order:?} n={n} lane {l} B[{d}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_gather_rejects_oversized_packs() {
+        let block = NodeBlock::new();
+        let fracs = vec![[0.5; 3]; W + 1];
+        let mut e = vec![[0.0; 3]; W + 1];
+        let mut b = vec![[0.0; 3]; W + 1];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gather_from_block_lanes(ShapeOrder::Cic, &block, &fracs, &mut e, &mut b);
+        }));
+        assert!(r.is_err(), "packs wider than W lanes must be rejected");
     }
 
     #[test]

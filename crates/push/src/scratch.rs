@@ -17,6 +17,13 @@ pub struct PushScratch {
     pub sample_idx: Vec<usize>,
     /// Particles leaving the domain this step, as `(slot, gpma_bin)`.
     pub removals: Vec<(usize, usize)>,
+    /// SoA slots of the currently open same-cell run (SIMD gather only:
+    /// the lane-parallel sweep buffers a run and interpolates it in
+    /// lane-width packs when the run closes).
+    pub run_slots: Vec<usize>,
+    /// Intra-cell offsets of the currently open run, parallel to
+    /// [`PushScratch::run_slots`].
+    pub run_frac: Vec<[f64; 3]>,
 }
 
 impl PushScratch {
@@ -25,6 +32,8 @@ impl PushScratch {
         self.live.clear();
         self.sample_idx.clear();
         self.removals.clear();
+        self.run_slots.clear();
+        self.run_frac.clear();
     }
 }
 
@@ -38,9 +47,12 @@ mod tests {
         s.live.extend(0..100);
         s.sample_idx.extend(0..100);
         s.removals.push((1, 2));
+        s.run_slots.push(7);
+        s.run_frac.push([0.5; 3]);
         let cap = s.live.capacity();
         s.clear();
         assert!(s.live.is_empty() && s.sample_idx.is_empty() && s.removals.is_empty());
+        assert!(s.run_slots.is_empty() && s.run_frac.is_empty());
         assert_eq!(s.live.capacity(), cap);
     }
 }

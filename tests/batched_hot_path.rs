@@ -260,6 +260,168 @@ fn conf_batched_imbalanced_lwfa_with_empty_tiles_stays_deterministic() {
     }
 }
 
+fn uniform_simd(kernel: KernelConfig, batching: bool, simd: bool) -> Simulation {
+    let mut sim = uniform(kernel, batching);
+    sim.cfg.simd = simd;
+    sim
+}
+
+/// The SIMD-on equivalence contract: deposited values are bitwise; the
+/// memory-bound phases the lane-parallel mode re-prices through the
+/// state-free streaming model — Preprocess (streamed staging loads),
+/// Compute (streamed rhocell accumulates / a prefetcher left clean for
+/// the scatter sweep), Gather (register-reuse block gathers) and, for
+/// rhocell-based kernels, Reduce (the fused rhocell→grid traversal) —
+/// charge strictly fewer cycles; every remaining phase (Push, Sort,
+/// FieldSolve, Other) is bitwise.
+fn assert_simd_streaming_contract(
+    label: &str,
+    scalar: &(FieldArrays, [f64; 8], usize),
+    simd: &(FieldArrays, [f64; 8], usize),
+    reduce_cheaper: bool,
+) {
+    assert_eq!(scalar.2, simd.2, "{label}: particle counts diverged");
+    assert_values_bitwise(label, &scalar.0, &simd.0);
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        let cheaper = matches!(p, Phase::Preprocess | Phase::Compute | Phase::Gather)
+            || (reduce_cheaper && *p == Phase::Reduce);
+        if cheaper {
+            assert!(
+                simd.1[i] < scalar.1[i],
+                "{label}: {p:?} must charge fewer cycles under the \
+                 streaming prices ({} vs {})",
+                simd.1[i],
+                scalar.1[i]
+            );
+        } else {
+            assert_eq!(
+                scalar.1[i].to_bits(),
+                simd.1[i].to_bits(),
+                "{label}: {p:?} cycles diverged ({} vs {})",
+                scalar.1[i],
+                simd.1[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn conf_simd_fullopt_values_bitwise_memory_phases_cheaper() {
+    // The tentpole's SIMD contract, single-step and multi-step: the
+    // lane-parallel mode reproduces every batched-scalar value bit for
+    // bit (lane packs preserve per-particle/per-node association and add
+    // order) while the four memory-bound phases charge strictly fewer
+    // cycles under the state-free streaming prices.
+    for steps in [1usize, 3] {
+        let scalar = run(
+            uniform_simd(KernelConfig::FullOpt, true, false),
+            1,
+            SchedulerPolicy::Static,
+            steps,
+        );
+        let simd = run(
+            uniform_simd(KernelConfig::FullOpt, true, true),
+            1,
+            SchedulerPolicy::Static,
+            steps,
+        );
+        assert_simd_streaming_contract(
+            &format!("FullOpt simd vs scalar ({steps} steps)"),
+            &scalar,
+            &simd,
+            true,
+        );
+    }
+}
+
+#[test]
+fn conf_simd_rhocell_values_bitwise_memory_phases_cheaper() {
+    let scalar = run(
+        uniform_simd(KernelConfig::RhocellIncrSortVpu, true, false),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    let simd = run(
+        uniform_simd(KernelConfig::RhocellIncrSortVpu, true, true),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    assert_simd_streaming_contract("RhocellVPU simd vs scalar", &scalar, &simd, true);
+}
+
+#[test]
+fn conf_simd_direct_scatter_values_bitwise_memory_phases_cheaper() {
+    // The baseline kernel deposits straight to the grid — no rhocell, no
+    // Reduce phase (bitwise zero both ways) — but its staging and the
+    // shared push gather still take the streamed prices, and the scatter
+    // sweep starts from a prefetcher the staging no longer contaminated,
+    // so Preprocess/Compute/Gather are strictly cheaper here too.
+    let scalar = run(
+        uniform_simd(KernelConfig::BaselineIncrSort, true, false),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    let simd = run(
+        uniform_simd(KernelConfig::BaselineIncrSort, true, true),
+        1,
+        SchedulerPolicy::Static,
+        2,
+    );
+    assert_simd_streaming_contract("BaselineIncrSort simd vs scalar", &scalar, &simd, false);
+}
+
+#[test]
+fn conf_simd_path_is_bit_identical_across_workers_and_policies() {
+    // The full knob matrix on the SIMD path: any worker count, either
+    // scheduler — same bits everywhere including per-phase counters.
+    let reference = run(
+        uniform_simd(KernelConfig::FullOpt, true, true),
+        1,
+        SchedulerPolicy::Static,
+        3,
+    );
+    for workers in [2usize, 4, 7] {
+        for policy in [SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            let got = run(
+                uniform_simd(KernelConfig::FullOpt, true, true),
+                workers,
+                policy,
+                3,
+            );
+            assert_bitwise(
+                &format!("simd FullOpt {workers}w {}", policy.label()),
+                &reference,
+                &got,
+            );
+        }
+    }
+}
+
+#[test]
+fn conf_simd_without_batching_is_a_bitwise_noop() {
+    // simd is ANDed with batching: without the batched path there are no
+    // runs to chunk, so the knob must change nothing — values AND
+    // cycles, on both a sorted and an unsorted kernel config.
+    for kernel in [KernelConfig::FullOpt, KernelConfig::HybridNoSort] {
+        let off = run(
+            uniform_simd(kernel, false, false),
+            1,
+            SchedulerPolicy::Static,
+            2,
+        );
+        let on = run(
+            uniform_simd(kernel, false, true),
+            1,
+            SchedulerPolicy::Static,
+            2,
+        );
+        assert_bitwise(&format!("{kernel:?} simd-no-batching noop"), &off, &on);
+    }
+}
+
 #[test]
 fn conf_batched_deposit_survives_stealing_chunk_boundaries() {
     // Drive the batched deposit directly with pinned stealing chunk

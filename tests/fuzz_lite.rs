@@ -10,11 +10,14 @@
 //! crash: the run decomposition, the sharded counting sort, and the
 //! GPMA's incremental maintenance.
 
+use matrix_pic::deposit::ShapeOrder;
+use matrix_pic::machine::vect::W;
 use matrix_pic::machine::{SchedulerPolicy, WorkerPool, INLINE_ITEM_THRESHOLD};
 use matrix_pic::particles::{
     cell_runs, counting_sort_keys, counting_sort_keys_sharded, Gpma, SortScratch,
     INVALID_PARTICLE_ID,
 };
+use matrix_pic::push::gather::{gather_from_block, gather_from_block_lanes, NodeBlock};
 use proptest::prelude::*;
 
 /// Case budget: `MPIC_FUZZ_ITERS` if set and parseable, else `default`.
@@ -114,6 +117,83 @@ fn fuzz_sharded_sort_matches_sequential_for_all_workers_and_policies() {
                     policy,
                     len
                 );
+            }
+        }
+    });
+}
+
+/// The SIMD gather's lane-pack decomposition must be bit-identical to
+/// the per-particle block gather for every run length — empty, 1,
+/// `W-1`, `W`, `W+1` and ragged multi-run tiles — across shape orders
+/// and arbitrary field values. This is the lane-remainder contract of
+/// the lane-parallel hot path: full packs go through
+/// `gather_from_block_lanes`, ragged tails through the scalar routine,
+/// and no decomposition may change a single bit.
+#[test]
+fn fuzz_lane_remainder_gather_matches_scalar_bitwise() {
+    proptest!(ProptestConfig::with_cases(fuzz_cases(64)).with_corpus("lane_remainder"), |(
+        run_lens in prop::collection::vec(0usize..(2 * W + 2), 1..6),
+        order_pick in 0usize..3,
+        seed in 0u64..1_000_000,
+    )| {
+        let order = [ShapeOrder::Cic, ShapeOrder::Tsc, ShapeOrder::Qsp][order_pick];
+        let s = order.support();
+        let mut state = seed ^ 0x243F_6A88_85A3_08D3;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for &len in &run_lens {
+            // A fresh pseudo-random node block per run (a ragged tile's
+            // runs sit in different cells, so each sees its own stencil).
+            let mut block = NodeBlock::new();
+            block.nodes = s * s * s;
+            for comp in 0..6 {
+                for nd in 0..block.nodes {
+                    block.vals[comp][nd] = next() * 3.0;
+                }
+            }
+            let fracs: Vec<[f64; 3]> = (0..len)
+                .map(|_| [next() + 0.5, next() + 0.5, next() + 0.5])
+                .collect();
+            // Decompose exactly as the hot path's run flush does: full
+            // W-wide packs, then the scalar remainder.
+            let mut got_e = vec![[0.0; 3]; len];
+            let mut got_b = vec![[0.0; 3]; len];
+            let mut i = 0;
+            while i + W <= len {
+                gather_from_block_lanes(
+                    order,
+                    &block,
+                    &fracs[i..i + W],
+                    &mut got_e[i..i + W],
+                    &mut got_b[i..i + W],
+                );
+                i += W;
+            }
+            for l in i..len {
+                let (e, b) = gather_from_block(order, &block, fracs[l]);
+                got_e[l] = e;
+                got_b[l] = b;
+            }
+            for (l, frac) in fracs.iter().enumerate() {
+                let (e_want, b_want) = gather_from_block(order, &block, *frac);
+                for d in 0..3 {
+                    prop_assert_eq!(
+                        got_e[l][d].to_bits(),
+                        e_want[d].to_bits(),
+                        "{:?} len={} lane={} E[{}]",
+                        order, len, l, d
+                    );
+                    prop_assert_eq!(
+                        got_b[l][d].to_bits(),
+                        b_want[d].to_bits(),
+                        "{:?} len={} lane={} B[{}]",
+                        order, len, l, d
+                    );
+                }
             }
         }
     });

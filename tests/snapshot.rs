@@ -126,6 +126,100 @@ fn conf_snapshot_restore_bit_identical_lwfa_moving_window() {
     }
 }
 
+fn uniform_simd_sim(workers: usize, policy: SchedulerPolicy) -> Simulation {
+    let mut sim = uniform_sim(workers, policy, true);
+    sim.cfg.simd = true;
+    sim
+}
+
+/// Snapshot -> restore -> N steps under the lane-parallel mode
+/// (`SimConfig::simd`) is bit-identical to the uninterrupted SIMD run —
+/// total state, counters included, across worker counts and policies.
+#[test]
+fn conf_snapshot_restore_bit_identical_with_simd() {
+    for &workers in &[1usize, 4] {
+        for &policy in &[SchedulerPolicy::Static, SchedulerPolicy::Stealing] {
+            let label = format!("uniform simd w={workers} {policy:?}");
+            assert_restore_continues_bit_identical(
+                &|| uniform_simd_sim(workers, policy),
+                2,
+                4,
+                &label,
+            );
+        }
+    }
+}
+
+/// A checkpoint is simd-agnostic for *state*: a snapshot written under the
+/// batched-scalar mode restores into a simd-on simulation and continues
+/// with bit-identical field values. The writer's two scalar-mode steps
+/// charge the cache-walking prices in the memory-bound phases the SIMD
+/// mode re-prices through the state-free streaming model, so the resumed
+/// run carries a strictly higher Preprocess/Compute/Reduce history than
+/// the uninterrupted simd-on run and a diverged (here: slightly cheaper —
+/// this small sorted grid walks mostly L1 hits, undercutting the flat
+/// streamed line price) Gather history; every other phase matches bitwise.
+#[test]
+fn conf_snapshot_written_scalar_restores_into_simd() {
+    use matrix_pic::machine::Phase;
+
+    let mut writer = uniform_sim(1, SchedulerPolicy::Static, true);
+    writer.run(2);
+    let checkpoint = writer.snapshot();
+
+    let mut reference = uniform_simd_sim(1, SchedulerPolicy::Static);
+    reference.run(4);
+
+    let mut resumed = uniform_simd_sim(1, SchedulerPolicy::Static);
+    resumed.restore(&checkpoint).expect("cross-simd restore");
+    resumed.run(2);
+
+    let fields = |s: &Simulation| {
+        [
+            s.fields.jx.clone(),
+            s.fields.jy.clone(),
+            s.fields.jz.clone(),
+            s.fields.ex.clone(),
+            s.fields.ey.clone(),
+            s.fields.ez.clone(),
+            s.fields.bx.clone(),
+            s.fields.by.clone(),
+            s.fields.bz.clone(),
+        ]
+    };
+    for (i, (a, b)) in fields(&reference).iter().zip(fields(&resumed)).enumerate() {
+        let same = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(u, v)| u.to_bits() == v.to_bits());
+        assert!(same, "field {i} diverged after scalar->simd restore");
+    }
+    for p in Phase::ALL {
+        let want = reference.machine.counters().cycles(p);
+        let got = resumed.machine.counters().cycles(p);
+        if matches!(p, Phase::Preprocess | Phase::Compute | Phase::Reduce) {
+            assert!(
+                got > want,
+                "writer's scalar steps must leave a higher {p:?} history \
+                 ({got} vs {want})"
+            );
+        } else if p == Phase::Gather {
+            assert_ne!(
+                want.to_bits(),
+                got.to_bits(),
+                "writer's scalar steps must leave a repriced Gather history"
+            );
+        } else {
+            assert_eq!(
+                want.to_bits(),
+                got.to_bits(),
+                "{p:?} cycles diverged after scalar->simd restore"
+            );
+        }
+    }
+}
+
 /// A checkpoint is worker/scheduler agnostic: state written under one worker
 /// count and policy may be restored under another, and the continuation is
 /// still bit-identical to an uninterrupted run under the *target* config
