@@ -5,16 +5,16 @@ use mpic_deposit::{canonical_flops_per_particle, AddrMap, Depositor, ShapeOrder,
 use mpic_grid::constants::C;
 use mpic_grid::{Array3, FieldArrays, GridGeometry, TileLayout};
 use mpic_machine::{
-    vect::W, CacheLevelState, CacheSimState, Machine, PerfCounters, Phase, VAddr, WorkerPool,
+    vect::W, CacheLevelState, CacheSimState, Lanes, Machine, PerfCounters, Phase, VAddr, WorkerPool,
 };
 use mpic_particles::{
     Departure, Gpma, GpmaState, ParticleContainer, ParticleSoA, ParticleTile, PendingMove,
     RankSortStats, INVALID_PARTICLE_ID,
 };
-use mpic_push::boris::{boris_push, charge_push, BorisCoeffs};
+use mpic_push::boris::{boris_push, boris_push_lanes, charge_push, BorisCoeffs};
 use mpic_push::gather::{
     charge_gather, charge_gather_run, charge_gather_run_reuse, gather_fields_with_cell,
-    gather_from_block, gather_from_block_lanes, load_node_block, GatherCost, NodeBlock,
+    gather_from_block, gather_from_block_lanes_masked, load_node_block, GatherCost, NodeBlock,
     MAX_STENCIL_NODES,
 };
 use mpic_push::PushScratch;
@@ -1353,27 +1353,30 @@ fn push_tile_batched(
 /// The lane-parallel variant of [`push_tile_batched`]
 /// ([`SimConfig::simd`]): same GPMA-sorted sweep and same run discovery
 /// from each particle's located cell, but a run's particles are buffered
-/// as `(slot, frac)` pairs and interpolated in lane-width packs from the
-/// cached node block when the run closes
-/// ([`gather_from_block_lanes`]); ragged tails use the scalar block
-/// gather, which is bitwise the same computation. Each lane holds one
-/// particle's six accumulators, so E/B values — and with them positions,
-/// momenta and removals — are bit-identical to the batched-scalar sweep.
-/// Gather *pricing* is where the lane-parallel mode differs: the
+/// as `(slot, frac)` pairs and — when the run closes — interpolated AND
+/// Boris-pushed in lane-width packs: the masked lane gather
+/// ([`gather_from_block_lanes_masked`]) hands `(E, B)` to the
+/// lane-parallel push ([`boris_push_lanes`]) still in lane registers,
+/// and ragged tails run the same packs under a prefix mask instead of a
+/// scalar remainder loop. Each lane holds one particle end to end, and
+/// every lane operation is the correctly-rounded per-lane twin of its
+/// scalar counterpart, so E/B values, positions, momenta and removals
+/// are bit-identical to the batched-scalar sweep.
+/// *Pricing* is where the lane-parallel mode differs: the
 /// previous run's stencil block stays in lane registers across the
 /// run boundary, so [`charge_gather_run_reuse`] charges only the cache
 /// lines the new stencil adds — and it prices them with the state-free
 /// streaming model (a flat bandwidth cost per line, no cache-sim walk),
 /// so the charge is a pure function of the run's node indices
-/// (sorted-cell order makes consecutive stencils overlap heavily).
+/// (sorted-cell order makes consecutive stencils overlap heavily) plus
+/// the declared field-array footprint: grids small enough to sit in L1
+/// cross the roofline to the resident line price instead of being
+/// overcharged at the DRAM stream rate.
 /// The reuse state is tile-local — reset at tile start and advanced in
 /// run order, which the GPMA sweep fixes independently of worker count
 /// or scheduler policy — so Gather cycles stay bit-identical across
-/// workers x policies, and on overlap-heavy workloads strictly below
-/// the scalar mode's walking price (on a grid small enough to sit in
-/// L1 the flat streamed cost can instead come out slightly above the
-/// mostly-hit walk — see the scalar->simd snapshot conformance test).
-/// Deferring
+/// workers x policies and never price above the scalar mode's walking
+/// charge on either side of the crossover. Deferring
 /// the Boris push to run close is safe: gathers are read-only and each
 /// particle's writeback touches only its own SoA slots, so no buffered
 /// particle can observe another's push.
@@ -1397,6 +1400,11 @@ fn push_tile_batched_simd(
     }
     wm.mem().flush_cache();
     let mut block = NodeBlock::new();
+    // Roofline footprint of one guarded field array: the whole array is
+    // swept by a tile's run sequence, so this is the operand span the
+    // streaming price compares against L1 capacity.
+    let dims = geom.dims_with_guard();
+    let field_footprint = (dims[0] * dims[1] * dims[2] * 8) as u64;
     // Register-reuse state: the node list of the last flushed run's
     // block. Tile-local and advanced in GPMA run order, so the charge
     // stream is identical for every worker count and policy.
@@ -1424,6 +1432,7 @@ fn push_tile_batched_simd(
                 &scratch.run_slots,
                 &scratch.run_frac,
                 &prev_idx[..prev_n],
+                field_footprint,
                 &mut scratch.removals,
             );
             if !scratch.run_slots.is_empty() {
@@ -1452,6 +1461,7 @@ fn push_tile_batched_simd(
         &scratch.run_slots,
         &scratch.run_frac,
         &prev_idx[..prev_n],
+        field_footprint,
         &mut scratch.removals,
     );
     scratch.run_slots.clear();
@@ -1470,10 +1480,15 @@ fn push_tile_batched_simd(
 /// Closes one buffered same-cell run of the SIMD sweep: charges the run
 /// gather with run-to-run register reuse (`prev_idx` is the node list of
 /// the previously flushed block — cache lines it covers stay in lane
-/// registers and charge nothing), then interpolates full lane packs with
-/// [`gather_from_block_lanes`] and the ragged tail with the scalar
-/// [`gather_from_block`], pushing particles in buffer (= GPMA) order so
-/// the removal sequence matches the scalar sweep.
+/// registers and charge nothing; `field_footprint` feeds the roofline
+/// crossover), then interpolates and Boris-pushes the particles in
+/// lane-width packs. The final ragged pack — every run length that is
+/// not a multiple of [`W`] — runs the same lane kernels under a prefix
+/// mask ([`gather_from_block_lanes_masked`]): inactive tail lanes carry
+/// zeros through the gather and push (all operations stay finite on
+/// zeros) and are simply never written back. Active lanes are
+/// bit-identical to the scalar sweep, and particles retire in buffer
+/// (= GPMA) order so the removal sequence matches it too.
 fn flush_run_simd(
     wm: &mut Machine,
     geom: &GridGeometry,
@@ -1488,6 +1503,7 @@ fn flush_run_simd(
     slots: &[usize],
     fracs: &[[f64; 3]],
     prev_idx: &[usize],
+    field_footprint: u64,
     removals: &mut Vec<(usize, usize)>,
 ) {
     if slots.is_empty() {
@@ -1500,43 +1516,49 @@ fn flush_run_simd(
         field_addrs,
         &block.idx[..block.nodes],
         prev_idx,
+        field_footprint,
     );
     let mut i = 0;
-    while i + W <= slots.len() {
-        let mut e = [[0.0; 3]; W];
-        let mut b = [[0.0; 3]; W];
-        gather_from_block_lanes(order, block, &fracs[i..i + W], &mut e, &mut b);
-        for l in 0..W {
-            apply_push(
-                boris,
+    while i < slots.len() {
+        let n = (slots.len() - i).min(W);
+        let pack = &slots[i..i + n];
+        let (e, b) = gather_from_block_lanes_masked(order, block, &fracs[i..i + n]);
+        // Transpose the pack's phase space into lane registers; tail
+        // lanes beyond `n` stay zero.
+        let mut u = [Lanes::zero(); 3];
+        let mut pos = [Lanes::zero(); 3];
+        for (l, &p) in pack.iter().enumerate() {
+            pos[0].0[l] = tile.soa.x[p];
+            pos[1].0[l] = tile.soa.y[p];
+            pos[2].0[l] = tile.soa.z[p];
+            u[0].0[l] = tile.soa.ux[p];
+            u[1].0[l] = tile.soa.uy[p];
+            u[2].0[l] = tile.soa.uz[p];
+        }
+        boris_push_lanes(boris, &e, &b, &mut u, &mut pos);
+        for (l, &p) in pack.iter().enumerate() {
+            finish_push(
                 geom,
                 absorbing,
                 zlo,
                 zhi,
                 tile,
                 removals,
-                slots[i + l],
-                e[l],
-                b[l],
+                p,
+                [pos[0].lane(l), pos[1].lane(l), pos[2].lane(l)],
+                [u[0].lane(l), u[1].lane(l), u[2].lane(l)],
             );
         }
-        i += W;
-    }
-    // Scalar remainder loop (bitwise the same interpolation).
-    for l in i..slots.len() {
-        let (e, b) = gather_from_block(order, block, fracs[l]);
-        apply_push(
-            boris, geom, absorbing, zlo, zhi, tile, removals, slots[l], e, b,
-        );
+        i += n;
     }
 }
 
-/// Boris push + boundary handling + SoA writeback of one particle:
-/// statement-for-statement the tail of [`push_tile_batched`]'s particle
-/// loop, factored out so the lane-pack and remainder arms of the SIMD
-/// sweep share it.
-fn apply_push(
-    boris: &BorisCoeffs,
+/// Boundary handling + SoA writeback of one already-pushed particle
+/// (post-push position `pos` and momentum `u`): statement-for-statement
+/// the tail of [`push_tile_batched`]'s particle loop after its
+/// [`boris_push`] call, factored out so every lane of the SIMD pack
+/// retires through the identical scalar epilogue.
+fn finish_push(
     geom: &GridGeometry,
     absorbing: bool,
     zlo: f64,
@@ -1544,17 +1566,13 @@ fn apply_push(
     tile: &mut ParticleTile,
     removals: &mut Vec<(usize, usize)>,
     p: usize,
-    e: [f64; 3],
-    b: [f64; 3],
+    pos: [f64; 3],
+    u: [f64; 3],
 ) {
-    let (mut x, mut y, mut z) = (tile.soa.x[p], tile.soa.y[p], tile.soa.z[p]);
-    let (mut ux, mut uy, mut uz) = (tile.soa.ux[p], tile.soa.uy[p], tile.soa.uz[p]);
-    boris_push(
-        boris, e, b, &mut ux, &mut uy, &mut uz, &mut x, &mut y, &mut z,
-    );
-    let wrapped = geom.wrap_position([x, y, z]);
-    x = wrapped[0];
-    y = wrapped[1];
+    let wrapped = geom.wrap_position(pos);
+    let x = wrapped[0];
+    let y = wrapped[1];
+    let mut z = pos[2];
     if absorbing {
         if z < zlo || z >= zhi {
             removals.push((p, tile.cells[p]));
@@ -1565,9 +1583,9 @@ fn apply_push(
     tile.soa.x[p] = x;
     tile.soa.y[p] = y;
     tile.soa.z[p] = z;
-    tile.soa.ux[p] = ux;
-    tile.soa.uy[p] = uy;
-    tile.soa.uz[p] = uz;
+    tile.soa.ux[p] = u[0];
+    tile.soa.uy[p] = u[1];
+    tile.soa.uz[p] = u[2];
 }
 
 #[cfg(test)]

@@ -434,6 +434,10 @@ pub fn stage_tile(
                     m.use_autovec_model();
                 }
                 let mut p = 0;
+                // Roofline footprint of one SoA attribute array: the
+                // whole tile's particles are swept, so that is the
+                // operand span the crossover tests against L1.
+                let soa_footprint = (soa.x.len() * 8) as u64;
                 while p < n {
                     let lanes = (n - p).min(mpic_machine::VLANES);
                     let chunk = &iteration[p..p + lanes];
@@ -445,9 +449,13 @@ pub fn stage_tile(
                     for a in soa_addr {
                         match (contiguous, simd) {
                             (true, false) => m.v_touch_load(a.offset_f64(chunk[0]), lanes),
-                            (true, true) => m.v_touch_load_streamed(a.offset_f64(chunk[0]), lanes),
+                            (true, true) => m.v_touch_load_streamed(
+                                a.offset_f64(chunk[0]),
+                                lanes,
+                                soa_footprint,
+                            ),
                             (false, false) => m.v_touch_gather(*a, chunk),
-                            (false, true) => m.v_touch_gather_streamed(*a, chunk),
+                            (false, true) => m.v_touch_gather_streamed(*a, chunk, soa_footprint),
                         }
                     }
                     // Arithmetic: gamma+velocity (6), locate (6), weights

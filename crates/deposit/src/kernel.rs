@@ -322,15 +322,28 @@ impl Depositor {
             }
             SortStrategy::Incremental(_) => {
                 let addrs = self.addrs.as_ref().expect("prepare() not called");
+                // The lane-parallel mode prices this sweep — three
+                // unit-stride position streams — by the state-free
+                // streaming model like every other memory-bound phase;
+                // the scalar mode walks the cache simulator.
+                let simd = self.simd && self.batching;
                 // Stream-touch the position arrays: the sweep reads x,y,z
                 // of every particle (VPU-vectorised, Algorithm 1 line 13).
                 m.in_phase(Phase::Sort, |m| {
                     for (t, tile) in container.tiles.iter().enumerate() {
                         let n = tile.soa.slots();
+                        // Roofline footprint of one position array: the
+                        // sweep spans the tile's whole slot range.
+                        let footprint = (n * 8) as u64;
                         let mut p = 0;
                         while p < n {
                             for d in 0..3 {
-                                m.v_touch_load(addrs.soa[t][d].offset_f64(p), 8);
+                                let a = addrs.soa[t][d].offset_f64(p);
+                                if simd {
+                                    m.v_touch_load_streamed(a, 8, footprint);
+                                } else {
+                                    m.v_touch_load(a, 8);
+                                }
                             }
                             m.v_ops(4); // Cell compare + mask bookkeeping.
                             p += 8;

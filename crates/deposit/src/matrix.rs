@@ -190,14 +190,15 @@ fn deposit_run_cic(
         // these slices form an ascending dense sweep — the lane-parallel
         // mode prices it as a stream instead of walking the cache.
         let cur = if ctx.simd {
-            m.v_load_streamed(addr, rho.cell_slice(comp, cell))
+            m.v_load_streamed(addr, rho.cell_slice(comp, cell), rho.footprint_bytes())
         } else {
             m.v_load(addr, rho.cell_slice(comp, cell))
         };
         let sum = m.v_add(cur, contrib);
+        let fp = rho.footprint_bytes();
         let slice = rho.cell_slice_mut(comp, cell);
         if ctx.simd {
-            m.v_store_streamed(addr, sum, slice, 8);
+            m.v_store_streamed(addr, sum, slice, 8, fp);
         } else {
             m.v_store(addr, sum, slice, 8);
         }
@@ -286,14 +287,19 @@ fn deposit_run_qsp(
                 let addr = rho_addr.offset_f64(base);
                 // Streamed under SIMD, as in the CIC extraction.
                 let cur = if ctx.simd {
-                    m.v_load_streamed(addr, &rho.cell_slice(comp, cell)[node0..node0 + 8])
+                    m.v_load_streamed(
+                        addr,
+                        &rho.cell_slice(comp, cell)[node0..node0 + 8],
+                        rho.footprint_bytes(),
+                    )
                 } else {
                     m.v_load(addr, &rho.cell_slice(comp, cell)[node0..node0 + 8])
                 };
                 let sum = m.v_add(cur, contrib);
+                let fp = rho.footprint_bytes();
                 let slice = rho.cell_slice_mut(comp, cell);
                 if ctx.simd {
-                    m.v_store_streamed(addr, sum, &mut slice[node0..node0 + 8], 8);
+                    m.v_store_streamed(addr, sum, &mut slice[node0..node0 + 8], 8, fp);
                 } else {
                     m.v_store(addr, sum, &mut slice[node0..node0 + 8], 8);
                 }
@@ -370,14 +376,19 @@ fn deposit_run_tsc(
                 let addr = rho_addr.offset_f64(base);
                 // Streamed under SIMD, as in the CIC extraction.
                 let cur = if ctx.simd {
-                    m.v_load_streamed(addr, &rho.cell_slice(comp, cell)[node0..node0 + 3])
+                    m.v_load_streamed(
+                        addr,
+                        &rho.cell_slice(comp, cell)[node0..node0 + 3],
+                        rho.footprint_bytes(),
+                    )
                 } else {
                     m.v_load(addr, &rho.cell_slice(comp, cell)[node0..node0 + 3])
                 };
                 let sum = m.v_add(cur, contrib);
+                let fp = rho.footprint_bytes();
                 let slice = rho.cell_slice_mut(comp, cell);
                 if ctx.simd {
-                    m.v_store_streamed(addr, sum, &mut slice[node0..node0 + 3], 3);
+                    m.v_store_streamed(addr, sum, &mut slice[node0..node0 + 3], 3, fp);
                 } else {
                     m.v_store(addr, sum, &mut slice[node0..node0 + 3], 3);
                 }

@@ -52,6 +52,16 @@ impl Rhocell {
         self.data.len()
     }
 
+    /// Byte footprint of the whole accumulator (all three components) —
+    /// the operand span the roofline crossover compares against L1
+    /// capacity when the SIMD paths stream the cell slices (the sweep
+    /// interleaves components per cell, so the resident set is the full
+    /// array). Passed as the `footprint` argument of the streamed
+    /// machine prices.
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.data.len() * 8) as u64
+    }
+
     /// Whether the accumulator is empty (zero cells).
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
@@ -248,6 +258,13 @@ impl Rhocell {
             let mut prev_idx = [0usize; Self::MAX_NODES];
             let mut prev_live = false;
             let mut prev_mask = 0u8;
+            // Roofline footprints for the streamed prices: the whole
+            // accumulator on the source side (the sweep interleaves
+            // components), one guarded current array on the destination
+            // side (each component scatters into its own array).
+            let src_footprint = self.footprint_bytes();
+            let dims = geom.dims_with_guard();
+            let dst_footprint = (dims[0] * dims[1] * dims[2] * 8) as u64;
             for cell in 0..self.n_cells {
                 // Partial-active cells fold only their live components:
                 // the component pair lists feed v_touch_reduce_block.
@@ -284,6 +301,8 @@ impl Rhocell {
                     &dsts[..active],
                     &idx[..self.nodes],
                     prev,
+                    src_footprint,
+                    dst_footprint,
                 );
                 prev_idx[..self.nodes].copy_from_slice(&idx[..self.nodes]);
                 prev_live = true;

@@ -16,7 +16,7 @@
 //! iteration the rhocell working set stays cache-resident, which is the
 //! paper's `Rhocell+IncrSort` observation.
 
-use mpic_machine::{Lanes, Machine, Phase, VAddr, VReg, VLANES};
+use mpic_machine::{LaneMask, Lanes, Machine, Phase, VAddr, VReg, VLANES};
 use mpic_particles::cell_runs;
 
 use crate::common::{PrepStyle, Staging};
@@ -179,6 +179,10 @@ fn deposit_tile_batched(
                         // Lane-parallel block accumulate: same products,
                         // same per-(comp, node) add order, identical
                         // charge calls — bitwise equal to the scalar arm.
+                        // Ragged final chunks run masked (QSP's 64 nodes
+                        // split evenly, TSC's 27 leave a 3-wide tail):
+                        // inactive lanes never read or write past `w`.
+                        let mask = LaneMask::prefix(w);
                         let mut svals = [0.0; VLANES];
                         for (l, v) in svals.iter_mut().enumerate().take(w) {
                             let nd = node + l;
@@ -188,9 +192,9 @@ fn deposit_tile_batched(
                         for comp in 0..3 {
                             m.v_ops(1); // Effective-current multiply.
                             m.v_issue(1); // Block accumulate (L1-resident).
-                            Lanes::from_slice(&block[comp][node..node + w])
-                                .mul_acc(svals, Lanes::splat(wq[comp]))
-                                .write_to(&mut block[comp][node..node + w], w);
+                            Lanes::load_masked(&block[comp][node..node + w], mask)
+                                .mul_acc_masked(svals, Lanes::splat(wq[comp]), mask)
+                                .store_masked(&mut block[comp][node..node + w], mask);
                         }
                     } else {
                         for comp in 0..3 {
@@ -219,14 +223,19 @@ fn deposit_tile_batched(
                     let base = rho.index(comp, cell, node);
                     let addr = rho_addr.offset_f64(base);
                     let cur = if ctx.simd {
-                        m.v_load_streamed(addr, &rho.cell_slice(comp, cell)[node..node + w])
+                        m.v_load_streamed(
+                            addr,
+                            &rho.cell_slice(comp, cell)[node..node + w],
+                            rho.footprint_bytes(),
+                        )
                     } else {
                         m.v_load(addr, &rho.cell_slice(comp, cell)[node..node + w])
                     };
                     let sum = m.v_add(cur, VReg::from_slice(&block[comp][node..node + w]));
+                    let fp = rho.footprint_bytes();
                     let slice = rho.cell_slice_mut(comp, cell);
                     if ctx.simd {
-                        m.v_store_streamed(addr, sum, &mut slice[node..node + w], w);
+                        m.v_store_streamed(addr, sum, &mut slice[node..node + w], w, fp);
                     } else {
                         m.v_store(addr, sum, &mut slice[node..node + w], w);
                     }

@@ -83,23 +83,56 @@ impl GridGeometry {
 
     /// Wraps a (possibly negative) cell index into `[0, n)` per dimension
     /// for periodic boundaries.
+    ///
+    /// Almost every caller passes an already-in-range index (positions
+    /// are wrapped at the end of the push, so `locate` lands inside the
+    /// domain except at fractional-rounding edges), and `rem_euclid` on
+    /// `i64` is a hardware divide — the in-range branch skips it on the
+    /// common path. Integer arithmetic, so the two paths agree exactly.
     #[inline]
     pub fn wrap_cell(&self, cell: [i64; 3]) -> [usize; 3] {
         let mut out = [0usize; 3];
         for d in 0..3 {
             let n = self.n_cells[d] as i64;
-            out[d] = (cell[d].rem_euclid(n)) as usize;
+            out[d] = if (0..n).contains(&cell[d]) {
+                cell[d] as usize
+            } else {
+                cell[d].rem_euclid(n) as usize
+            };
         }
         out
     }
 
     /// Wraps a position into the periodic domain.
+    ///
+    /// The three guarded branches cover every CFL-bounded push (a step
+    /// moves a particle less than one cell, far less than the domain
+    /// extent) without the libm `fmod` behind `rem_euclid`, which
+    /// dominated the push phase's host profile. Each branch is bitwise
+    /// identical to `rem_euclid` on its range: `fmod` is exact, so for
+    /// offsets in `[0, e)` it returns the offset unchanged, for
+    /// `[e, 2e)` it returns the mathematically exact `r - e` (which
+    /// Sterbenz's lemma makes the one floating subtraction reproduce
+    /// exactly), and for `(-e, 0)` it returns `r` followed by the same
+    /// single rounded `r + e` the branch performs. Anything outside
+    /// those ranges — including the `r == -e` edge, where `rem_euclid`
+    /// yields `-0.0` rather than `0.0` — still takes `rem_euclid`.
     #[inline]
     pub fn wrap_position(&self, pos: [f64; 3]) -> [f64; 3] {
         let mut out = pos;
         let e = self.extent();
         for d in 0..3 {
-            out[d] = self.lo[d] + (out[d] - self.lo[d]).rem_euclid(e[d]);
+            let r = out[d] - self.lo[d];
+            out[d] = self.lo[d]
+                + if (0.0..e[d]).contains(&r) {
+                    r
+                } else if r >= e[d] && r < 2.0 * e[d] {
+                    r - e[d]
+                } else if r < 0.0 && r > -e[d] {
+                    r + e[d]
+                } else {
+                    r.rem_euclid(e[d])
+                };
         }
         out
     }
@@ -166,6 +199,36 @@ mod tests {
         assert!((p[0] - 7.5e-6).abs() < 1e-12);
         assert!((p[1] - 0.5e-6).abs() < 1e-12);
         assert!((p[2] - 4.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conf_wrap_position_fast_paths_match_rem_euclid_bitwise() {
+        let g = geom();
+        let e = g.extent();
+        // Offsets spanning every branch: in-domain, one extent above,
+        // just below 2e, negative within one extent, far outside both
+        // ways, and the exact-boundary edges (0, e, -e, 2e).
+        let offsets = [
+            0.0, 1e-7, 0.37, 0.999_999, 1.0, 1.25, 1.999_999, 2.0, 2.5, 7.0, -1e-7, -0.5,
+            -0.999_999, -1.0, -1.5, -6.25,
+        ];
+        for d in 0..3 {
+            for &k in &offsets {
+                let mut pos = [2.0e-6, 3.0e-6, 4.0e-6];
+                pos[d] = g.lo[d] + k * e[d];
+                let got = g.wrap_position(pos);
+                for dd in 0..3 {
+                    let want = g.lo[dd] + (pos[dd] - g.lo[dd]).rem_euclid(e[dd]);
+                    assert_eq!(
+                        got[dd].to_bits(),
+                        want.to_bits(),
+                        "dim {dd}, offset {k} extents (got {}, want {})",
+                        got[dd],
+                        want
+                    );
+                }
+            }
+        }
     }
 
     #[test]

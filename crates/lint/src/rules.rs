@@ -143,6 +143,11 @@ const VECT_MODULE: &[&str] = &["crates/machine/src/vect.rs"];
 /// the width; deriving it (`= crate::vect::W`) is the sanctioned form.
 const LANE_WIDTH_NAMES: &[&str] = &["W", "VLANES", "LANES", "LANE_WIDTH", "SIMD_WIDTH"];
 
+/// Type names reserved for the vect module's lane-pack vocabulary (rule
+/// L9): defining a shadow `Lanes`/`LaneMask` elsewhere forks the masked
+/// load/store/FMA contract the conformance suite pins on the real ones.
+const LANE_TYPE_NAMES: &[&str] = &["Lanes", "LaneMask"];
+
 /// A justification comment for rule L8 must actually talk about memory
 /// ordering — any of these (case-insensitive) counts.
 const ORDERING_WORDS: &[&str] = &[
@@ -533,6 +538,22 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
                          ({}) hard-code a platform vector width; use the \
                          portable lane-pack wrappers instead",
                         t.text,
+                        VECT_MODULE.join(", ")
+                    ),
+                );
+            }
+            if matches!(t.text.as_str(), "struct" | "enum" | "type")
+                && ident(nxt(1), LANE_TYPE_NAMES)
+            {
+                push(
+                    t.line,
+                    "L9-vector-width",
+                    format!(
+                        "defining `{}` outside the vect module ({}) shadows \
+                         the lane-pack type whose masked-tail contract the \
+                         conformance suite pins; import it from \
+                         `mpic_machine` instead",
+                        nxt(1).map_or(String::new(), |n| n.text.clone()),
                         VECT_MODULE.join(", ")
                     ),
                 );
@@ -1213,6 +1234,28 @@ mod tests {
             "{fired:?}"
         );
         assert!(rules_fired("crates/machine/src/vect.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l9_shadow_lane_pack_types_outside_vect_are_findings() {
+        for src in [
+            "pub struct Lanes(pub [f64; 8]);\n",
+            "enum LaneMask { Full, Prefix(usize) }\n",
+            "type Lanes = [f64; 8];\n",
+        ] {
+            let fired = rules_fired(ORDINARY, src);
+            assert!(fired.contains(&"L9-vector-width"), "{src}: {fired:?}");
+        }
+        let defining = "pub struct Lanes(pub [f64; W]);\npub struct LaneMask([bool; W]);\n";
+        assert!(rules_fired("crates/machine/src/vect.rs", defining).is_empty());
+    }
+
+    #[test]
+    fn l9_lane_pack_uses_and_lookalike_names_are_fine() {
+        let src = "use mpic_machine::{LaneMask, Lanes};\n\
+                   fn f(a: Lanes, m: LaneMask) -> Lanes { a.mul_acc_masked(a, a, m) }\n\
+                   struct LanesFoo;\n";
+        assert!(rules_fired(ORDINARY, src).is_empty());
     }
 
     #[test]

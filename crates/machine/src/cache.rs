@@ -399,6 +399,14 @@ impl CacheSim {
         self.l1.cfg.line_bytes as u64
     }
 
+    /// `log2(line_bytes)` — the line size is asserted to be a power of
+    /// two at construction, so `addr >> line_shift()` is exactly
+    /// `addr / line_bytes()` (hot paths use the shift to avoid a
+    /// hardware divide per address).
+    pub fn line_shift(&self) -> u32 {
+        self.l1.line_shift
+    }
+
     /// Exports the complete behavioural state (see [`CacheSimState`]).
     /// Non-destructive: the hierarchy is unchanged.
     pub fn export_state(&self) -> CacheSimState {

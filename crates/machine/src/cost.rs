@@ -68,6 +68,19 @@ pub struct MachineConfig {
     /// (prefetched) DRAM cost so the two pricing regimes agree on what a
     /// perfectly streamed line costs.
     pub simd_stream_line_cy: f64,
+    /// Roofline crossover for the state-free streaming price: when a
+    /// streamed call declares an operand-array footprint at or below this
+    /// many bytes (and the footprint is known, i.e. non-zero), the
+    /// operand set fits in L1 across the sweep and the line price drops
+    /// from [`Self::simd_stream_line_cy`] to [`Self::resident_line_cy`].
+    /// Keeps the price a pure function of the call operands — no cache
+    /// state is consulted — while no longer overcharging L1-resident
+    /// grids at the DRAM stream rate.
+    pub stream_crossover_bytes: u64,
+    /// Bandwidth-limited cycles per cache line on the resident side of
+    /// the crossover: an L1-resident operand streams at L1 bandwidth, so
+    /// one line costs one (throughput-amortised) L1 hit.
+    pub resident_line_cy: f64,
     /// Efficiency factor applied to compiler auto-vectorised loops
     /// relative to hand-written intrinsics (<= 1.0). The paper's Table 1
     /// shows the auto-vectorised rhocell preprocessing running at roughly
@@ -114,6 +127,10 @@ impl MachineConfig {
             dram_cy: 80.0,
             // = dram_cy x 0.15, the cache model's streamed-miss cost.
             simd_stream_line_cy: 12.0,
+            // Crossover at the L1 capacity: an operand array that fits in
+            // L1 streams at L1-hit bandwidth (one l1_hit_cy per line).
+            stream_crossover_bytes: 16 * 1024,
+            resident_line_cy: 0.5,
             autovec_efficiency: 0.30,
         }
     }
@@ -169,6 +186,17 @@ mod tests {
     fn cycles_to_seconds_uses_clock() {
         let cfg = MachineConfig::lx2();
         assert!((cfg.cycles_to_seconds(1.3e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lx2_crossover_sits_at_l1_capacity() {
+        let cfg = MachineConfig::lx2();
+        assert_eq!(cfg.stream_crossover_bytes, cfg.l1.size_bytes as u64);
+        assert_eq!(cfg.resident_line_cy, cfg.l1_hit_cy);
+        assert!(
+            cfg.resident_line_cy <= cfg.simd_stream_line_cy,
+            "the crossover must only ever lower the line price"
+        );
     }
 
     #[test]

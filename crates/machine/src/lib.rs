@@ -68,5 +68,5 @@ pub use mem::{MemSystem, VAddr};
 pub use partition::Partition;
 pub use shard::shard_bounds;
 pub use sync::{StdSync, SyncPrims};
-pub use vect::Lanes;
+pub use vect::{LaneMask, Lanes};
 pub use vreg::{VMask, VReg, VLANES};

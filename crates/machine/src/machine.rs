@@ -390,16 +390,38 @@ impl Machine {
         if bytes == 0 {
             return 0;
         }
-        let line = self.mem.line_bytes();
-        (addr.0 + bytes - 1) / line - addr.0 / line + 1
+        let shift = self.mem.line_shift();
+        ((addr.0 + bytes - 1) >> shift) - (addr.0 >> shift) + 1
+    }
+
+    /// Roofline crossover of the state-free streaming price: the
+    /// per-line cost of streaming from an operand array whose total byte
+    /// span is `footprint`. A sweep over an array that fits in L1
+    /// (`footprint <= stream_crossover_bytes`) is bandwidth-bound on the
+    /// **L1** side of the roofline — every line it revisits is a hit —
+    /// so it pays `resident_line_cy` per line instead of the DRAM stream
+    /// price. `footprint == 0` means "unknown" and keeps the
+    /// conservative DRAM-stream price. The `min` guarantees the
+    /// crossover only ever *lowers* a price (a misdeclared footprint can
+    /// never make a phase dearer), and the price stays a pure function
+    /// of the call operands — no cache state is consulted.
+    fn stream_line_price(&self, footprint: u64) -> f64 {
+        if footprint > 0 && footprint <= self.cfg.stream_crossover_bytes {
+            self.cfg.simd_stream_line_cy.min(self.cfg.resident_line_cy)
+        } else {
+            self.cfg.simd_stream_line_cy
+        }
     }
 
     /// Contiguous vector load at the state-free streaming price
     /// (functional twin of [`Machine::v_load`] for the SIMD hot paths).
-    pub fn v_load_streamed(&mut self, addr: VAddr, src: &[f64]) -> VReg {
+    /// `footprint` is the byte span of the whole source array for the
+    /// roofline crossover ([`Machine::stream_line_price`]); pass 0 when
+    /// unknown.
+    pub fn v_load_streamed(&mut self, addr: VAddr, src: &[f64], footprint: u64) -> VReg {
         let n = src.len().min(VLANES);
         let cy = Self::GATHER_MLP
-            * self.cfg.simd_stream_line_cy
+            * self.stream_line_price(footprint)
             * self.lines_spanned(addr, (n * 8) as u64) as f64;
         self.ctr.add_cycles(self.phase, cy);
         self.ctr.vector_ops += 1;
@@ -409,15 +431,24 @@ impl Machine {
     /// Contiguous vector store at the state-free streaming price
     /// (functional twin of [`Machine::v_store`]): write-combining
     /// buffers retire back-to-back wide stores at stream bandwidth, so
-    /// stores get the same overlap discount as read streams.
+    /// stores get the same overlap discount as read streams. `footprint`
+    /// is the destination array's byte span for the roofline crossover;
+    /// pass 0 when unknown.
     ///
     /// # Panics
     ///
     /// Panics if `n > VLANES` or `dst.len() < n`.
-    pub fn v_store_streamed(&mut self, addr: VAddr, reg: VReg, dst: &mut [f64], n: usize) {
+    pub fn v_store_streamed(
+        &mut self,
+        addr: VAddr,
+        reg: VReg,
+        dst: &mut [f64],
+        n: usize,
+        footprint: u64,
+    ) {
         assert!(n <= VLANES);
         let cy = Self::GATHER_MLP
-            * self.cfg.simd_stream_line_cy
+            * self.stream_line_price(footprint)
             * self.lines_spanned(addr, (n * 8) as u64) as f64;
         self.ctr.add_cycles(self.phase, cy);
         self.ctr.vector_ops += 1;
@@ -425,10 +456,11 @@ impl Machine {
     }
 
     /// Cost-only contiguous vector load at the state-free streaming
-    /// price (twin of [`Machine::v_touch_load`]).
-    pub fn v_touch_load_streamed(&mut self, addr: VAddr, lanes: usize) {
+    /// price (twin of [`Machine::v_touch_load`]). `footprint` as in
+    /// [`Machine::v_load_streamed`].
+    pub fn v_touch_load_streamed(&mut self, addr: VAddr, lanes: usize, footprint: u64) {
         let cy = Self::GATHER_MLP
-            * self.cfg.simd_stream_line_cy
+            * self.stream_line_price(footprint)
             * self.lines_spanned(addr, (lanes.min(VLANES) * 8) as u64) as f64;
         self.ctr.add_cycles(self.phase, cy);
         self.ctr.vector_ops += 1;
@@ -436,15 +468,16 @@ impl Machine {
 
     /// Cost-only indexed gather at the state-free streaming price (twin
     /// of [`Machine::v_touch_gather`]): per-lane issue cost plus each
-    /// distinct line at the overlapped stream price.
-    pub fn v_touch_gather_streamed(&mut self, base: VAddr, idx: &[usize]) {
+    /// distinct line at the overlapped stream price. `footprint` as in
+    /// [`Machine::v_load_streamed`].
+    pub fn v_touch_gather_streamed(&mut self, base: VAddr, idx: &[usize], footprint: u64) {
         self.ctr.vector_ops += 1;
         let take = idx.len().min(VLANES);
-        let line = self.mem.line_bytes();
+        let shift = self.mem.line_shift();
         let mut lines = [0u64; VLANES];
         let mut n = 0usize;
         'lanes: for &i in &idx[..take] {
-            let l = base.offset_f64(i).0 / line;
+            let l = base.offset_f64(i).0 >> shift;
             for &seen in &lines[..n] {
                 if seen == l {
                     continue 'lanes;
@@ -454,7 +487,7 @@ impl Machine {
             n += 1;
         }
         let cy = self.cfg.gather_lane_cy * take as f64
-            + Self::GATHER_MLP * self.cfg.simd_stream_line_cy * n as f64;
+            + Self::GATHER_MLP * self.stream_line_price(footprint) * n as f64;
         self.ctr.add_cycles(self.phase, cy);
     }
 
@@ -470,13 +503,14 @@ impl Machine {
     /// per-lane issue penalty.
     fn gather_mem_cost(&mut self, base: VAddr, idx: &[usize]) -> f64 {
         let line = self.mem.line_bytes();
+        let shift = self.mem.line_shift();
         // A gather touches at most VLANES distinct lines: dedup into a
         // stack buffer (no heap traffic on this very hot path), then
         // visit lines in ascending order as the coalescing unit would.
         let mut lines = [0u64; VLANES];
         let mut n = 0usize;
         'lanes: for &i in idx {
-            let l = base.offset_f64(i).0 / line;
+            let l = base.offset_f64(i).0 >> shift;
             for &seen in &lines[..n] {
                 if seen == l {
                     continue 'lanes;
@@ -609,10 +643,11 @@ impl Machine {
         }
         self.ctr.vector_ops += idx.len().div_ceil(VLANES) as u64;
         let line = self.mem.line_bytes();
+        let shift = self.mem.line_shift();
         // Stack-resident line dedup: collect, sort, visit distinct lines
         // ascending (the order the coalescing unit would).
         let mut lines = [0u64; Self::RUN_BLOCK_MAX];
-        let n = Self::collect_lines(&mut lines, base, idx, line);
+        let n = Self::collect_lines(&mut lines, base, idx, shift);
         let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
         let mut prev = u64::MAX;
         for &l in &lines[..n] {
@@ -637,11 +672,14 @@ impl Machine {
     ///   stencils overlap node for node, so most of a run's block load
     ///   collapses;
     /// * each *new* line is charged the state-free streaming price
-    ///   (`GATHER_MLP x simd_stream_line_cy`) instead of a cache walk:
-    ///   the block loads of consecutive runs form a dense ascending
-    ///   sweep of the tile's field arrays, exactly the access shape the
-    ///   stream prefetcher services at bandwidth. The charge is a pure
-    ///   function of `(base, idx, prev_idx)`.
+    ///   (`GATHER_MLP x` the crossover line price,
+    ///   [`Machine::stream_line_price`]) instead of a cache walk: the
+    ///   block loads of consecutive runs form a dense ascending sweep of
+    ///   the tile's field arrays, exactly the access shape the stream
+    ///   prefetcher services at bandwidth. `footprint` declares one
+    ///   field array's byte span so L1-resident grids cross over to the
+    ///   resident line price (0 = unknown, DRAM stream). The charge is a
+    ///   pure function of `(base, idx, prev_idx, footprint)`.
     ///
     /// Per-lane gather issue cost is still paid for every element of
     /// `idx` — address generation does not amortise.
@@ -650,7 +688,13 @@ impl Machine {
     ///
     /// Panics if `idx.len()` or `prev_idx.len()` exceeds
     /// [`Machine::RUN_BLOCK_MAX`].
-    pub fn v_touch_gather_block_reuse(&mut self, base: VAddr, idx: &[usize], prev_idx: &[usize]) {
+    pub fn v_touch_gather_block_reuse(
+        &mut self,
+        base: VAddr,
+        idx: &[usize],
+        prev_idx: &[usize],
+        footprint: u64,
+    ) {
         assert!(
             idx.len() <= Self::RUN_BLOCK_MAX && prev_idx.len() <= Self::RUN_BLOCK_MAX,
             "block exceeds RUN_BLOCK_MAX"
@@ -659,13 +703,13 @@ impl Machine {
             return;
         }
         self.ctr.vector_ops += idx.len().div_ceil(VLANES) as u64;
-        let line = self.mem.line_bytes();
+        let shift = self.mem.line_shift();
         let mut cur = [0u64; Self::RUN_BLOCK_MAX];
-        let cur_n = Self::collect_lines(&mut cur, base, idx, line);
+        let cur_n = Self::collect_lines(&mut cur, base, idx, shift);
         let mut prev = [0u64; Self::RUN_BLOCK_MAX];
-        let prev_n = Self::collect_lines(&mut prev, base, prev_idx, line);
+        let prev_n = Self::collect_lines(&mut prev, base, prev_idx, shift);
         let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
-        let new_line_cy = Self::GATHER_MLP * self.cfg.simd_stream_line_cy;
+        let new_line_cy = Self::GATHER_MLP * self.stream_line_price(footprint);
         let mut p = 0usize;
         let mut last = u64::MAX;
         for &l in &cur[..cur_n] {
@@ -684,21 +728,90 @@ impl Machine {
         self.ctr.add_cycles(self.phase, cy);
     }
 
+    /// [`Machine::v_touch_gather_block_reuse`] over several equally
+    /// line-aligned arrays sharing one node list — the SIMD run gather's
+    /// six field components. When every base is congruent modulo the
+    /// line size (the allocator returns line-aligned arrays, so this is
+    /// the ubiquitous case), each array's line set is the first array's
+    /// shifted by a whole number of lines: the dedup/merge result is
+    /// identical, so it is computed once and the per-array charge —
+    /// bitwise the same accumulation the per-array calls would make — is
+    /// replayed for each base. Incongruent bases fall back to the exact
+    /// per-array walk. Host-side fast path only; counters and cycles are
+    /// bit-identical to six separate calls either way.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Machine::v_touch_gather_block_reuse`].
+    pub fn v_touch_gather_block_reuse_multi(
+        &mut self,
+        bases: &[VAddr],
+        idx: &[usize],
+        prev_idx: &[usize],
+        footprint: u64,
+    ) {
+        assert!(
+            idx.len() <= Self::RUN_BLOCK_MAX && prev_idx.len() <= Self::RUN_BLOCK_MAX,
+            "block exceeds RUN_BLOCK_MAX"
+        );
+        if idx.is_empty() || bases.is_empty() {
+            return;
+        }
+        let line = self.mem.line_bytes();
+        if !bases.iter().all(|b| b.0 % line == bases[0].0 % line) {
+            for &b in bases {
+                self.v_touch_gather_block_reuse(b, idx, prev_idx, footprint);
+            }
+            return;
+        }
+        let shift = self.mem.line_shift();
+        let mut cur = [0u64; Self::RUN_BLOCK_MAX];
+        let cur_n = Self::collect_lines(&mut cur, bases[0], idx, shift);
+        let mut prev = [0u64; Self::RUN_BLOCK_MAX];
+        let prev_n = Self::collect_lines(&mut prev, bases[0], prev_idx, shift);
+        // The same merge walk as the single-array call, accumulating the
+        // identical `cy` one new line at a time (a multiply-by-count
+        // could round differently).
+        let mut cy = self.cfg.gather_lane_cy * idx.len() as f64;
+        let new_line_cy = Self::GATHER_MLP * self.stream_line_price(footprint);
+        let mut p = 0usize;
+        let mut last = u64::MAX;
+        for &l in &cur[..cur_n] {
+            if l == last {
+                continue;
+            }
+            last = l;
+            while p < prev_n && prev[p] < l {
+                p += 1;
+            }
+            if p < prev_n && prev[p] == l {
+                continue; // Register-resident from the previous run.
+            }
+            cy += new_line_cy;
+        }
+        for _ in bases {
+            self.ctr.vector_ops += idx.len().div_ceil(VLANES) as u64;
+            self.ctr.add_cycles(self.phase, cy);
+        }
+    }
+
     /// Fills `buf` with the (sorted, possibly duplicated) cache-line ids
     /// of `base[idx]`; callers skip duplicates while walking ascending.
     /// Stencil node lists arrive ascending except for cells straddling a
     /// periodic wrap, so the sort is skipped when a single pass confirms
-    /// the order (the common case on the hot path).
+    /// the order (the common case on the hot path). `shift` is
+    /// `log2(line_bytes)` ([`MemModel::line_shift`]): the shift is the
+    /// exact power-of-two division, minus the per-node hardware divide.
     fn collect_lines(
         buf: &mut [u64; Self::RUN_BLOCK_MAX],
         base: VAddr,
         idx: &[usize],
-        line: u64,
+        shift: u32,
     ) -> usize {
         let mut sorted = true;
         let mut last = 0u64;
         for (slot, &i) in buf.iter_mut().zip(idx) {
-            let l = base.offset_f64(i).0 / line;
+            let l = base.offset_f64(i).0 >> shift;
             sorted &= l >= last;
             last = l;
             *slot = l;
@@ -743,7 +856,7 @@ impl Machine {
     /// Panics if `srcs.len() != dsts.len()`, if no components are given,
     /// or if `idx.len() > RUN_BLOCK_MAX`.
     pub fn v_touch_reduce_block(&mut self, srcs: &[VAddr], dsts: &[VAddr], idx: &[usize]) {
-        self.v_touch_reduce_block_reuse(srcs, dsts, idx, &[]);
+        self.v_touch_reduce_block_reuse(srcs, dsts, idx, &[], 0, 0);
     }
 
     /// Reuse-aware variant of [`Machine::v_touch_reduce_block`]: the SIMD
@@ -758,6 +871,10 @@ impl Machine {
     /// the same components; the contiguous per-cell source streams never
     /// reuse (each cell owns its slice).
     ///
+    /// `src_footprint`/`dst_footprint` declare the byte spans of one
+    /// source array and one destination array for the roofline crossover
+    /// ([`Machine::stream_line_price`]); pass 0 when unknown.
+    ///
     /// # Panics
     ///
     /// Same contract as [`Machine::v_touch_reduce_block`], plus
@@ -768,6 +885,8 @@ impl Machine {
         dsts: &[VAddr],
         idx: &[usize],
         prev_idx: &[usize],
+        src_footprint: u64,
+        dst_footprint: u64,
     ) {
         assert_eq!(
             srcs.len(),
@@ -791,13 +910,12 @@ impl Machine {
         // layout keeps each cell's node slice dense, and the cell sweep
         // walks those slices in ascending order — a textbook stream,
         // charged per spanned line with read-stream overlap.
+        let src_line_cy = Self::GATHER_MLP * self.stream_line_price(src_footprint);
         for &src in srcs {
             let mut node = 0;
             while node < idx.len() {
                 let n = (idx.len() - node).min(VLANES);
-                cy += Self::GATHER_MLP
-                    * self.cfg.simd_stream_line_cy
-                    * self.lines_spanned(src.offset_f64(node), (n * 8) as u64) as f64;
+                cy += src_line_cy * self.lines_spanned(src.offset_f64(node), (n * 8) as u64) as f64;
                 node += n;
             }
         }
@@ -806,25 +924,45 @@ impl Machine {
         // gets no read-overlap discount — unless the preceding cell's
         // fold left the line in the store buffer.
         let line = self.mem.line_bytes();
-        for &dst in dsts {
-            let mut lines = [0u64; Self::RUN_BLOCK_MAX];
-            let n = Self::collect_lines(&mut lines, dst, idx, line);
-            let mut prev_lines = [0u64; Self::RUN_BLOCK_MAX];
-            let prev_n = Self::collect_lines(&mut prev_lines, dst, prev_idx, line);
-            let mut p = 0usize;
-            let mut last = u64::MAX;
-            for &l in &lines[..n] {
-                if l == last {
-                    continue;
+        let shift = self.mem.line_shift();
+        let dst_line_cy = self.stream_line_price(dst_footprint);
+        // Component arrays are line-aligned allocations, so their line
+        // sets differ by whole lines and every component sees the same
+        // number of new lines: walk the merge once and replay the
+        // per-line adds per component (the adds must stay one-at-a-time
+        // — a multiply could round differently). Incongruent bases take
+        // the exact per-component walk.
+        let congruent = dsts.iter().all(|d| d.0 % line == dsts[0].0 % line);
+        let mut shared_new = 0usize;
+        for (k, &dst) in dsts.iter().enumerate() {
+            let new = if congruent && k > 0 {
+                shared_new
+            } else {
+                let mut lines = [0u64; Self::RUN_BLOCK_MAX];
+                let n = Self::collect_lines(&mut lines, dst, idx, shift);
+                let mut prev_lines = [0u64; Self::RUN_BLOCK_MAX];
+                let prev_n = Self::collect_lines(&mut prev_lines, dst, prev_idx, shift);
+                let mut p = 0usize;
+                let mut last = u64::MAX;
+                let mut new = 0usize;
+                for &l in &lines[..n] {
+                    if l == last {
+                        continue;
+                    }
+                    last = l;
+                    while p < prev_n && prev_lines[p] < l {
+                        p += 1;
+                    }
+                    if p < prev_n && prev_lines[p] == l {
+                        continue; // Store-buffer resident from the last fold.
+                    }
+                    new += 1;
                 }
-                last = l;
-                while p < prev_n && prev_lines[p] < l {
-                    p += 1;
-                }
-                if p < prev_n && prev_lines[p] == l {
-                    continue; // Store-buffer resident from the last fold.
-                }
-                cy += self.cfg.simd_stream_line_cy;
+                shared_new = new;
+                new
+            };
+            for _ in 0..new {
+                cy += dst_line_cy;
             }
         }
         self.ctr.flops_issued += (comps * idx.len()) as f64;
@@ -1264,14 +1402,14 @@ mod tests {
         let idx = [0usize, 1, 33, 34, 1089, 1090, 1122, 1123, 5, 6];
         cold.set_phase(Phase::Gather);
         warm.set_phase(Phase::Gather);
-        cold.v_touch_gather_block_reuse(cb, &idx, &[]);
-        warm.v_touch_gather_block_reuse(wb, &idx, &[]);
+        cold.v_touch_gather_block_reuse(cb, &idx, &[], 0);
+        warm.v_touch_gather_block_reuse(wb, &idx, &[], 0);
         let csrc = cold.mem().alloc_f64(16);
         let wsrc = warm.mem().alloc_f64(16);
         cold.set_phase(Phase::Reduce);
         warm.set_phase(Phase::Reduce);
-        cold.v_touch_reduce_block_reuse(&[csrc], &[cb], &idx, &[]);
-        warm.v_touch_reduce_block_reuse(&[wsrc], &[wb], &idx, &[]);
+        cold.v_touch_reduce_block_reuse(&[csrc], &[cb], &idx, &[], 0, 0);
+        warm.v_touch_reduce_block_reuse(&[wsrc], &[wb], &idx, &[], 0, 0);
         assert_eq!(
             cold.counters().total_cycles().to_bits(),
             warm.counters().total_cycles().to_bits()
@@ -1314,7 +1452,7 @@ mod tests {
         let base = m.mem().alloc_f64(4096);
         let idx = [0usize, 1, 33, 34, 1089, 1090, 1122, 1123];
         m.set_phase(Phase::Gather);
-        m.v_touch_gather_block_reuse(base, &idx, &idx);
+        m.v_touch_gather_block_reuse(base, &idx, &idx, 0);
         let full = m.counters().cycles(Phase::Gather);
         assert!(
             (full - lane * idx.len() as f64).abs() < 1e-12,
@@ -1324,7 +1462,7 @@ mod tests {
         let mut part = Machine::new(cfg.clone());
         let pb = part.mem().alloc_f64(4096);
         part.set_phase(Phase::Gather);
-        part.v_touch_gather_block_reuse(pb, &idx, &[0, 1, 33, 34]);
+        part.v_touch_gather_block_reuse(pb, &idx, &[0, 1, 33, 34], 0);
         let mut none = Machine::new(cfg);
         let nb = none.mem().alloc_f64(4096);
         none.set_phase(Phase::Gather);
@@ -1347,7 +1485,7 @@ mod tests {
         fresh.set_phase(Phase::Reduce);
         reused.set_phase(Phase::Reduce);
         fresh.v_touch_reduce_block(&fs, &fd, &idx);
-        reused.v_touch_reduce_block_reuse(&rs, &rd, &idx, &idx);
+        reused.v_touch_reduce_block_reuse(&rs, &rd, &idx, &idx, 0, 0);
         let f = fresh.counters().cycles(Phase::Reduce);
         let r = reused.counters().cycles(Phase::Reduce);
         assert!(r < f, "reused fold {r} must undercut fresh fold {f}");
@@ -1358,6 +1496,87 @@ mod tests {
             reused.counters().flops_issued
         );
         assert_eq!(fresh.counters().vector_ops, reused.counters().vector_ops);
+    }
+
+    #[test]
+    fn conf_crossover_monotonic_resident_never_exceeds_stream() {
+        // Roofline crossover contract: declaring a footprint can only
+        // ever LOWER a streamed price, monotonically in the footprint —
+        // L1-resident (<= crossover) is strictly cheaper, anything above
+        // the crossover (or unknown, 0) charges the bitwise-identical
+        // DRAM-stream price. Checked across every streamed entry point.
+        let cfg = MachineConfig::lx2();
+        let xover = cfg.stream_crossover_bytes;
+        let idx = [0usize, 1, 33, 34, 1089, 1090, 1122, 1123];
+        let charge = |footprint: u64| -> [f64; 4] {
+            let mut m = Machine::new(cfg.clone());
+            let base = m.mem().alloc_f64(65536);
+            let src = m.mem().alloc_f64(64);
+            let mut out = [0.0; 4];
+            m.set_phase(Phase::Gather);
+            m.v_touch_gather_block_reuse(base, &idx, &[], footprint);
+            out[0] = m.counters().cycles(Phase::Gather);
+            m.set_phase(Phase::Reduce);
+            m.v_touch_reduce_block_reuse(&[src], &[base], &idx, &[], footprint, footprint);
+            out[1] = m.counters().cycles(Phase::Reduce);
+            m.set_phase(Phase::Preprocess);
+            m.v_touch_load_streamed(base, 8, footprint);
+            m.v_touch_gather_streamed(base, &idx, footprint);
+            out[2] = m.counters().cycles(Phase::Preprocess);
+            m.set_phase(Phase::Compute);
+            let data = vec![1.5; 8];
+            let mut dst = vec![0.0; 8];
+            let r = m.v_load_streamed(base, &data, footprint);
+            m.v_store_streamed(base, r, &mut dst, 8, footprint);
+            out[3] = m.counters().cycles(Phase::Compute);
+            out
+        };
+        let unknown = charge(0);
+        let resident = charge(xover);
+        let over = charge(xover + 1);
+        let tiny = charge(64);
+        for p in 0..4 {
+            assert!(
+                resident[p] < unknown[p],
+                "entry {p}: resident {} must undercut stream {}",
+                resident[p],
+                unknown[p]
+            );
+            assert_eq!(
+                over[p].to_bits(),
+                unknown[p].to_bits(),
+                "entry {p}: above-crossover footprint must price as a stream"
+            );
+            assert_eq!(
+                tiny[p].to_bits(),
+                resident[p].to_bits(),
+                "entry {p}: the resident price is flat below the crossover"
+            );
+        }
+    }
+
+    #[test]
+    fn conf_crossover_resident_gather_still_undercuts_cold_walk() {
+        // The 8^3 case from the scalar->simd conformance snapshot: an
+        // L1-resident stencil sweep must never be charged MORE than the
+        // scalar cache walk it replaces — the crossover closes the
+        // overpricing, and the cheaper-phase contract can't invert.
+        let cfg = MachineConfig::lx2();
+        let idx = [0usize, 1, 33, 34, 1089, 1090, 1122, 1123];
+        let mut streamed = Machine::new(cfg.clone());
+        let sb = streamed.mem().alloc_f64(1728); // 12^3 guarded 8^3 grid
+        streamed.set_phase(Phase::Gather);
+        streamed.v_touch_gather_block_reuse(sb, &idx, &[], 1728 * 8);
+        let mut walk = Machine::new(cfg);
+        let wb = walk.mem().alloc_f64(1728);
+        walk.set_phase(Phase::Gather);
+        walk.v_touch_gather_block(wb, &idx);
+        let s = streamed.counters().cycles(Phase::Gather);
+        let w = walk.counters().cycles(Phase::Gather);
+        assert!(
+            s <= w,
+            "resident stream {s} must not exceed the cold cache walk {w}"
+        );
     }
 
     #[test]

@@ -104,6 +104,11 @@ impl MemSystem {
         self.cache.line_bytes()
     }
 
+    /// `log2(line_bytes)`; see [`CacheSim::line_shift`].
+    pub fn line_shift(&self) -> u32 {
+        self.cache.line_shift()
+    }
+
     /// Enables or disables the cache's last-line memo fast path (see
     /// [`CacheSim::set_line_memo`]); a pure host-speed knob whose
     /// counters are bit-identical either way. Test hook.

@@ -2,7 +2,7 @@
 
 use mpic_deposit::{stage_particle, ShapeOrder};
 use mpic_grid::{FieldArrays, GridGeometry};
-use mpic_machine::{vect::W, Lanes, Machine, Phase, VAddr};
+use mpic_machine::{vect::W, LaneMask, Lanes, Machine, Phase, VAddr};
 
 /// Per-step cost parameters of the gather sweep (charged coarsely: the
 //  gather is not the paper's optimisation target, but its time must
@@ -240,13 +240,40 @@ pub fn gather_from_block_lanes(
     e_out: &mut [[f64; 3]],
     b_out: &mut [[f64; 3]],
 ) {
-    let s = order.support();
     let n = fracs.len();
-    assert!(n <= W, "more particles than lanes in one pack");
     assert!(
         e_out.len() >= n && b_out.len() >= n,
         "output slices shorter than the lane pack"
     );
+    let (e, b) = gather_from_block_lanes_masked(order, block, fracs);
+    for l in 0..n {
+        for d in 0..3 {
+            e_out[l][d] = e[d].lane(l);
+            b_out[l][d] = b[d].lane(l);
+        }
+    }
+}
+
+/// Masked core of the lane gather: interpolates `(E, B)` for
+/// `fracs.len()` particles (at most [`W`]) and returns the results still
+/// in lane-register layout (`[Lanes; 3]` per field, lane `l` = particle
+/// `l`) for the lane-parallel Boris push to consume directly — no
+/// transpose through memory. Ragged run tails stay on this path: the
+/// accumulation runs under a [`LaneMask::prefix`] mask, so inactive tail
+/// lanes hold exact zeros on return while every active lane is
+/// bit-identical to its own [`gather_from_block`] call (masking selects
+/// lanes; it never regroups arithmetic).
+///
+/// # Panics
+/// If `fracs` is wider than a lane pack.
+pub fn gather_from_block_lanes_masked(
+    order: ShapeOrder,
+    block: &NodeBlock,
+    fracs: &[[f64; 3]],
+) -> ([Lanes; 3], [Lanes; 3]) {
+    let s = order.support();
+    let n = fracs.len();
+    let mask = LaneMask::prefix(n);
     // Per-lane shape weights, evaluated exactly as the scalar gather
     // evaluates them.
     let mut sw = [[[0.0f64; 4]; 3]; W];
@@ -266,17 +293,13 @@ pub fn gather_from_block_lanes(
                 }
                 let wl = Lanes(wl);
                 for (comp, lane_acc) in acc.iter_mut().enumerate() {
-                    *lane_acc = lane_acc.mul_acc(wl, Lanes::splat(block.vals[comp][nd]));
+                    *lane_acc =
+                        lane_acc.mul_acc_masked(wl, Lanes::splat(block.vals[comp][nd]), mask);
                 }
             }
         }
     }
-    for l in 0..n {
-        for d in 0..3 {
-            e_out[l][d] = acc[d].lane(l);
-            b_out[l][d] = acc[3 + d].lane(l);
-        }
-    }
+    ([acc[0], acc[1], acc[2]], [acc[3], acc[4], acc[5]])
 }
 
 /// Charges the gather cost of one same-cell run of `n` particles whose
@@ -311,9 +334,12 @@ pub fn charge_gather_run(
 /// at the state-free streaming price (see
 /// [`Machine::v_touch_gather_block_reuse`]): the block loads of
 /// consecutive sorted runs sweep the field arrays in ascending order,
-/// which the stream prefetcher services at bandwidth. The functional
-/// accounting (vector ops, FLOPs) matches [`charge_gather_run`] exactly;
-/// only the memory price differs.
+/// which the stream prefetcher services at bandwidth. `footprint` is the
+/// byte span of one field array (guarded grid x 8), which the machine's
+/// roofline crossover compares against L1 capacity — small L1-resident
+/// grids are charged at the resident line price instead of the DRAM
+/// stream price. The functional accounting (vector ops, FLOPs) matches
+/// [`charge_gather_run`] exactly; only the memory price differs.
 pub fn charge_gather_run_reuse(
     m: &mut Machine,
     cost: GatherCost,
@@ -321,11 +347,12 @@ pub fn charge_gather_run_reuse(
     field_addrs: &[VAddr; 6],
     node_idx: &[usize],
     prev_idx: &[usize],
+    footprint: u64,
 ) {
     m.in_phase(Phase::Gather, |m| {
-        for addr in field_addrs {
-            m.v_touch_gather_block_reuse(*addr, node_idx, prev_idx);
-        }
+        // One line-set walk shared by all six (line-aligned) field
+        // arrays; bit-identical to six per-array calls.
+        m.v_touch_gather_block_reuse_multi(field_addrs, node_idx, prev_idx, footprint);
         let chunks = n.div_ceil(8);
         m.v_ops(cost.v_ops_per_chunk * chunks);
         m.record_flops((n * node_idx.len() * 6 * 2) as f64);
@@ -500,6 +527,65 @@ mod tests {
                             b_want[d].to_bits(),
                             "{order:?} n={n} lane {l} B[{d}]"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conf_masked_tail_gather_matches_scalar_bitwise() {
+        // The masked core must return, for EVERY tail width 1..=W, active
+        // lanes bit-identical to the scalar gather and exact zeros in the
+        // inactive tail lanes — the contract that lets the push consume
+        // ragged runs without a scalar remainder loop.
+        let (geom, mut fields) = setup();
+        let [nx, ny, nz] = fields.ex.shape();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let v = (i * 17 + j * 3 + k * 11) as f64 * 0.017 - 1.1;
+                    fields.ex.set(i, j, k, v);
+                    fields.ey.set(i, j, k, v * 0.3 + 0.6);
+                    fields.ez.set(i, j, k, (v * 0.4).sin());
+                    fields.bx.set(i, j, k, 0.7 - v);
+                    fields.by.set(i, j, k, v * v * 0.02);
+                    fields.bz.set(i, j, k, 1.0 / (1.5 + v * v));
+                }
+            }
+        }
+        for order in [ShapeOrder::Cic, ShapeOrder::Tsc, ShapeOrder::Qsp] {
+            let mut block = NodeBlock::new();
+            let (cell, _) = geom.locate(2.6e-6, 5.2e-6, 3.8e-6);
+            let cell = geom.wrap_cell(cell);
+            load_node_block(&geom, order, &fields, cell, &mut block);
+            let fracs: Vec<[f64; 3]> = (0..W)
+                .map(|t| {
+                    let f = t as f64 / W as f64;
+                    [f * 0.85 + 0.05, (1.0 - f) * 0.7 + 0.15, f * f * 0.6 + 0.25]
+                })
+                .collect();
+            for n in 1..=W {
+                let (e, b) = gather_from_block_lanes_masked(order, &block, &fracs[..n]);
+                for (l, frac) in fracs[..n].iter().enumerate() {
+                    let (e_want, b_want) = gather_from_block(order, &block, *frac);
+                    for d in 0..3 {
+                        assert_eq!(
+                            e[d].lane(l).to_bits(),
+                            e_want[d].to_bits(),
+                            "{order:?} n={n} lane {l} E[{d}]"
+                        );
+                        assert_eq!(
+                            b[d].lane(l).to_bits(),
+                            b_want[d].to_bits(),
+                            "{order:?} n={n} lane {l} B[{d}]"
+                        );
+                    }
+                }
+                for l in n..W {
+                    for d in 0..3 {
+                        assert_eq!(e[d].lane(l).to_bits(), 0, "{order:?} n={n} tail lane {l}");
+                        assert_eq!(b[d].lane(l).to_bits(), 0, "{order:?} n={n} tail lane {l}");
                     }
                 }
             }

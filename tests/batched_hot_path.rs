@@ -270,9 +270,10 @@ fn uniform_simd(kernel: KernelConfig, batching: bool, simd: bool) -> Simulation 
 /// memory-bound phases the lane-parallel mode re-prices through the
 /// state-free streaming model — Preprocess (streamed staging loads),
 /// Compute (streamed rhocell accumulates / a prefetcher left clean for
-/// the scatter sweep), Gather (register-reuse block gathers) and, for
+/// the scatter sweep), Sort (the incremental sweep's three unit-stride
+/// position streams), Gather (register-reuse block gathers) and, for
 /// rhocell-based kernels, Reduce (the fused rhocell→grid traversal) —
-/// charge strictly fewer cycles; every remaining phase (Push, Sort,
+/// charge strictly fewer cycles; every remaining phase (Push,
 /// FieldSolve, Other) is bitwise.
 fn assert_simd_streaming_contract(
     label: &str,
@@ -283,8 +284,10 @@ fn assert_simd_streaming_contract(
     assert_eq!(scalar.2, simd.2, "{label}: particle counts diverged");
     assert_values_bitwise(label, &scalar.0, &simd.0);
     for (i, p) in Phase::ALL.iter().enumerate() {
-        let cheaper = matches!(p, Phase::Preprocess | Phase::Compute | Phase::Gather)
-            || (reduce_cheaper && *p == Phase::Reduce);
+        let cheaper = matches!(
+            p,
+            Phase::Preprocess | Phase::Compute | Phase::Sort | Phase::Gather
+        ) || (reduce_cheaper && *p == Phase::Reduce);
         if cheaper {
             assert!(
                 simd.1[i] < scalar.1[i],

@@ -17,7 +17,9 @@ use matrix_pic::particles::{
     cell_runs, counting_sort_keys, counting_sort_keys_sharded, Gpma, SortScratch,
     INVALID_PARTICLE_ID,
 };
-use matrix_pic::push::gather::{gather_from_block, gather_from_block_lanes, NodeBlock};
+use matrix_pic::push::gather::{
+    gather_from_block, gather_from_block_lanes, gather_from_block_lanes_masked, NodeBlock,
+};
 use proptest::prelude::*;
 
 /// Case budget: `MPIC_FUZZ_ITERS` if set and parseable, else `default`.
@@ -125,19 +127,28 @@ fn fuzz_sharded_sort_matches_sequential_for_all_workers_and_policies() {
 /// The SIMD gather's lane-pack decomposition must be bit-identical to
 /// the per-particle block gather for every run length — empty, 1,
 /// `W-1`, `W`, `W+1` and ragged multi-run tiles — across shape orders
-/// and arbitrary field values. This is the lane-remainder contract of
-/// the lane-parallel hot path: full packs go through
-/// `gather_from_block_lanes`, ragged tails through the scalar routine,
-/// and no decomposition may change a single bit.
+/// and arbitrary field values, under BOTH decompositions the hot path
+/// has used: full `W`-wide packs with a scalar remainder (masked off,
+/// the pre-masked-tail flush) and masked packs of `min(W, remaining)`
+/// through `gather_from_block_lanes_masked` (masked on, the current
+/// flush). The lane-boundary lengths `kW-1`, `kW`, `kW+1` run on every
+/// case in addition to the randomly drawn tiles, and masked tail packs
+/// must additionally leave every inactive lane at exactly 0.0 bits.
 #[test]
 fn fuzz_lane_remainder_gather_matches_scalar_bitwise() {
     proptest!(ProptestConfig::with_cases(fuzz_cases(64)).with_corpus("lane_remainder"), |(
         run_lens in prop::collection::vec(0usize..(2 * W + 2), 1..6),
         order_pick in 0usize..3,
+        masked in 0u8..2,
         seed in 0u64..1_000_000,
     )| {
         let order = [ShapeOrder::Cic, ShapeOrder::Tsc, ShapeOrder::Qsp][order_pick];
         let s = order.support();
+        let masked = masked == 1;
+        // Lane-boundary lengths kW-1 / kW / kW+1 ride along on every
+        // case: they are exactly where a masked-tail bug would hide.
+        let boundary = [W - 1, W, W + 1, 2 * W - 1, 2 * W, 2 * W + 1];
+        let run_lens: Vec<usize> = run_lens.iter().copied().chain(boundary).collect();
         let mut state = seed ^ 0x243F_6A88_85A3_08D3;
         let mut next = move || {
             state = state
@@ -158,25 +169,51 @@ fn fuzz_lane_remainder_gather_matches_scalar_bitwise() {
             let fracs: Vec<[f64; 3]> = (0..len)
                 .map(|_| [next() + 0.5, next() + 0.5, next() + 0.5])
                 .collect();
-            // Decompose exactly as the hot path's run flush does: full
-            // W-wide packs, then the scalar remainder.
             let mut got_e = vec![[0.0; 3]; len];
             let mut got_b = vec![[0.0; 3]; len];
-            let mut i = 0;
-            while i + W <= len {
-                gather_from_block_lanes(
-                    order,
-                    &block,
-                    &fracs[i..i + W],
-                    &mut got_e[i..i + W],
-                    &mut got_b[i..i + W],
-                );
-                i += W;
-            }
-            for l in i..len {
-                let (e, b) = gather_from_block(order, &block, fracs[l]);
-                got_e[l] = e;
-                got_b[l] = b;
+            if masked {
+                // Decompose exactly as the current run flush does:
+                // masked packs of min(W, remaining) lanes.
+                let mut i = 0;
+                while i < len {
+                    let n = (len - i).min(W);
+                    let (e, b) = gather_from_block_lanes_masked(order, &block, &fracs[i..i + n]);
+                    for l in 0..n {
+                        for d in 0..3 {
+                            got_e[i + l][d] = e[d].lane(l);
+                            got_b[i + l][d] = b[d].lane(l);
+                        }
+                    }
+                    // Inactive lanes of a tail pack must be exactly
+                    // zero: a masked accumulator that leaks a partial
+                    // product would show up here.
+                    for l in n..W {
+                        for d in 0..3 {
+                            prop_assert_eq!(e[d].lane(l).to_bits(), 0, "tail lane {} E[{}]", l, d);
+                            prop_assert_eq!(b[d].lane(l).to_bits(), 0, "tail lane {} B[{}]", l, d);
+                        }
+                    }
+                    i += n;
+                }
+            } else {
+                // The pre-masked-tail decomposition: full W-wide packs,
+                // then the scalar remainder.
+                let mut i = 0;
+                while i + W <= len {
+                    gather_from_block_lanes(
+                        order,
+                        &block,
+                        &fracs[i..i + W],
+                        &mut got_e[i..i + W],
+                        &mut got_b[i..i + W],
+                    );
+                    i += W;
+                }
+                for l in i..len {
+                    let (e, b) = gather_from_block(order, &block, fracs[l]);
+                    got_e[l] = e;
+                    got_b[l] = b;
+                }
             }
             for (l, frac) in fracs.iter().enumerate() {
                 let (e_want, b_want) = gather_from_block(order, &block, *frac);

@@ -155,10 +155,15 @@ fn conf_snapshot_restore_bit_identical_with_simd() {
 /// with bit-identical field values. The writer's two scalar-mode steps
 /// charge the cache-walking prices in the memory-bound phases the SIMD
 /// mode re-prices through the state-free streaming model, so the resumed
-/// run carries a strictly higher Preprocess/Compute/Reduce history than
-/// the uninterrupted simd-on run and a diverged (here: slightly cheaper —
-/// this small sorted grid walks mostly L1 hits, undercutting the flat
-/// streamed line price) Gather history; every other phase matches bitwise.
+/// run carries a strictly higher Preprocess/Compute/Reduce/Gather/Sort
+/// history than the uninterrupted simd-on run. (Gather joined the
+/// strictly-cheaper set with the roofline crossover: this 8^3 grid's
+/// guarded field arrays fit in L1, so the streamed block loads now pay the
+/// resident line price instead of being overcharged at the flat DRAM
+/// stream rate — previously the mostly-L1-hit cache walk undercut the
+/// stream here. Sort joined when the incremental sweep's position scan
+/// was re-priced through the same streaming model.) Every other phase
+/// matches bitwise.
 #[test]
 fn conf_snapshot_written_scalar_restores_into_simd() {
     use matrix_pic::machine::Phase;
@@ -198,17 +203,14 @@ fn conf_snapshot_written_scalar_restores_into_simd() {
     for p in Phase::ALL {
         let want = reference.machine.counters().cycles(p);
         let got = resumed.machine.counters().cycles(p);
-        if matches!(p, Phase::Preprocess | Phase::Compute | Phase::Reduce) {
+        if matches!(
+            p,
+            Phase::Preprocess | Phase::Compute | Phase::Reduce | Phase::Gather | Phase::Sort
+        ) {
             assert!(
                 got > want,
                 "writer's scalar steps must leave a higher {p:?} history \
                  ({got} vs {want})"
-            );
-        } else if p == Phase::Gather {
-            assert_ne!(
-                want.to_bits(),
-                got.to_bits(),
-                "writer's scalar steps must leave a repriced Gather history"
             );
         } else {
             assert_eq!(
